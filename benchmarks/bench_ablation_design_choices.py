@@ -1,0 +1,136 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These do not correspond to a numbered paper figure; they isolate the
+mechanisms behind the paper's explanations:
+
+* dynamic (active-vertex) computation vs. full-graph sweeps
+  (why Giraph/GraphLab beat the generic dataflow platforms);
+* cut-minimizing (LDG) vs. hash partitioning
+  (GraphLab's "smart dataset partitioning");
+* cold vs. hot Neo4j caches (the two-level cache mechanism);
+* input pre-splitting (GraphLab vs GraphLab(mp) single-loader
+  bottleneck).
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.cluster.spec import das4_cluster
+from repro.core.report import render_table
+from repro.datasets import load_dataset
+from repro.graph.partition import greedy_partition, hash_partition
+from repro.platforms import get_platform
+
+
+def test_ablation_dynamic_computation(benchmark):
+    """Active-vertex work vs full sweeps: the BFS work ratio that makes
+    Pregel-style engines cheap on late iterations."""
+
+    def measure():
+        rows = []
+        out = {}
+        for ds in ("kgs", "dotaleague", "citation"):
+            g = load_dataset(ds)
+            res = get_algorithm("bfs").run_reference(g)
+            dynamic = res.total_compute_edges
+            full = res.iterations * g.num_half_edges
+            out[ds] = full / dynamic
+            rows.append([ds, f"{dynamic:,}", f"{full:,}", f"{full / dynamic:.1f}x"])
+        text = render_table(
+            ["dataset", "dynamic edges", "full-sweep edges", "overhead"],
+            rows,
+            title="Ablation: dynamic computation vs full sweeps (BFS)",
+        )
+        return out, text
+
+    data, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    # Full sweeps always cost more; with many iterations, much more.
+    for ds, ratio in data.items():
+        assert ratio > 1.5, ds
+
+
+def test_ablation_partitioning(benchmark):
+    """LDG greedy vs hash partitioning: cut fraction and the simulated
+    network bytes a BSP superstep ships."""
+    g = load_dataset("kgs")
+
+    def measure():
+        rows = []
+        out = {}
+        for parts in (10, 20, 40):
+            cut_hash = hash_partition(g, parts).cut_fraction()
+            cut_greedy = greedy_partition(g, parts).cut_fraction()
+            out[parts] = (cut_hash, cut_greedy)
+            rows.append(
+                [parts, f"{cut_hash:.3f}", f"{cut_greedy:.3f}",
+                 f"{cut_hash / max(cut_greedy, 1e-9):.2f}x"]
+            )
+        text = render_table(
+            ["parts", "hash cut", "greedy cut", "reduction"],
+            rows,
+            title="Ablation: hash vs LDG partitioning (KGS)",
+        )
+        return out, text
+
+    data, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    for parts, (cut_hash, cut_greedy) in data.items():
+        assert cut_greedy < cut_hash, parts
+
+
+def test_ablation_neo4j_cache(benchmark):
+    """Cold vs hot Neo4j runs: the cold/hot ratio tracks graph locality
+    (Section 4.1.1: Citation ~45, DotaLeague ~5)."""
+    neo = get_platform("neo4j")
+
+    def measure():
+        rows = []
+        out = {}
+        for ds in ("citation", "dotaleague", "kgs"):
+            g = load_dataset(ds)
+            hot = neo.run("bfs", g, cache="hot").execution_time
+            cold = neo.run("bfs", g, cache="cold").execution_time
+            out[ds] = cold / hot
+            rows.append([ds, f"{hot:.1f}s", f"{cold:.1f}s", f"{cold / hot:.1f}x"])
+        text = render_table(
+            ["dataset", "hot", "cold", "ratio"],
+            rows,
+            title="Ablation: Neo4j cold vs hot cache (BFS)",
+        )
+        return out, text
+
+    data, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert data["citation"] > data["dotaleague"] > 1.0
+
+
+def test_ablation_input_splitting(benchmark):
+    """Single-loader vs pre-split input loading on GraphLab."""
+    cluster = das4_cluster()
+    g = load_dataset("dotaleague")
+
+    def measure():
+        single = get_platform("graphlab").run("bfs", g, cluster)
+        split = get_platform("graphlab_mp").run("bfs", g, cluster)
+        rows = [
+            ["GraphLab", f"{single.breakdown['load']:.1f}s",
+             f"{single.execution_time:.1f}s"],
+            ["GraphLab(mp)", f"{split.breakdown['load']:.1f}s",
+             f"{split.execution_time:.1f}s"],
+        ]
+        text = render_table(
+            ["variant", "load time", "total time"],
+            rows,
+            title="Ablation: input pre-splitting (BFS on DotaLeague)",
+        )
+        return (single, split), text
+
+    (single, split), text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert split.breakdown["load"] < single.breakdown["load"] / 10
+    assert split.execution_time < single.execution_time

@@ -1,0 +1,52 @@
+"""Extension algorithms across the platform models.
+
+The paper's survey (Table 3) covers more algorithm classes than its
+five exemplars; LDBC Graphalytics later standardized PageRank and SSSP.
+This bench runs all six extension algorithms on KGS across the
+platforms and checks the platform ordering the paper establishes
+carries over to new workloads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.report import format_seconds, render_table
+from repro.core.results import RunStatus
+from repro.core.runner import Runner
+
+EXTENSIONS = ("pagerank", "sssp", "triangles", "diameter", "mis", "sampling")
+PLATFORMS = ("hadoop", "stratosphere", "giraph", "graphlab")
+
+
+def test_extensions_cross_platform(benchmark, suite):
+    def measure():
+        runner = Runner()
+        exp = runner.run_grid(
+            "extensions",
+            platforms=list(PLATFORMS),
+            algorithms=list(EXTENSIONS),
+            datasets=["kgs"],
+        )
+        rows = []
+        for algo in EXTENSIONS:
+            row = [algo]
+            for plat in PLATFORMS:
+                rec = exp.get(plat, algo, "kgs")
+                row.append(rec.describe() if rec else "-")
+            rows.append(row)
+        text = render_table(
+            ["algorithm"] + list(PLATFORMS), rows,
+            title="Extension algorithms on KGS (simulated execution time)",
+        )
+        return exp, text
+
+    exp, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+
+    for algo in EXTENSIONS:
+        recs = {p: exp.get(p, algo, "kgs") for p in PLATFORMS}
+        # everything completes on KGS
+        for plat, rec in recs.items():
+            assert rec.status is RunStatus.OK, (plat, algo)
+        # the paper's ordering holds on the new workloads too
+        assert recs["hadoop"].execution_time > recs["giraph"].execution_time
+        assert recs["hadoop"].execution_time > recs["stratosphere"].execution_time

@@ -1,0 +1,49 @@
+"""Figure 1: BFS execution time, all platforms x all datasets.
+
+The paper's headline figure.  Shape assertions encode its key
+findings (Section 4.1): Hadoop worst everywhere, YARN slightly better,
+Stratosphere up to an order of magnitude below Hadoop, graph-specific
+platforms fastest, Neo4j excellent while the graph fits its cache and
+pathological (Synth: ~17 h) when it does not.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.results import RunStatus
+from repro.datasets import DATASET_NAMES
+
+
+def test_fig01_bfs_all_platforms(benchmark, suite):
+    exp, text = run_once(benchmark, suite.fig01_bfs)
+
+    def t(plat, ds):
+        rec = exp.get(plat, "bfs", ds)
+        return rec.execution_time if rec and rec.ok else None
+
+    # Hadoop is the worst performer in every completed cell.
+    for ds in DATASET_NAMES:
+        hadoop = t("hadoop", ds)
+        assert hadoop is not None, "hadoop must complete BFS everywhere"
+        for plat in ("yarn", "stratosphere", "giraph", "graphlab"):
+            other = t(plat, ds)
+            if other is not None:
+                assert hadoop > other, (plat, ds)
+
+    # Amazon (most iterations) is Hadoop's worst dataset by far.
+    assert t("hadoop", "amazon") > 3600  # beyond the figure's 1-hour line
+    # Stratosphere: order of magnitude under Hadoop on Amazon.
+    assert t("hadoop", "amazon") > 10 * t("stratosphere", "amazon")
+    # Giraph: every completed run under 100 s.
+    for ds in DATASET_NAMES:
+        g = t("giraph", ds)
+        if g is not None:
+            assert g < 100
+    # Giraph crashes on Friendster at 20 workers.
+    rec = exp.get("giraph", "bfs", "friendster")
+    assert rec is not None and rec.status is RunStatus.CRASHED
+    # YARN crashes on Friendster (container enforcement).
+    rec = exp.get("yarn", "bfs", "friendster")
+    assert rec is not None and rec.status is RunStatus.CRASHED
+    # Neo4j: Synth exceeds the figure's scale (hours, not seconds).
+    assert t("neo4j", "synth") > 3600
+    # Neo4j is fast on the graphs that fit (lazy reads on Citation).
+    assert t("neo4j", "citation") < 10

@@ -1,0 +1,33 @@
+"""Figure 3: all algorithms x all datasets on Giraph (+ GraphLab CONN).
+
+Shape assertions from Section 4.1.2: everything Giraph completes runs
+under 100 s; STATS on WikiTalk crashes on message volume; on
+Friendster only EVO completes; GraphLab handles CONN on every dataset
+including Friendster and beats Giraph on most graphs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.results import RunStatus
+from repro.datasets import DATASET_NAMES
+
+
+def test_fig03_giraph_all_algorithms(benchmark, suite):
+    exp, text = run_once(benchmark, suite.fig03_giraph_all)
+
+    # Completed Giraph runs all land below 100 s (the figure's scale).
+    for rec in exp.find(platform="giraph"):
+        if rec.ok:
+            assert rec.execution_time < 100, (rec.algorithm, rec.dataset)
+
+    # STATS on WikiTalk crashes (hub neighbor-list explosion).
+    rec = exp.get("giraph", "stats", "wikitalk")
+    assert rec.status is RunStatus.CRASHED
+
+    # Friendster: EVO is the only algorithm Giraph completes.
+    for algo in ("stats", "bfs", "conn", "cd"):
+        assert exp.get("giraph", algo, "friendster").status is RunStatus.CRASHED
+    assert exp.get("giraph", "evo", "friendster").status is RunStatus.OK
+
+    # GraphLab completes CONN on every dataset, even the largest.
+    for ds in DATASET_NAMES:
+        assert exp.get("graphlab", "conn", ds).status is RunStatus.OK

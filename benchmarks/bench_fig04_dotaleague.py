@@ -1,0 +1,48 @@
+"""Figure 4: all algorithms x all platforms on DotaLeague
+(+ CONN on Citation as the right-most bars).
+
+Shape assertions from Section 4.1.3: STATS completes on no platform
+(crash or termination); BFS is the cheapest algorithm everywhere;
+EVO doubles Hadoop/YARN's job count but not Stratosphere's; CONN on
+the 20-iteration Citation costs the MapReduce platforms more than the
+6-iteration DotaLeague CONN.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.results import RunStatus
+
+
+def test_fig04_dotaleague_all_platforms(benchmark, suite):
+    exp, text = run_once(benchmark, suite.fig04_dotaleague)
+
+    # STATS on DotaLeague: no platform completes (crash or DNF).
+    for plat in ("hadoop", "yarn", "giraph", "graphlab"):
+        assert exp.get(plat, "stats", "dotaleague").status is RunStatus.CRASHED
+    assert exp.get("stratosphere", "stats", "dotaleague").status is RunStatus.DNF
+    assert exp.get("neo4j", "stats", "dotaleague").status is RunStatus.DNF
+
+    # Neo4j CD on DotaLeague ran past the 20-hour budget.
+    assert exp.get("neo4j", "cd", "dotaleague").status is RunStatus.DNF
+
+    # BFS is cheaper than CONN and CD on every distributed platform.
+    for plat in ("hadoop", "yarn", "stratosphere", "giraph", "graphlab"):
+        bfs = exp.get(plat, "bfs", "dotaleague").execution_time
+        for other in ("conn", "cd"):
+            rec = exp.get(plat, other, "dotaleague")
+            if rec.ok:
+                assert rec.execution_time >= bfs * 0.8, (plat, other)
+
+    # EVO: two MR jobs per iteration double Hadoop's cost relative to
+    # BFS while Stratosphere's single dataflow job stays cheap.
+    h_evo = exp.get("hadoop", "evo", "dotaleague").execution_time
+    h_bfs = exp.get("hadoop", "bfs", "dotaleague").execution_time
+    s_evo = exp.get("stratosphere", "evo", "dotaleague").execution_time
+    assert h_evo > 1.5 * h_bfs
+    assert s_evo < h_evo / 5
+
+    # CONN on Citation (20 iterations) beats CONN on DotaLeague
+    # (6 iterations) on the per-job-cost platforms.
+    for plat in ("hadoop", "yarn", "stratosphere"):
+        t_cit = exp.get(plat, "conn", "citation").execution_time
+        t_dota = exp.get(plat, "conn", "dotaleague").execution_time
+        assert t_cit > t_dota, plat

@@ -1,0 +1,29 @@
+"""Figures 5-7: master-node CPU, memory, and network traces.
+
+Key findings (Section 4.2): 'Few resources are needed for the master
+node of all platforms' — CPU below 0.5 %, network under 400 Kbit/s
+(Stratosphere up to ~1 Mbit/s), monitored memory around 8 GB (OS +
+HDFS services included).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+
+
+def test_fig05_07_master_resources(benchmark, suite):
+    data, text = run_once(benchmark, suite.fig05_07_master_resources)
+
+    for plat, metrics in data.items():
+        cpu = metrics["cpu"]  # percent
+        assert np.max(cpu) <= 0.5, plat  # paper: CPU below 0.5 %
+
+        mem = metrics["memory"]  # GB
+        assert 6.0 <= np.max(mem) <= 10.0, plat  # paper: ~8 GB
+
+        net = metrics["net_in"]  # Kbit/s
+        if plat == "stratosphere":
+            assert np.max(net) <= 1100  # paper: up to ~1 Mbit/s
+            assert np.max(net) > 400  # the one exception
+        else:
+            assert np.max(net) <= 400, plat  # paper: < 400 Kbit/s

@@ -1,0 +1,51 @@
+"""Figures 11-12: horizontal scalability (20-50 machines) and NEPS.
+
+Key findings (Section 4.3.1): significant horizontal scalability only
+for Friendster; GraphLab flat (single-file loading) while GraphLab(mp)
+scales; Giraph and YARN missing at 20 machines (crashes); NEPS
+generally decreases as machines are added.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.metrics import normalized_eps
+from repro.core.results import RunStatus
+
+
+def _series(exp, platform):
+    recs = sorted(
+        exp.find(platform=platform), key=lambda r: r.cluster.num_workers
+    )
+    return recs
+
+
+def test_fig11_12_horizontal_scalability(benchmark, suite):
+    data, text = run_once(benchmark, suite.fig11_12_horizontal)
+    friend = data["friendster"]
+    dota = data["dotaleague"]
+
+    # Friendster scales: Hadoop at 50 clearly under Hadoop at 20.
+    h = _series(friend, "hadoop")
+    assert h[-1].execution_time < 0.7 * h[0].execution_time
+
+    # DotaLeague does not: Hadoop at 50 within 15 % of Hadoop at 20.
+    h_d = _series(dota, "hadoop")
+    assert h_d[-1].execution_time > 0.85 * h_d[0].execution_time
+
+    # GraphLab is flat on Friendster; GraphLab(mp) is not.
+    gl = _series(friend, "graphlab")
+    gl_mp = _series(friend, "graphlab_mp")
+    assert gl[-1].execution_time > 0.9 * gl[0].execution_time
+    assert gl_mp[-1].execution_time < 0.6 * gl_mp[0].execution_time
+    assert gl_mp[0].execution_time < gl[0].execution_time / 5
+
+    # Giraph and YARN crash on Friendster at 20 machines, recover at 25+.
+    for plat in ("giraph", "yarn"):
+        recs = _series(friend, plat)
+        assert recs[0].status is RunStatus.CRASHED, plat
+        assert all(r.status is RunStatus.OK for r in recs[1:]), plat
+
+    # NEPS decreases with cluster size (Figure 12's general trend).
+    for plat in ("hadoop", "stratosphere"):
+        recs = [r for r in _series(dota, plat) if r.ok]
+        neps = [normalized_eps(r.result) for r in recs]
+        assert neps[-1] < neps[0], plat

@@ -1,0 +1,57 @@
+"""Figures 13-14: vertical scalability (1-7 cores) and NEPS per core.
+
+Key findings (Section 4.3.2): Hadoop and Stratosphere gain from extra
+cores up to ~3, then the improvement becomes negligible; Giraph and
+YARN have no Friendster results (both crash at 20 machines); no
+significant vertical scalability for the small DotaLeague; NEPS per
+core drops as cores are added.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.metrics import normalized_eps
+from repro.core.results import RunStatus
+
+
+def _by_cores(exp, platform):
+    return {
+        r.cluster.cores_per_worker: r for r in exp.find(platform=platform)
+    }
+
+
+def test_fig13_14_vertical_scalability(benchmark, suite):
+    data, text = run_once(benchmark, suite.fig13_14_vertical)
+    friend = data["friendster"]
+    dota = data["dotaleague"]
+
+    # Hadoop & Stratosphere benefit up to 3 cores, then saturate.
+    for plat in ("hadoop", "stratosphere"):
+        recs = _by_cores(friend, plat)
+        t1, t3, t7 = (recs[c].execution_time for c in (1, 3, 7))
+        assert t3 < 0.9 * t1, plat
+        gain_1_3 = t1 - t3
+        gain_3_7 = t3 - t7
+        assert gain_3_7 < gain_1_3, plat  # diminishing returns
+
+    # Giraph crashes on Friendster at every core count (fixed 20 nodes).
+    for rec in _by_cores(friend, "giraph").values():
+        assert rec.status is RunStatus.CRASHED
+
+    # YARN loses Friendster vertically too.
+    assert _by_cores(friend, "yarn")[1].status is RunStatus.CRASHED
+
+    # GraphLab(mp): one loader per machine — loading does not shrink
+    # with more cores, so vertical gains are marginal.
+    recs = _by_cores(friend, "graphlab_mp")
+    assert recs[7].execution_time > 0.7 * recs[1].execution_time
+
+    # No significant vertical scalability for DotaLeague.
+    for plat in ("hadoop", "giraph", "graphlab"):
+        recs = _by_cores(dota, plat)
+        assert recs[7].execution_time > 0.75 * recs[1].execution_time, plat
+
+    # NEPS per core drops for all platforms (Figure 14).
+    for plat in ("hadoop", "stratosphere", "graphlab"):
+        recs = _by_cores(dota, plat)
+        neps1 = normalized_eps(recs[1].result, per="cores")
+        neps7 = normalized_eps(recs[7].result, per="cores")
+        assert neps7 < neps1, plat

@@ -1,0 +1,31 @@
+"""Figure 15: execution-time breakdown (computation vs overhead) of
+BFS on DotaLeague for every platform.
+
+Key findings (Section 4.4): the overhead fraction varies widely; the
+generic platforms burn most of the time on scheduling and I/O while
+their *computation* time exceeds the graph-specific platforms' (full
+sweeps vs. active vertices); GraphLab's time is dominated by loading
+and finalizing.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_fig15_breakdown(benchmark, suite):
+    data, text = run_once(benchmark, suite.fig15_breakdown)
+
+    # Every distributed platform spends more time on overhead than on
+    # computation for BFS on DotaLeague.
+    for plat, (comp, over) in data.items():
+        assert over > comp, plat
+
+    # Hadoop/Stratosphere traverse all vertices each iteration, so
+    # their computation time exceeds Giraph's (dynamic computation).
+    assert data["hadoop"][0] > data["giraph"][0]
+    assert data["stratosphere"][0] > data["giraph"][0]
+
+    # GraphLab's single-file loading makes it the overhead champion
+    # among the graph-specific platforms.
+    assert data["graphlab"][1] > data["giraph"][1]
+    # ... and pre-splitting the input removes most of it.
+    assert data["graphlab_mp"][1] < data["graphlab"][1] / 2

@@ -1,0 +1,41 @@
+"""Graph500 methodology, side by side with the paper's suite.
+
+The paper contrasts itself with Graph500 (Section 1): one algorithm
+(BFS), one synthetic dataset class, a single TEPS number.  This bench
+runs the actual Graph500 method (generate, 16-root BFS, official
+validation, harmonic-mean TEPS) on the suite's substrate — wall-clock
+TEPS of the reference implementation, demonstrating the
+single-number-vs-suite methodological difference the paper argues.
+"""
+
+import numpy as np
+
+from repro.core.graph500 import run_graph500
+from repro.core.report import render_table
+
+
+def test_graph500_kernel(benchmark):
+    def measure():
+        res = run_graph500(scale=13, edge_factor=16, num_roots=8, seed=5)
+        rows = [
+            ["scale / edgefactor", f"{res.scale} / {res.edge_factor}"],
+            ["roots", res.num_roots],
+            ["construction", f"{res.construction_seconds:.2f}s"],
+            ["min TEPS", f"{min(res.teps):.3g}"],
+            ["max TEPS", f"{max(res.teps):.3g}"],
+            ["harmonic mean TEPS", f"{res.harmonic_mean_teps:.3g}"],
+            ["all trees valid", res.all_valid],
+        ]
+        text = render_table(
+            ["quantity", "value"], rows,
+            title="Graph500-style run (kernel 1 + kernel 2 + validation)",
+        )
+        return res, text
+
+    res, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert res.all_valid
+    assert res.harmonic_mean_teps > 1e5  # vectorized numpy BFS
+    # harmonic mean is dominated by the slowest root
+    assert res.harmonic_mean_teps <= np.mean(res.teps) + 1e-9

@@ -1,0 +1,59 @@
+"""The performance-boundary model (the paper's future work, built).
+
+Fits the per-platform linear boundary model on one set of workloads
+and validates predictions and the worst-case boundary on held-out
+cells — the "empirically validated performance-boundary model for
+predicting the worst performance" the paper's conclusion proposes.
+"""
+
+from repro.cluster.spec import das4_cluster
+from repro.core.prediction import BoundaryModel, collect_training_data, features_for
+from repro.core.report import render_table
+from repro.datasets import load_dataset
+from repro.platforms import get_platform
+
+TRAIN_CELLS = [
+    (a, d)
+    for a in ("bfs", "conn", "cd")
+    for d in ("amazon", "wikitalk", "kgs", "dotaleague", "synth")
+]
+HELDOUT_CELLS = [("bfs", "citation"), ("conn", "citation"), ("cd", "citation")]
+
+
+def test_boundary_model_validation(benchmark):
+    cluster = das4_cluster()
+
+    def measure():
+        rows = []
+        out = {}
+        for plat_name in ("hadoop", "stratosphere", "giraph"):
+            model = BoundaryModel(plat_name).fit(
+                collect_training_data(plat_name, TRAIN_CELLS)
+            )
+            plat = get_platform(plat_name)
+            for algo, ds in HELDOUT_CELLS:
+                g = load_dataset(ds)
+                actual = plat.run(algo, g, cluster).execution_time
+                feats = features_for(algo, g, cluster)
+                predicted = model.predict(feats)
+                worst = model.predict_worst(feats)
+                out[(plat_name, algo, ds)] = (actual, predicted, worst)
+                rows.append([
+                    plat_name, f"{algo}/{ds}", f"{actual:.0f}s",
+                    f"{predicted:.0f}s", f"{worst:.0f}s",
+                ])
+        text = render_table(
+            ["platform", "held-out cell", "actual", "predicted", "boundary"],
+            rows,
+            title="Performance-boundary model: held-out validation",
+        )
+        return out, text
+
+    data, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    for (plat, algo, ds), (actual, predicted, worst) in data.items():
+        # point prediction within 3x on trained workload classes
+        assert actual / 3 <= predicted <= actual * 3, (plat, algo, ds)
+        # the boundary covers the held-out run (10 % slack)
+        assert worst >= actual * 0.9, (plat, algo, ds)

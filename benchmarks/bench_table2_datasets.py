@@ -1,0 +1,22 @@
+"""Table 2: summary of datasets (paper Section 2.2.1).
+
+Regenerates the dataset summary — vertex/edge counts, density, degree,
+directivity — next to the paper's published numbers, and checks the
+structural orderings the evaluation relies on.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_dataset_summary(benchmark, suite):
+    data, text = run_once(benchmark, suite.table2_datasets)
+    assert len(data) == 7
+    by_name = {d["name"]: d for d in data}
+    # Directivity column matches the paper exactly.
+    for row in data:
+        assert row["measured"].directed == row["paper"].directed
+    # DotaLeague is the densest graph; Friendster the largest.
+    degrees = {n: d["measured"].average_degree for n, d in by_name.items()}
+    assert max(degrees, key=degrees.get) == "dotaleague"
+    edges = {n: d["measured"].num_edges for n, d in by_name.items()}
+    assert max(edges, key=edges.get) == "friendster"

@@ -1,0 +1,25 @@
+"""Table 5: statistics of BFS — coverage and iteration counts.
+
+The paper's per-dataset BFS fingerprint: >98 % coverage everywhere
+except Citation (0.1 %), iteration counts from 6 (DotaLeague) to 68
+(Amazon).
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table5_bfs_statistics(benchmark, suite):
+    data, text = run_once(benchmark, suite.table5_bfs_statistics)
+    by_name = {d["name"]: d for d in data}
+    # Citation's ancestry-only traversal.
+    assert by_name["citation"]["coverage"] < 0.05
+    # Everything else is (nearly) fully covered.
+    for name in ("kgs", "dotaleague", "synth", "friendster"):
+        assert by_name[name]["coverage"] > 0.99
+    assert by_name["wikitalk"]["coverage"] > 0.95
+    # Amazon is the iteration-count outlier.
+    iters = {n: d["iterations"] for n, d in by_name.items()}
+    assert max(iters, key=iters.get) == "amazon"
+    assert iters["amazon"] > 3 * max(
+        v for n, v in iters.items() if n != "amazon"
+    )

@@ -1,0 +1,20 @@
+"""Table 7: development time and core lines of code.
+
+Static survey data from the paper (usability, Section 5.1), rendered
+for completeness; the assertions check the paper's usability claims.
+"""
+
+from benchmarks.conftest import run_once
+
+
+def test_table7_development_effort(benchmark, suite):
+    data, text = run_once(benchmark, suite.table7_dev_effort)
+    # Giraph's vertex-centric BFS is the smallest distributed program.
+    distributed = {p: v for p, v in data.items() if p != "neo4j"}
+    locs = {p: v["bfs"][1] for p, v in distributed.items()}
+    assert min(locs, key=locs.get) == "giraph"
+    # Neo4j's built-in traversal needs the least new code of all.
+    assert data["neo4j"]["bfs"][1] < locs["giraph"]
+    # CONN is never cheaper than BFS in LoC terms on the same platform.
+    for p, v in data.items():
+        assert v["conn"][1] >= v["bfs"][1]

@@ -1,0 +1,57 @@
+"""Tables 1, 3, 4, and 8 — the paper's definitional/survey tables.
+
+Static data reproduced verbatim, with consistency checks against the
+implementation (every Table 4 platform has a model; every Table 3
+class with an exemplar has a registered algorithm).
+"""
+
+from benchmarks.conftest import run_once
+from repro.algorithms.base import get_algorithm
+from repro.platforms.registry import get_platform
+
+
+def test_table1_metric_definitions(benchmark, suite):
+    data, text = run_once(benchmark, suite.table1_metrics)
+    assert "overhead time (To)" in data
+    # every metric the suite computes appears in Table 1
+    for metric in ("job execution time (T)", "edges per second (EPS)",
+                   "normalized EPS (NEPS)", "computation time (Tc)"):
+        assert metric in data
+
+
+def test_table3_algorithm_survey(benchmark, suite):
+    data, text = run_once(benchmark, suite.table3_algorithm_survey)
+    assert sum(r.count for r in data) == 149  # paper: 149 uses
+    # graph traversal dominates the survey (the Graph500 argument)
+    biggest = max(data, key=lambda r: r.count)
+    assert biggest.class_name == "Graph Traversal"
+    # each of the five benchmarked classes has a registered exemplar
+    exemplars = {
+        "General Statistics": "stats",
+        "Graph Traversal": "bfs",
+        "Connected Components": "conn",
+        "Community Detection": "cd",
+        "Graph Evolution": "evo",
+        "Other": "sampling",
+    }
+    for row in data:
+        assert get_algorithm(exemplars[row.class_name]) is not None
+
+
+def test_table4_platforms(benchmark, suite):
+    data, text = run_once(benchmark, suite.table4_platforms)
+    assert len(data) == 6
+    for row in data:
+        model = get_platform(row.name)
+        # the models' taxonomy matches Table 4's
+        assert model.distributed == row.distributed
+        assert model.kind == ("graph" if row.kind == "Graph" else "generic")
+
+
+def test_table8_related_work(benchmark, suite):
+    data, text = run_once(benchmark, suite.table8_related_work)
+    assert len(data) == 11
+    ours = data[-1]
+    assert ours.study == "This work"
+    assert "5 classes" in ours.algorithms
+    assert "1.8 BE" in ours.largest_dataset

@@ -1,0 +1,40 @@
+"""SPEC-style baseline vs peak reporting (paper Section 5.2).
+
+The paper notes its method "does not limit meaningfully the amount of
+tuning done to a system prior to benchmarking" and points at SPEC's
+baseline/peak disclosure as the fix.  This bench produces that report
+for BFS on DotaLeague and Friendster.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.tuning import TuningStudy
+
+
+def test_tuning_baseline_peak_dotaleague(benchmark):
+    def measure():
+        return TuningStudy(algorithm="bfs", dataset="dotaleague").run()
+
+    data, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    for plat, (base, peak) in data.items():
+        if base is not None and peak is not None:
+            assert peak <= base * 1.001, plat
+    # the two headline tunings
+    assert data["graphlab"][0] / data["graphlab"][1] > 3
+    assert data["neo4j"][0] / data["neo4j"][1] > 2
+
+
+def test_tuning_baseline_peak_friendster(benchmark):
+    def measure():
+        return TuningStudy(algorithm="bfs", dataset="friendster").run()
+
+    data, text = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(text)
+    # Giraph: baseline crashes (the paper's cell), the combiner-tuned
+    # peak completes — tuning changes feasibility, not just speed.
+    base, peak = data["giraph"]
+    assert base is None and peak is not None
+    # Neo4j cannot run Friendster in any configuration.
+    assert data["neo4j"] == (None, None)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated paper tables inline.  Every benchmark times the full
+regeneration of one paper table or figure and prints the rendered
+result (the paper-vs-measured artifact recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import Runner
+from repro.core.suite import BenchmarkSuite
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchmarkSuite:
+    """One shared suite so dataset/partition caches are reused."""
+    return BenchmarkSuite(runner=Runner())
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (simulated runs are deterministic and
+    too expensive for multi-round timing) and print its rendering."""
+    data, text = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    print(text)
+    return data, text

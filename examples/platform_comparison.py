@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Platform comparison: a compact Figure 1 + Figure 2 reproduction.
+
+Runs BFS on three contrasting datasets across all six platform models
+and prints execution times (crashes and DNFs included, as in the
+paper's figures) plus EPS throughput.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro.core.metrics import paper_scale_eps
+from repro.core.report import render_table
+from repro.core.results import RunStatus
+from repro.core.runner import Runner
+from repro.core.suite import ALL_PLATFORMS
+from repro.platforms.registry import get_platform
+
+DATASETS = ("amazon", "dotaleague", "friendster")
+
+
+def main() -> None:
+    runner = Runner()
+    exp = runner.run_grid(
+        "example:bfs",
+        platforms=ALL_PLATFORMS,
+        algorithms=["bfs"],
+        datasets=DATASETS,
+    )
+
+    rows = []
+    for ds in DATASETS:
+        row = [ds]
+        for plat in ALL_PLATFORMS:
+            rec = exp.get(plat, "bfs", ds)
+            row.append(rec.describe())
+        rows.append(row)
+    print(render_table(
+        ["dataset"] + [get_platform(p).label for p in ALL_PLATFORMS],
+        rows,
+        title="BFS execution time (mini Figure 1)",
+    ))
+
+    rows = []
+    for ds in DATASETS:
+        row = [ds]
+        for plat in ALL_PLATFORMS:
+            rec = exp.get(plat, "bfs", ds)
+            if rec.status is RunStatus.OK and rec.result is not None:
+                row.append(f"{paper_scale_eps(rec.result):,.0f}")
+            else:
+                row.append(rec.describe())
+        rows.append(row)
+    print()
+    print(render_table(
+        ["dataset"] + [get_platform(p).label for p in ALL_PLATFORMS],
+        rows,
+        title="EPS, paper-scale edges per second (mini Figure 2)",
+    ))
+
+    print("\nObservations to compare with the paper:")
+    print(" * Hadoop is the slowest platform in every completed cell.")
+    print(" * Amazon's high iteration count is brutal for MapReduce.")
+    print(" * Giraph and YARN lose Friendster at 20 workers; "
+          "GraphLab survives it.")
+
+
+if __name__ == "__main__":
+    main()

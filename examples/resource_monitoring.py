@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Resource monitoring: Ganglia-style traces (Figures 5-10).
+
+Runs BFS on DotaLeague for each distributed platform, samples the
+simulated monitor at 100 normalized points (the paper's
+post-processing), and renders the master and worker CPU/memory/network
+traces as unicode sparklines.
+
+Run:  python examples/resource_monitoring.py
+"""
+
+import numpy as np
+
+from repro.cluster.monitoring import MASTER, worker_node
+from repro.core.runner import Runner
+from repro.core.suite import DISTRIBUTED_PLATFORMS
+from repro.platforms.registry import get_platform
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Render a series as a fixed-width unicode sparkline."""
+    if len(values) == 0:
+        return ""
+    xs = np.interp(
+        np.linspace(0, 1, width), np.linspace(0, 1, len(values)), values
+    )
+    top = xs.max()
+    if top <= 0:
+        return BLOCKS[0] * width
+    idx = np.minimum((xs / top * (len(BLOCKS) - 1)).astype(int),
+                     len(BLOCKS) - 1)
+    return "".join(BLOCKS[i] for i in idx)
+
+
+def main() -> None:
+    runner = Runner()
+    runs = {p: runner.run_cell(p, "bfs", "dotaleague")
+            for p in DISTRIBUTED_PLATFORMS}
+
+    for node_label, node in (("master", MASTER), ("worker", worker_node(0))):
+        print(f"\n=== {node_label} node, BFS on DotaLeague "
+              "(normalized job time -->) ===")
+        for metric, unit, scale in (
+            ("cpu", "%", 100.0),
+            ("memory", "GB", 1 / 2**30),
+            ("net_in", "Mbit/s", 8 / 1e6),
+        ):
+            print(f"\n  {metric} [{unit}]")
+            for plat, rec in runs.items():
+                if not rec.ok or rec.result is None:
+                    continue
+                series = rec.result.trace.series(node, metric) * scale
+                label = get_platform(plat).label
+                print(f"    {label:<14s} {sparkline(series)}  "
+                      f"peak {series.max():.3g}{unit}")
+
+    print("\nCompare with the paper's Figures 5-10:")
+    print(" * masters are nearly idle on every platform;")
+    print(" * Stratosphere pins ~20 GB per worker from the start;")
+    print(" * Hadoop/YARN worker usage oscillates with the job cycle;")
+    print(" * Giraph/GraphLab use the least network.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Vertex-centric programming: write once, run on every platform model.
+
+The paper's usability survey (Table 7) credits the vertex-centric
+model with the smallest implementations — Giraph's BFS is 45 lines of
+Java against Hadoop's 110.  This example writes single-source
+shortest-hops in ~15 lines of the suite's Pregel-style API, checks it
+against the built-in BFS, and runs the *same program* on three very
+different platform models.
+
+Run:  python examples/vertex_programming.py
+"""
+
+import numpy as np
+
+from repro import das4_cluster, get_platform, load_dataset
+from repro.algorithms.bfs import bfs_levels
+from repro.algorithms.vertex_api import (
+    VertexAlgorithm,
+    VertexProgram,
+    run_vertex_program,
+)
+from repro.core.report import format_seconds, render_table
+
+
+class HopCount(VertexProgram):
+    """Minimum-hops-from-source, the Pregel way (compare: 45 LoC in
+    the paper's Giraph column of Table 7)."""
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+    def initial_value(self, vertex, graph):
+        return 0 if vertex == self.source else -1
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            if ctx.vertex == self.source:
+                ctx.send_to_neighbors(1)
+        elif ctx.value == -1 and messages:
+            ctx.value = min(messages)
+            ctx.send_to_neighbors(ctx.value + 1)
+        ctx.vote_to_halt()
+
+
+def main() -> None:
+    graph = load_dataset("kgs", scale=0.25)
+    source = 0
+
+    # 1. Standalone execution + validation against the built-in BFS.
+    values = np.array(run_vertex_program(graph, HopCount(source)))
+    builtin = bfs_levels(graph, source)
+    assert np.array_equal(values, builtin)
+    print(f"HopCount on {graph}: matches built-in BFS "
+          f"(max level {values.max()}).")
+
+    # 2. The same program on three platform models.
+    algo = VertexAlgorithm("hopcount", lambda: HopCount(source))
+    cluster = das4_cluster()
+    rows = []
+    for plat_name in ("hadoop", "stratosphere", "giraph"):
+        result = get_platform(plat_name).run(algo, graph, cluster)
+        assert np.array_equal(np.array(result.output), builtin)
+        rows.append([
+            get_platform(plat_name).label,
+            format_seconds(result.execution_time),
+            result.supersteps,
+        ])
+    print()
+    print(render_table(
+        ["platform", "T (simulated)", "supersteps"],
+        rows,
+        title="One vertex program, three platforms",
+    ))
+    print("\nThe platform gap (Hadoop >> Giraph) holds for user programs "
+          "too:\nit comes from execution structure, not from the program.")
+
+
+if __name__ == "__main__":
+    main()

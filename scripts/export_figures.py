@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Export every figure's data series as gnuplot-ready ``.dat`` files.
+
+Writes ``figures/figNN_*.dat`` (one column per platform, ``nan`` for
+crash/DNF gaps, matching the paper's figure conventions) plus a
+``figures/plot_all.gp`` gnuplot script that renders them.
+
+Run:  python scripts/export_figures.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.core.export import export_series_dat
+from repro.core.metrics import normalized_eps, paper_scale_eps
+from repro.core.runner import Runner
+from repro.core.scalability import HORIZONTAL_STEPS, VERTICAL_STEPS
+from repro.core.suite import ALL_PLATFORMS, DISTRIBUTED_PLATFORMS, BenchmarkSuite
+from repro.datasets.registry import DATASET_NAMES
+
+GNUPLOT_HEADER = """\
+# gnuplot script rendering the exported figure data
+set terminal pngcairo size 900,600
+set key outside
+set style data linespoints
+"""
+
+
+def _series_from_grid(exp, platforms, datasets, value_fn):
+    out = {}
+    for plat in platforms:
+        vals = []
+        for ds in datasets:
+            rec = exp.get(plat, "bfs", ds)
+            vals.append(value_fn(rec) if rec and rec.ok else None)
+        out[plat] = vals
+    return out
+
+
+def main(out_dir: str = "figures") -> None:
+    target = pathlib.Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    suite = BenchmarkSuite(runner=Runner())
+    gp_lines = [GNUPLOT_HEADER]
+
+    # Figure 1 + 2: BFS times and EPS over datasets (x = dataset index).
+    exp, _ = suite.fig01_bfs()
+    x = list(range(len(DATASET_NAMES)))
+    t_series = _series_from_grid(
+        exp, ALL_PLATFORMS, DATASET_NAMES, lambda r: r.execution_time
+    )
+    export_series_dat(x, t_series, target / "fig01_bfs_time.dat",
+                      x_label="dataset_index")
+    eps_series = _series_from_grid(
+        exp, DISTRIBUTED_PLATFORMS, DATASET_NAMES,
+        lambda r: paper_scale_eps(r.result),
+    )
+    export_series_dat(x, eps_series, target / "fig02_eps.dat",
+                      x_label="dataset_index")
+    for name, logscale in (("fig01_bfs_time", True), ("fig02_eps", True)):
+        gp_lines.append(f"set output '{name}.png'")
+        if logscale:
+            gp_lines.append("set logscale y")
+        cols = t_series if name.startswith("fig01") else eps_series
+        plots = ", ".join(
+            f"'{name}.dat' using 1:{i + 2} title '{plat}'"
+            for i, plat in enumerate(cols)
+        )
+        gp_lines.append(f"plot {plots}")
+        gp_lines.append("unset logscale y")
+
+    # Figures 5-10: resource traces over normalized time.
+    data, _ = suite.fig08_10_worker_resources()
+    for metric, figno in (("cpu", 8), ("memory", 9), ("net_in", 10)):
+        series = {
+            plat: metrics[metric].tolist() for plat, metrics in data.items()
+        }
+        x_norm = [i / 100 for i in range(100)]
+        export_series_dat(
+            x_norm, series, target / f"fig{figno:02d}_worker_{metric}.dat",
+            x_label="normalized_time",
+        )
+
+    # Figures 11-14: scalability sweeps.
+    data, _ = suite.fig11_12_horizontal()
+    for ds, exp in data.items():
+        t_series = {}
+        neps_series = {}
+        for plat in exp.platforms():
+            recs = sorted(exp.find(platform=plat),
+                          key=lambda r: r.cluster.num_workers)
+            t_series[plat] = [
+                r.execution_time if r.ok else None for r in recs
+            ]
+            neps_series[plat] = [
+                normalized_eps(r.result) if r.ok else None for r in recs
+            ]
+        export_series_dat(list(HORIZONTAL_STEPS), t_series,
+                          target / f"fig11_horizontal_{ds}.dat",
+                          x_label="machines")
+        export_series_dat(list(HORIZONTAL_STEPS), neps_series,
+                          target / f"fig12_neps_{ds}.dat",
+                          x_label="machines")
+
+    data, _ = suite.fig13_14_vertical()
+    for ds, exp in data.items():
+        t_series = {}
+        for plat in exp.platforms():
+            recs = sorted(exp.find(platform=plat),
+                          key=lambda r: r.cluster.cores_per_worker)
+            t_series[plat] = [
+                r.execution_time if r.ok else None for r in recs
+            ]
+        export_series_dat(list(VERTICAL_STEPS), t_series,
+                          target / f"fig13_vertical_{ds}.dat",
+                          x_label="cores")
+
+    (target / "plot_all.gp").write_text("\n".join(gp_lines) + "\n")
+    print(f"wrote {len(list(target.glob('*.dat')))} .dat files to {target}/")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

@@ -1,0 +1,60 @@
+"""repro — a reproduction of "How Well do Graph-Processing Platforms
+Perform?" (Guo, Biczak, Varbanescu, Iosup, Martella, Willke; IPDPS'14 /
+TU Delft PDS-2013-004).
+
+The package is a complete graph-processing **benchmarking suite** (the
+paper's contribution, the precursor of LDBC Graphalytics) together with
+**executable performance models** of the six platforms the paper
+evaluates — Hadoop, YARN, Stratosphere, Giraph, GraphLab, and Neo4j —
+and every substrate they need: a CSR graph library with generators and
+partitioners, the five algorithm classes as superstep programs, a
+discrete-event simulation kernel, a DAS-4 cluster model with HDFS and
+Ganglia-style monitoring.
+
+Quick start
+-----------
+>>> from repro import load_dataset, get_platform, das4_cluster
+>>> g = load_dataset("dotaleague")
+>>> result = get_platform("giraph").run("bfs", g, das4_cluster())
+>>> result.execution_time > 0
+True
+
+Full evaluation
+---------------
+>>> from repro import BenchmarkSuite
+>>> suite = BenchmarkSuite()
+>>> _, table = suite.table5_bfs_statistics()  # doctest: +SKIP
+"""
+
+from repro.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.cluster import das4_cluster
+from repro.core import BenchmarkSuite, Runner
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.graph import Graph, from_edges
+from repro.platforms import (
+    PLATFORM_NAMES,
+    JobResult,
+    JobTimeout,
+    PlatformCrash,
+    get_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "BenchmarkSuite",
+    "DATASET_NAMES",
+    "Graph",
+    "JobResult",
+    "JobTimeout",
+    "PLATFORM_NAMES",
+    "PlatformCrash",
+    "Runner",
+    "__version__",
+    "das4_cluster",
+    "from_edges",
+    "get_algorithm",
+    "get_platform",
+    "load_dataset",
+]

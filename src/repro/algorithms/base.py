@@ -1,0 +1,256 @@
+"""Algorithm interfaces shared by platform models and the harness.
+
+The central abstraction is the **superstep program**: an iterator that
+advances the real computation one global superstep at a time and, after
+each step, reports *who was active, how much they computed, and how
+much they said* — as dense per-vertex numpy arrays.  Platform engines
+aggregate those arrays per partition (one ``np.bincount`` each) to
+obtain exact per-worker workloads, then charge platform-specific costs
+(disk, network, barrier, job scheduling) against them.
+
+This is what lets six very different platform models execute the *same*
+program while reproducing the paper's performance gaps: the program is
+the workload; the platform is the cost structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "SuperstepReport",
+    "SuperstepProgram",
+    "AlgorithmResult",
+    "Algorithm",
+    "ALGORITHM_NAMES",
+    "get_algorithm",
+    "register_algorithm",
+]
+
+#: Bytes charged per message header/value in the simulated platforms
+#: (vertex id + value + framing, roughly what a Giraph message costs).
+MESSAGE_BYTES = 16
+
+
+@dataclasses.dataclass
+class SuperstepReport:
+    """Workload of one global superstep.
+
+    Attributes
+    ----------
+    active:
+        Boolean mask (or ``None`` for "all vertices active").
+    compute_edges:
+        Per-vertex count of adjacency entries scanned this step
+        (int64 array).  The universal unit of compute work.
+    messages:
+        Per-vertex count of messages *sent* this step (int64 array).
+    message_bytes:
+        Per-vertex bytes sent.  Defaults to ``messages *
+        MESSAGE_BYTES`` when omitted; STATS overrides it because its
+        messages carry whole neighbor lists.
+    halted:
+        True when this was the final superstep.
+    direction:
+        Which adjacency the messages follow: ``"out"`` (BFS, STATS),
+        ``"both"`` (CONN/CD on directed graphs), or ``"none"``
+        (EVO — messages not tied to edges).  Platform models use this
+        to split local from remote traffic exactly.
+    quadratic_in_degree:
+        True when per-vertex *message byte* volume grows as deg^2
+        (STATS neighbor-list exchange); scale models then apply the
+        degree-quadratic multiplier to bytes.
+    compute_quadratic:
+        True when per-vertex *compute* work grows as deg^2 (STATS
+        neighborhood intersection); scale models then apply the
+        degree-quadratic multiplier to compute_edges.
+    received_bytes:
+        Optional exact per-vertex received bytes; when omitted,
+        platform models apportion traffic by in-degree share.
+    distinct_receivers:
+        Optional count of distinct destination vertices this
+        superstep; lets combiner-aware engines bound the post-combine
+        message volume.  ``None`` = unknown.
+    """
+
+    active: np.ndarray | None
+    compute_edges: np.ndarray
+    messages: np.ndarray
+    message_bytes: np.ndarray | None = None
+    halted: bool = False
+    direction: str = "out"
+    quadratic_in_degree: bool = False
+    compute_quadratic: bool = False
+    received_bytes: np.ndarray | None = None
+    distinct_receivers: int | None = None
+
+    def resolved_message_bytes(self) -> np.ndarray:
+        """Per-vertex bytes, applying the default framing if unset."""
+        if self.message_bytes is not None:
+            return self.message_bytes
+        return self.messages * MESSAGE_BYTES
+
+    def num_active(self, num_vertices: int) -> int:
+        """Count of active vertices this superstep."""
+        if self.active is None:
+            return num_vertices
+        return int(np.count_nonzero(self.active))
+
+
+class SuperstepProgram:
+    """Base class for iterable superstep programs.
+
+    Subclasses implement :meth:`step` (advance one superstep, return a
+    report) and :meth:`result` (final output).  Iteration protocol::
+
+        prog = algo.program(graph)
+        for report in prog:         # drives the real computation
+            ...
+        out = prog.result()
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.superstep = 0
+        self._halted = False
+
+    # -- to implement ---------------------------------------------------------
+    def step(self) -> SuperstepReport:
+        """Advance one superstep and report its workload."""
+        raise NotImplementedError
+
+    def result(self) -> object:
+        """The algorithm's output after the program halts."""
+        raise NotImplementedError
+
+    def output_bytes(self) -> int:
+        """Size of the final output when written back to storage.
+
+        Default: one value per vertex.  CONN "produces a large amount
+        of output" (paper Section 2.2.2) — its override reflects that.
+        """
+        return 8 * self.graph.num_vertices
+
+    # -- iteration protocol ----------------------------------------------------
+    def __iter__(self) -> _t.Iterator[SuperstepReport]:
+        return self
+
+    def __next__(self) -> SuperstepReport:
+        if self._halted:
+            raise StopIteration
+        report = self.step()
+        self.superstep += 1
+        if report.halted:
+            self._halted = True
+        return report
+
+    # -- helpers for subclasses ---------------------------------------------
+    def _zeros(self) -> np.ndarray:
+        return np.zeros(self.graph.num_vertices, dtype=np.int64)
+
+
+@dataclasses.dataclass
+class AlgorithmResult:
+    """Reference-run output plus the statistics the paper tabulates."""
+
+    algorithm: str
+    output: object
+    iterations: int
+    #: fraction of vertices touched (Table 5's BFS coverage; 1.0 for
+    #: whole-graph algorithms)
+    coverage: float
+    #: total adjacency entries scanned over all supersteps
+    total_compute_edges: int
+    #: total messages over all supersteps
+    total_messages: int
+    #: total message bytes over all supersteps
+    total_message_bytes: int
+
+
+class Algorithm:
+    """An algorithm definition: name, parameters, program factory."""
+
+    #: short code, e.g. "bfs"
+    name: str = "?"
+    #: display name used in report tables
+    label: str = "?"
+    #: True when messages to the same destination can be merged by an
+    #: associative combiner (min for BFS/CONN/SSSP, sum for PageRank)
+    combinable: bool = False
+
+    def program(self, graph: Graph, **params: object) -> SuperstepProgram:
+        """Create a fresh superstep program for ``graph``."""
+        raise NotImplementedError
+
+    def default_params(self, graph: Graph) -> dict[str, object]:
+        """Paper-default parameters (Section 3.2) for ``graph``."""
+        return {}
+
+    def run_reference(self, graph: Graph, **params: object) -> AlgorithmResult:
+        """Run the program to completion without any platform model."""
+        merged = {**self.default_params(graph), **params}
+        prog = self.program(graph, **merged)
+        touched = np.zeros(graph.num_vertices, dtype=bool)
+        total_ce = 0
+        total_msg = 0
+        total_bytes = 0
+        iterations = 0
+        for report in prog:
+            iterations += 1
+            if report.active is None:
+                touched[:] = True
+            else:
+                touched |= report.active
+            total_ce += int(report.compute_edges.sum())
+            total_msg += int(report.messages.sum())
+            total_bytes += int(report.resolved_message_bytes().sum())
+        coverage = float(np.count_nonzero(touched)) / max(graph.num_vertices, 1)
+        return AlgorithmResult(
+            algorithm=self.name,
+            output=prog.result(),
+            iterations=iterations,
+            coverage=coverage,
+            total_compute_edges=total_ce,
+            total_messages=total_msg,
+            total_message_bytes=total_bytes,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Algorithm {self.name}>"
+
+
+_REGISTRY: dict[str, Algorithm] = {}
+
+
+def register_algorithm(algo: Algorithm) -> Algorithm:
+    """Add ``algo`` to the global registry (module import side effect)."""
+    _REGISTRY[algo.name] = algo
+    return algo
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Look up a registered algorithm by its short code."""
+    # Importing the packages registers the five standard algorithms and
+    # the six extensions.
+    import repro.algorithms  # noqa: F401  (registration side effect)
+    import repro.algorithms.extensions  # noqa: F401
+
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _registered_names() -> tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+#: canonical paper order
+ALGORITHM_NAMES: tuple[str, ...] = ("stats", "bfs", "conn", "cd", "evo")

@@ -1,0 +1,188 @@
+"""Community detection by weighted label propagation (paper Algorithm 4).
+
+The real-time community-detection algorithm of Leung et al. (2009), as
+selected by the paper: label propagation where each label carries a
+*score* that decays by a hop attenuation ``delta`` as it spreads, and
+neighbor votes are weighted by ``score * degree^m``.  The paper runs at
+most 5 iterations with initial score 1.0 and attenuation 0.1
+(Section 3.2), noting that 95 % of vertices are clustered by then.
+
+The per-superstep label choice is fully vectorized: all (receiver,
+label, weight) triples are materialized edge-wise, lexsorted, and
+segment-reduced — no per-vertex Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms._gather import gather_with_sources
+from repro.algorithms.base import (
+    Algorithm,
+    SuperstepProgram,
+    SuperstepReport,
+    register_algorithm,
+)
+from repro.graph.graph import Graph
+
+__all__ = ["CD", "CdProgram", "community_detection_labels"]
+
+
+def _segment_argmax_label(
+    receivers: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    num_vertices: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """For each receiver, the label with maximum total weight.
+
+    Returns (best_label, best_weight) arrays indexed by vertex; vertices
+    that received nothing get label -1 / weight 0.
+    """
+    best_label = np.full(num_vertices, -1, dtype=np.int64)
+    best_weight = np.zeros(num_vertices, dtype=np.float64)
+    if len(receivers) == 0:
+        return best_label, best_weight
+    # Aggregate weight per (receiver, label) pair.
+    order = np.lexsort((labels, receivers))
+    r = receivers[order]
+    l = labels[order]
+    w = weights[order]
+    # Segment boundaries where (receiver, label) changes.
+    boundary = np.empty(len(r), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (r[1:] != r[:-1]) | (l[1:] != l[:-1])
+    seg_ids = np.cumsum(boundary) - 1
+    seg_weight = np.zeros(seg_ids[-1] + 1, dtype=np.float64)
+    np.add.at(seg_weight, seg_ids, w)
+    seg_recv = r[boundary]
+    seg_label = l[boundary]
+    # Pick max weight per receiver; deterministic tie-break on the
+    # smaller label id (sort by weight then label via lexsort keys).
+    order2 = np.lexsort((seg_label, -seg_weight, seg_recv))
+    sr = seg_recv[order2]
+    first = np.empty(len(sr), dtype=bool)
+    first[0] = True
+    first[1:] = sr[1:] != sr[:-1]
+    winners = order2[first]
+    best_label[seg_recv[winners]] = seg_label[winners]
+    best_weight[seg_recv[winners]] = seg_weight[winners]
+    return best_label, best_weight
+
+
+class CdProgram(SuperstepProgram):
+    """Leung et al. label propagation with hop attenuation."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        max_iterations: int = 5,
+        hop_attenuation: float = 0.1,
+        initial_score: float = 1.0,
+        degree_exponent: float = 0.05,
+    ) -> None:
+        super().__init__(graph)
+        n = graph.num_vertices
+        self.max_iterations = int(max_iterations)
+        self.delta = float(hop_attenuation)
+        self.m = float(degree_exponent)
+        self.labels = np.arange(n, dtype=np.int64)
+        self.scores = np.full(n, float(initial_score), dtype=np.float64)
+        deg = np.asarray(graph.degree(), dtype=np.float64)
+        self._deg_weight = np.power(np.maximum(deg, 1.0), self.m)
+        self._changed_any = True
+
+    def _neighbor_triples(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sender, receiver) pairs along every communication arc."""
+        g = self.graph
+        all_v = np.arange(g.num_vertices, dtype=np.int64)
+        src, dst = gather_with_sources(g.out_indptr, g.out_indices, all_v)
+        if g.directed:
+            src2, dst2 = gather_with_sources(g.in_indptr, g.in_indices, all_v)
+            src = np.concatenate([src, src2])
+            dst = np.concatenate([dst, dst2])
+        return src, dst
+
+    def step(self) -> SuperstepReport:
+        g = self.graph
+        n = g.num_vertices
+        deg = np.asarray(g.degree(), dtype=np.int64)
+        compute = deg.copy()
+        messages = deg.copy()
+
+        senders, receivers = self._neighbor_triples()
+        weights = self.scores[senders] * self._deg_weight[senders]
+        sent_labels = self.labels[senders]
+        best_label, _ = _segment_argmax_label(receivers, sent_labels, weights, n)
+        has_vote = best_label >= 0
+        new_labels = np.where(has_vote, best_label, self.labels)
+        changed = new_labels != self.labels
+
+        # Score update (Leung): adopt the max score among neighbors
+        # carrying the chosen label, minus the hop attenuation; keep own
+        # score when the label is kept.
+        new_scores = self.scores.copy()
+        if len(senders):
+            match = sent_labels == new_labels[receivers]
+            if match.any():
+                cand_scores = np.zeros(n, dtype=np.float64)
+                np.maximum.at(
+                    cand_scores, receivers[match], self.scores[senders[match]]
+                )
+                adopt = changed & has_vote
+                new_scores[adopt] = cand_scores[adopt] - self.delta
+        self.labels = new_labels
+        self.scores = np.clip(new_scores, 0.0, None)
+        self._changed_any = bool(changed.any())
+        halted = (not self._changed_any) or (self.superstep + 1 >= self.max_iterations)
+        return SuperstepReport(
+            active=None,  # every vertex evaluates and re-sends each round
+            compute_edges=compute,
+            messages=messages,
+            halted=halted,
+            direction="both" if g.directed else "out",
+        )
+
+    def result(self) -> np.ndarray:
+        return self.labels
+
+    def output_bytes(self) -> int:
+        return 16 * self.graph.num_vertices
+
+
+def community_detection_labels(
+    graph: Graph,
+    *,
+    max_iterations: int = 5,
+    hop_attenuation: float = 0.1,
+) -> np.ndarray:
+    """Reference run of the CD program (the program *is* the spec)."""
+    prog = CdProgram(
+        graph, max_iterations=max_iterations, hop_attenuation=hop_attenuation
+    )
+    for _ in prog:
+        pass
+    return prog.result()
+
+
+class CD(Algorithm):
+    """Community-detection exemplar (Leung et al.)."""
+
+    name = "cd"
+    label = "CD"
+
+    def default_params(self, graph: Graph) -> dict[str, object]:
+        # Paper Section 3.2: initial score 1.0, hop attenuation 0.1,
+        # iteration cap 5.
+        return {
+            "max_iterations": 5,
+            "hop_attenuation": 0.1,
+            "initial_score": 1.0,
+        }
+
+    def program(self, graph: Graph, **params: object) -> CdProgram:
+        return CdProgram(graph, **params)  # type: ignore[arg-type]
+
+
+register_algorithm(CD())

@@ -1,0 +1,99 @@
+"""Diameter estimation by double sweep (general-statistics class).
+
+The double-sweep lower bound: BFS from a seed vertex, then BFS again
+from the farthest vertex found; the second eccentricity is a
+(usually tight) lower bound on the diameter.  Each sweep is a BFS
+superstep sequence, so the program is two chained BFS programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    Algorithm,
+    SuperstepProgram,
+    SuperstepReport,
+    register_algorithm,
+)
+from repro.algorithms.bfs import BfsProgram, bfs_levels
+from repro.graph.graph import Graph
+
+__all__ = ["DIAMETER", "DiameterProgram", "estimate_diameter"]
+
+
+def estimate_diameter(graph: Graph, *, seed_vertex: int = 0) -> int:
+    """Reference double-sweep diameter lower bound."""
+    if graph.num_vertices == 0:
+        return 0
+    first = bfs_levels(graph, seed_vertex)
+    reached = first >= 0
+    if not reached.any():
+        return 0
+    far = int(np.argmax(np.where(reached, first, -1)))
+    second = bfs_levels(graph, far)
+    return int(second.max())
+
+
+class DiameterProgram(SuperstepProgram):
+    """Two chained BFS sweeps."""
+
+    def __init__(self, graph: Graph, *, seed_vertex: int = 0) -> None:
+        super().__init__(graph)
+        self._sweep = BfsProgram(graph, seed_vertex)
+        self._phase = 1
+        self._estimate = 0
+
+    def step(self) -> SuperstepReport:
+        report = self._sweep.step()
+        if not report.halted:
+            return SuperstepReport(
+                active=report.active,
+                compute_edges=report.compute_edges,
+                messages=report.messages,
+                halted=False,
+            )
+        if self._phase == 1:
+            levels = self._sweep.result()
+            reached = levels >= 0
+            far = int(np.argmax(np.where(reached, levels, -1)))
+            self._phase = 2
+            self._sweep = BfsProgram(self.graph, far)
+            return SuperstepReport(
+                active=report.active,
+                compute_edges=report.compute_edges,
+                messages=report.messages,
+                halted=False,
+            )
+        self._estimate = int(self._sweep.result().max())
+        return SuperstepReport(
+            active=report.active,
+            compute_edges=report.compute_edges,
+            messages=report.messages,
+            halted=True,
+        )
+
+    def result(self) -> int:
+        return self._estimate
+
+    def output_bytes(self) -> int:
+        return 16
+
+
+class DIAMETER(Algorithm):
+    """Diameter-estimation exemplar."""
+
+    name = "diameter"
+    label = "Diameter"
+
+    def default_params(self, graph: Graph) -> dict[str, object]:
+        from repro.datasets.registry import bfs_source
+
+        return {"seed_vertex": bfs_source(graph)}
+
+    def program(self, graph: Graph, **params: object) -> DiameterProgram:
+        seed_vertex = int(params.get("seed_vertex", 0))  # type: ignore[arg-type]
+        return DiameterProgram(graph, seed_vertex=seed_vertex)
+
+
+register_algorithm(DIAMETER())

@@ -1,0 +1,112 @@
+"""Random-walk vertex sampling (the survey's "other" class).
+
+Runs ``num_walkers`` simultaneous random walks with restart for a fixed
+number of supersteps and returns the set of visited vertices — the
+standard random-walk sampling scheme of Leskovec & Faloutsos (2006),
+cited in the paper's survey.  Deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    Algorithm,
+    SuperstepProgram,
+    SuperstepReport,
+    register_algorithm,
+)
+from repro.graph.graph import Graph
+
+__all__ = ["SAMPLING", "SamplingProgram", "random_walk_sample"]
+
+
+class SamplingProgram(SuperstepProgram):
+    """Parallel random walks with restart."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        num_walkers: int = 64,
+        steps: int = 20,
+        restart_probability: float = 0.15,
+        seed: int = 17,
+    ) -> None:
+        super().__init__(graph)
+        n = graph.num_vertices
+        if n == 0:
+            raise ValueError("cannot sample an empty graph")
+        self.steps = int(steps)
+        self.restart_probability = float(restart_probability)
+        self._rng = np.random.default_rng(seed)
+        self._starts = self._rng.integers(0, n, size=num_walkers, dtype=np.int64)
+        self._walkers = self._starts.copy()
+        self.visited = np.zeros(n, dtype=bool)
+        self.visited[self._walkers] = True
+
+    def step(self) -> SuperstepReport:
+        g = self.graph
+        n = g.num_vertices
+        active = np.zeros(n, dtype=bool)
+        active[self._walkers] = True
+        deg = np.asarray(g.out_degree(), dtype=np.int64)
+        compute = self._zeros()
+        np.add.at(compute, self._walkers, 1)
+        messages = compute.copy()
+
+        nxt = self._walkers.copy()
+        restart = self._rng.random(len(nxt)) < self.restart_probability
+        for i, w in enumerate(self._walkers):
+            if restart[i]:
+                nxt[i] = self._starts[i]
+                continue
+            nbrs = g.neighbors(int(w))
+            if len(nbrs) == 0:
+                nxt[i] = self._starts[i]  # dead end: restart
+            else:
+                nxt[i] = nbrs[self._rng.integers(0, len(nbrs))]
+        self._walkers = nxt
+        self.visited[nxt] = True
+        return SuperstepReport(
+            active=active,
+            compute_edges=compute,
+            messages=messages,
+            direction="none",
+            halted=self.superstep + 1 >= self.steps,
+        )
+
+    def result(self) -> np.ndarray:
+        """Boolean mask of sampled (visited) vertices."""
+        return self.visited
+
+    def output_bytes(self) -> int:
+        return 8 * int(self.visited.sum() + 1)
+
+
+def random_walk_sample(
+    graph: Graph, *, num_walkers: int = 64, steps: int = 20, seed: int = 17
+) -> np.ndarray:
+    """Reference run of the sampling program."""
+    prog = SamplingProgram(
+        graph, num_walkers=num_walkers, steps=steps, seed=seed
+    )
+    for _ in prog:
+        pass
+    return prog.result()
+
+
+class SAMPLING(Algorithm):
+    """Graph-sampling exemplar (random walk with restart)."""
+
+    name = "sampling"
+    label = "Sampling"
+
+    def default_params(self, graph: Graph) -> dict[str, object]:
+        return {"num_walkers": 64, "steps": 20, "seed": 17}
+
+    def program(self, graph: Graph, **params: object) -> SamplingProgram:
+        return SamplingProgram(graph, **params)  # type: ignore[arg-type]
+
+
+register_algorithm(SAMPLING())

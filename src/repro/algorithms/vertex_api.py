@@ -1,0 +1,199 @@
+"""A Pregel-style vertex-centric programming API.
+
+The paper's usability discussion (Section 5.1) found the
+vertex-centric model "facile to learn and reducing the development
+effort" — Giraph's BFS is 45 lines against Hadoop's 110.  This module
+provides that programming model for the suite: write a
+:class:`VertexProgram` (a ``compute`` method over a vertex and its
+messages), and it runs both standalone and on every platform model via
+the :class:`VertexAlgorithm` adapter.
+
+Example — BFS in the vertex-centric style (cf. paper Table 7's 45-line
+Giraph implementation)::
+
+    class BfsVertexProgram(VertexProgram):
+        def initial_value(self, vertex, graph):
+            return 0 if vertex == self.source else -1
+
+        def compute(self, ctx, messages):
+            if ctx.superstep == 0 and ctx.vertex == self.source:
+                ctx.send_to_neighbors(1)
+            elif ctx.value == -1 and messages:
+                ctx.value = min(messages)
+                ctx.send_to_neighbors(ctx.value + 1)
+            ctx.vote_to_halt()
+
+This executor is a clarity-first pure-Python loop — the point is the
+programming model and cross-platform execution, not raw speed; the
+built-in algorithms remain the vectorized implementations.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.algorithms.base import (
+    Algorithm,
+    SuperstepProgram,
+    SuperstepReport,
+)
+from repro.graph.graph import Graph
+
+__all__ = [
+    "VertexContext",
+    "VertexProgram",
+    "VertexAlgorithm",
+    "run_vertex_program",
+]
+
+
+class VertexContext:
+    """Per-vertex view handed to ``compute`` each superstep."""
+
+    __slots__ = ("_engine", "vertex", "superstep")
+
+    def __init__(self, engine: "_Engine", vertex: int, superstep: int) -> None:
+        self._engine = engine
+        self.vertex = vertex
+        self.superstep = superstep
+
+    # -- state ------------------------------------------------------------
+    @property
+    def value(self) -> object:
+        """This vertex's current value."""
+        return self._engine.values[self.vertex]
+
+    @value.setter
+    def value(self, new: object) -> None:
+        self._engine.values[self.vertex] = new
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.graph.num_vertices
+
+    def neighbors(self) -> list[int]:
+        """Out-neighbor ids."""
+        return self._engine.graph.neighbors(self.vertex).tolist()
+
+    def out_degree(self) -> int:
+        return int(self._engine.graph.out_degree(self.vertex))
+
+    # -- messaging --------------------------------------------------------
+    def send(self, target: int, message: object) -> None:
+        """Deliver ``message`` to ``target`` next superstep."""
+        self._engine.outbox[target].append(message)
+        self._engine.sent[self.vertex] += 1
+
+    def send_to_neighbors(self, message: object) -> None:
+        """Deliver ``message`` along every out-edge."""
+        for w in self._engine.graph.neighbors(self.vertex):
+            self.send(int(w), message)
+
+    # -- lifecycle --------------------------------------------------------
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a message wakes it."""
+        self._engine.halted[self.vertex] = True
+
+
+class VertexProgram:
+    """User-defined vertex program (subclass and implement compute)."""
+
+    def initial_value(self, vertex: int, graph: Graph) -> object:
+        """Initial per-vertex value (default None)."""
+        return None
+
+    def compute(self, ctx: VertexContext, messages: list[object]) -> None:
+        """One vertex, one superstep.  Must be overridden."""
+        raise NotImplementedError
+
+    #: bytes charged per message by platform models
+    message_bytes: int = 16
+
+
+class _Engine(SuperstepProgram):
+    """Pregel executor driving a VertexProgram superstep by superstep."""
+
+    def __init__(
+        self, graph: Graph, program: VertexProgram, *, max_supersteps: int = 1000
+    ) -> None:
+        super().__init__(graph)
+        self.program = program
+        self.max_supersteps = int(max_supersteps)
+        n = graph.num_vertices
+        self.values: list[object] = [
+            program.initial_value(v, graph) for v in range(n)
+        ]
+        self.halted = np.zeros(n, dtype=bool)
+        self.inbox: list[list[object]] = [[] for _ in range(n)]
+        self.outbox: list[list[object]] = [[] for _ in range(n)]
+        self.sent = np.zeros(n, dtype=np.int64)
+
+    def step(self) -> SuperstepReport:
+        g = self.graph
+        n = g.num_vertices
+        has_mail = np.fromiter(
+            (len(m) > 0 for m in self.inbox), dtype=bool, count=n
+        )
+        self.halted &= ~has_mail  # messages wake halted vertices
+        active = ~self.halted
+        self.sent[:] = 0
+        compute = self._zeros()
+
+        for v in np.flatnonzero(active):
+            ctx = VertexContext(self, int(v), self.superstep)
+            self.program.compute(ctx, self.inbox[v])
+            compute[v] = max(g.out_degree(int(v)), 1)
+
+        self.inbox, self.outbox = self.outbox, [[] for _ in range(n)]
+        any_mail = any(self.inbox)
+        done = (not any_mail and bool(self.halted.all())) or (
+            self.superstep + 1 >= self.max_supersteps
+        )
+        return SuperstepReport(
+            active=active,
+            compute_edges=compute,
+            messages=self.sent.copy(),
+            message_bytes=self.sent * self.program.message_bytes,
+            halted=done,
+        )
+
+    def result(self) -> list[object]:
+        return self.values
+
+
+class VertexAlgorithm(Algorithm):
+    """Adapter: run a VertexProgram on any platform model.
+
+    >>> from repro.platforms import get_platform
+    >>> algo = VertexAlgorithm("my-bfs", lambda: MyBfsProgram())  # doctest: +SKIP
+    >>> get_platform("giraph").run(algo, graph)                   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        name: str,
+        factory: _t.Callable[[], VertexProgram],
+        *,
+        max_supersteps: int = 1000,
+    ) -> None:
+        self.name = name
+        self.label = name
+        self._factory = factory
+        self._max_supersteps = int(max_supersteps)
+
+    def program(self, graph: Graph, **params: object) -> _Engine:
+        return _Engine(
+            graph, self._factory(), max_supersteps=self._max_supersteps
+        )
+
+
+def run_vertex_program(
+    graph: Graph, program: VertexProgram, *, max_supersteps: int = 1000
+) -> list[object]:
+    """Execute a vertex program to completion, returning final values."""
+    engine = _Engine(graph, program, max_supersteps=max_supersteps)
+    for _ in engine:
+        pass
+    return engine.result()

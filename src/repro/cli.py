@@ -1,0 +1,271 @@
+"""Command-line interface: ``graphbench`` / ``python -m repro``.
+
+Subcommands::
+
+    graphbench run --platform giraph --algorithm bfs --dataset dotaleague
+    graphbench figure 1            # regenerate a paper figure
+    graphbench table 5             # regenerate a paper table
+    graphbench datasets            # list the seven datasets
+    graphbench platforms           # list the six platform models
+    graphbench sweep --dataset friendster --mode horizontal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms.base import ALGORITHM_NAMES
+
+#: CLI-selectable algorithms: the paper's five plus the extensions
+CLI_ALGORITHMS = ALGORITHM_NAMES + (
+    "pagerank", "sssp", "triangles", "diameter", "mis", "sampling",
+)
+from repro.cluster.spec import das4_cluster
+from repro.core.metrics import job_metrics
+from repro.core.report import format_seconds, render_table
+from repro.core.runner import Runner
+from repro.core.suite import BenchmarkSuite
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.spec import PAPER_SPECS_TABLE2
+from repro.platforms.registry import PLATFORM_NAMES
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cluster = das4_cluster(args.workers, args.cores)
+    runner = Runner(scale=args.scale, repetitions=args.repetitions)
+    record = runner.run_cell(args.platform, args.algorithm, args.dataset, cluster)
+    print(
+        f"{args.platform} / {args.algorithm} / {args.dataset} "
+        f"({cluster.num_workers} workers x {cluster.cores_per_worker} cores)"
+    )
+    if not record.ok:
+        print(f"  status: {record.status}")
+        print(f"  reason: {record.failure_reason}")
+        return 1
+    assert record.result is not None
+    m = job_metrics(record.result)
+    print(f"  execution time : {format_seconds(m.execution_time)}")
+    print(f"  computation    : {format_seconds(m.computation_time)}")
+    print(f"  overhead       : {format_seconds(m.overhead_time)} "
+          f"({m.overhead_fraction * 100:.0f}%)")
+    print(f"  supersteps     : {m.supersteps}")
+    print(f"  EPS / VPS      : {m.eps:.3g} / {m.vps:.3g}")
+    print(f"  NEPS (nodes)   : {m.neps:.3g}")
+    for phase, seconds in record.result.breakdown.items():
+        print(f"    {phase:<14s} {format_seconds(seconds)}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(scale=args.scale)
+    dispatch = {
+        "1": suite.fig01_bfs,
+        "2": suite.fig02_throughput,
+        "3": suite.fig03_giraph_all,
+        "4": suite.fig04_dotaleague,
+        "5": suite.fig05_07_master_resources,
+        "6": suite.fig05_07_master_resources,
+        "7": suite.fig05_07_master_resources,
+        "8": suite.fig08_10_worker_resources,
+        "9": suite.fig08_10_worker_resources,
+        "10": suite.fig08_10_worker_resources,
+        "11": suite.fig11_12_horizontal,
+        "12": suite.fig11_12_horizontal,
+        "13": suite.fig13_14_vertical,
+        "14": suite.fig13_14_vertical,
+        "15": suite.fig15_breakdown,
+        "16": suite.fig16_graphlab_breakdown,
+    }
+    fn = dispatch.get(args.number)
+    if fn is None:
+        print(f"unknown figure {args.number}; choose 1-16", file=sys.stderr)
+        return 2
+    _, text = fn()
+    print(text)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(scale=args.scale)
+    dispatch = {
+        "1": suite.table1_metrics,
+        "2": suite.table2_datasets,
+        "3": suite.table3_algorithm_survey,
+        "4": suite.table4_platforms,
+        "5": suite.table5_bfs_statistics,
+        "6": suite.table6_ingestion,
+        "7": suite.table7_dev_effort,
+        "8": suite.table8_related_work,
+    }
+    fn = dispatch.get(args.number)
+    if fn is None:
+        print(f"unknown table {args.number}; choose 1-8", file=sys.stderr)
+        return 2
+    _, text = fn()
+    print(text)
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        spec = PAPER_SPECS_TABLE2[name]
+        if args.load:
+            g = load_dataset(name, scale=args.scale)
+            rows.append([name, f"{g.num_vertices:,}", f"{g.num_edges:,}",
+                         spec.directivity, spec.source])
+        else:
+            rows.append([name, f"{spec.num_vertices:,}", f"{spec.num_edges:,}",
+                         spec.directivity, spec.source])
+    print(render_table(
+        ["dataset", "#V", "#E", "directivity", "source"],
+        rows,
+        title="datasets (mini-scale)" if args.load else "datasets (paper scale)",
+    ))
+    return 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    from repro.platforms.registry import get_platform
+
+    rows = []
+    for name in PLATFORM_NAMES:
+        p = get_platform(name)
+        rows.append([name, p.label, p.kind,
+                     "distributed" if p.distributed else "single machine"])
+    print(render_table(["code", "label", "kind", "deployment"], rows,
+                       title="platform models"))
+    return 0
+
+
+def _cmd_findings(args: argparse.Namespace) -> int:
+    from repro.core.findings import render_findings, verify_findings
+    from repro.core.runner import Runner
+
+    findings = verify_findings(runner=Runner(scale=args.scale))
+    print(render_findings(findings))
+    return 0 if all(f.holds for f in findings) else 1
+
+
+def _cmd_graph500(args: argparse.Namespace) -> int:
+    from repro.core.graph500 import run_graph500
+
+    res = run_graph500(
+        scale=args.graph_scale,
+        edge_factor=args.edge_factor,
+        num_roots=args.roots,
+    )
+    print(f"Graph500 scale={res.scale} edgefactor={res.edge_factor}")
+    print(f"  construction       : {res.construction_seconds:.2f}s")
+    print(f"  roots              : {res.num_roots}")
+    print(f"  harmonic mean TEPS : {res.harmonic_mean_teps:,.0f}")
+    print(f"  validation         : {'passed' if res.all_valid else 'FAILED'}")
+    return 0 if res.all_valid else 1
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.suite import BenchmarkSuite
+
+    _, text = BenchmarkSuite(scale=args.scale).table6_ingestion()
+    print(text)
+    return 0
+
+
+def _cmd_tuning(args: argparse.Namespace) -> int:
+    from repro.core.tuning import TuningStudy
+
+    _, text = TuningStudy(
+        algorithm=args.algorithm, dataset=args.dataset
+    ).run()
+    print(text)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(scale=args.scale)
+    if args.mode == "horizontal":
+        _, text = suite.fig11_12_horizontal([args.dataset])
+    else:
+        _, text = suite.fig13_14_vertical([args.dataset])
+    print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    p = argparse.ArgumentParser(
+        prog="graphbench",
+        description="Graph-processing platform benchmarking suite "
+        "(Guo et al., IPDPS'14 reproduction)",
+    )
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale factor (default 1.0 = mini scale)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment cell")
+    run.add_argument("--platform", required=True, choices=PLATFORM_NAMES)
+    run.add_argument("--algorithm", required=True, choices=CLI_ALGORITHMS)
+    run.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    run.add_argument("--workers", type=int, default=20)
+    run.add_argument("--cores", type=int, default=1)
+    run.add_argument("--repetitions", type=int, default=1)
+    run.set_defaults(func=_cmd_run)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", help="figure number, 1-16")
+    fig.set_defaults(func=_cmd_figure)
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", help="table number, 1-8")
+    tab.set_defaults(func=_cmd_table)
+
+    ds = sub.add_parser("datasets", help="list datasets")
+    ds.add_argument("--load", action="store_true",
+                    help="generate and show mini-scale sizes")
+    ds.set_defaults(func=_cmd_datasets)
+
+    pl = sub.add_parser("platforms", help="list platform models")
+    pl.set_defaults(func=_cmd_platforms)
+
+    sw = sub.add_parser("sweep", help="scalability sweep")
+    sw.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    sw.add_argument("--mode", choices=("horizontal", "vertical"),
+                    default="horizontal")
+    sw.set_defaults(func=_cmd_sweep)
+
+    fi = sub.add_parser(
+        "findings", help="verify the paper's key findings end to end"
+    )
+    fi.set_defaults(func=_cmd_findings)
+
+    g5 = sub.add_parser("graph500", help="run a Graph500-style BFS benchmark")
+    g5.add_argument("--graph-scale", type=int, default=12,
+                    help="log2 of the vertex count")
+    g5.add_argument("--edge-factor", type=int, default=16)
+    g5.add_argument("--roots", type=int, default=16)
+    g5.set_defaults(func=_cmd_graph500)
+
+    ing = sub.add_parser("ingest", help="data ingestion times (Table 6)")
+    ing.set_defaults(func=_cmd_ingest)
+
+    tu = sub.add_parser(
+        "tuning", help="SPEC-style baseline vs peak (tuned) comparison"
+    )
+    tu.add_argument("--algorithm", default="bfs", choices=CLI_ALGORITHMS)
+    tu.add_argument("--dataset", default="dotaleague", choices=DATASET_NAMES)
+    tu.set_defaults(func=_cmd_tuning)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Simulated cluster substrate (DAS-4 stand-in).
+
+* :mod:`repro.cluster.spec` — machine and cluster specifications with
+  the paper's DAS-4 defaults (Section 3.2).
+* :mod:`repro.cluster.hdfs` — HDFS model: block placement, parallel
+  ingestion through per-node disk links (built on :mod:`repro.des`),
+  read/write timing.
+* :mod:`repro.cluster.monitoring` — the Ganglia-like resource monitor:
+  per-node CPU/memory/network traces with the paper's
+  normalize-to-100-points post-processing (Section 4.2).
+"""
+
+from repro.cluster.hdfs import HDFS
+from repro.cluster.monitoring import ResourceTrace, normalize_series
+from repro.cluster.spec import DAS4_MACHINE, ClusterSpec, MachineSpec, das4_cluster
+
+__all__ = [
+    "ClusterSpec",
+    "DAS4_MACHINE",
+    "HDFS",
+    "MachineSpec",
+    "ResourceTrace",
+    "das4_cluster",
+    "normalize_series",
+]

@@ -1,0 +1,89 @@
+"""HDFS model: block placement, ingestion, parallel read/write.
+
+Ingestion (paper Table 6) is simulated with the DES kernel: the client
+pushes 64 MB blocks through its disk and NIC (a shared
+:class:`~repro.des.Link` each) to round-robin datanodes — the pipeline
+whose bottleneck gives the paper's "about 1 second for every 100 MB"
+linear law.  Reads and writes by data-local tasks are per-node disk
+scans.
+
+The paper's configuration is reflected in the defaults: single replica,
+no compression, block size 64 MB (input block count pinned to the task
+slot count for the biggest graph).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.cluster.spec import MB, ClusterSpec
+from repro.des import Link, Simulator
+
+__all__ = ["HDFS"]
+
+
+@dataclasses.dataclass
+class HDFS:
+    """A single-replica HDFS over the cluster's worker disks."""
+
+    cluster: ClusterSpec
+    block_bytes: int = 64 * MB
+    replication: int = 1
+
+    def num_blocks(self, nbytes: float) -> int:
+        """Blocks needed to store ``nbytes``."""
+        return max(int(math.ceil(nbytes / self.block_bytes)), 1)
+
+    # -- ingestion ---------------------------------------------------------------
+    def ingest_seconds(self, nbytes: float) -> float:
+        """Simulate copying a local file into HDFS (Table 6, row 1).
+
+        One client streams blocks through its disk and NIC into the
+        datanode write pipeline; block transfers overlap (HDFS
+        pipelining) but share the client's links, so the stream is
+        bottlenecked at min(disk read, NIC, datanode write) throughput.
+        """
+        if nbytes <= 0:
+            return 0.0
+        m = self.cluster.machine
+        sim = Simulator()
+        disk = Link(sim, m.disk_read_bps)
+        nic = Link(sim, self.cluster.network_bps)
+        blocks = self.num_blocks(nbytes)
+        last = min(nbytes - (blocks - 1) * self.block_bytes, self.block_bytes)
+        write_bps = m.disk_write_bps
+
+        def push(block_bytes: float):
+            # read from client disk, then ship over the client NIC (the
+            # two stages of one block overlap with other blocks').
+            yield disk.transfer(block_bytes * self.replication)
+            yield nic.transfer(block_bytes * self.replication)
+            # datanode write happens off the client's critical path but
+            # the final block's write is awaited before close()
+            yield sim.timeout(block_bytes / write_bps)
+
+        procs = [
+            sim.process(push(self.block_bytes if i < blocks - 1 else last))
+            for i in range(blocks)
+        ]
+        sim.run(sim.all_of(procs))
+        # per-block namenode round trip
+        return sim.now + 0.002 * blocks
+
+    # -- task-local reads and writes --------------------------------------------
+    def parallel_read_seconds(self, nbytes: float, readers: int) -> float:
+        """Data-local parallel scan of ``nbytes`` by ``readers`` tasks."""
+        if nbytes <= 0:
+            return 0.0
+        readers = max(int(readers), 1)
+        per_reader = nbytes / readers
+        return per_reader / self.cluster.machine.disk_read_bps
+
+    def parallel_write_seconds(self, nbytes: float, writers: int) -> float:
+        """Parallel write of ``nbytes`` by ``writers`` tasks (1 replica)."""
+        if nbytes <= 0:
+            return 0.0
+        writers = max(int(writers), 1)
+        per_writer = nbytes * self.replication / writers
+        return per_writer / self.cluster.machine.disk_write_bps

@@ -1,0 +1,144 @@
+"""Ganglia-like resource monitoring for simulated runs.
+
+Platform engines record piecewise-constant resource usage intervals
+(CPU fraction, network bytes/s) and memory step changes per node while
+they build their execution timeline.  The monitor then reproduces the
+paper's post-processing (Section 4.2): sample the traces and linearly
+interpolate onto **100 normalized points** over the job's lifetime, so
+traces from jobs of different lengths are comparable (Figures 5–10).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["ResourceTrace", "normalize_series", "MASTER", "worker_node"]
+
+#: canonical node name for the master
+MASTER = "master"
+
+
+def worker_node(i: int) -> str:
+    """Canonical node name of worker ``i``."""
+    return f"worker{i}"
+
+
+@dataclasses.dataclass
+class _Interval:
+    t0: float
+    t1: float
+    value: float
+
+
+class ResourceTrace:
+    """Per-node resource usage over simulated time.
+
+    Metrics:
+
+    * ``cpu`` — utilization fraction of the whole node, 0..1
+      (the paper plots percent of all 8 cores).
+    * ``net_in`` / ``net_out`` — bytes per second.
+    * ``memory`` — bytes in use (step function set by events).
+    """
+
+    INTERVAL_METRICS = ("cpu", "net_in", "net_out")
+
+    def __init__(self) -> None:
+        self._intervals: dict[tuple[str, str], list[_Interval]] = defaultdict(list)
+        self._memory: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self.end_time: float = 0.0
+
+    # -- recording -------------------------------------------------------------
+    def record(
+        self,
+        node: str,
+        t0: float,
+        t1: float,
+        *,
+        cpu: float = 0.0,
+        net_in: float = 0.0,
+        net_out: float = 0.0,
+    ) -> None:
+        """Add resource use on ``node`` over [t0, t1).
+
+        Overlapping intervals accumulate (e.g. compute and transfer at
+        once).
+        """
+        if t1 < t0:
+            raise ValueError(f"interval ends before it starts: {t0}..{t1}")
+        if t1 == t0:
+            return
+        for metric, value in (("cpu", cpu), ("net_in", net_in), ("net_out", net_out)):
+            if value:
+                self._intervals[(node, metric)].append(_Interval(t0, t1, value))
+        self.end_time = max(self.end_time, t1)
+
+    def set_memory(self, node: str, t: float, nbytes: float) -> None:
+        """Record that ``node`` uses ``nbytes`` from time ``t`` on."""
+        self._memory[node].append((t, float(nbytes)))
+        self.end_time = max(self.end_time, t)
+
+    def nodes(self) -> list[str]:
+        """All node names seen by the monitor."""
+        seen = {n for n, _ in self._intervals} | set(self._memory)
+        return sorted(seen)
+
+    # -- sampling ----------------------------------------------------------------
+    def sample(self, node: str, metric: str, times: np.ndarray) -> np.ndarray:
+        """Value of ``metric`` on ``node`` at each time in ``times``."""
+        times = np.asarray(times, dtype=np.float64)
+        if metric == "memory":
+            events = sorted(self._memory.get(node, []))
+            out = np.zeros(len(times))
+            if not events:
+                return out
+            ts = [e[0] for e in events]
+            vals = [e[1] for e in events]
+            for i, t in enumerate(times):
+                k = bisect.bisect_right(ts, t) - 1
+                out[i] = vals[k] if k >= 0 else 0.0
+            return out
+        if metric not in self.INTERVAL_METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        out = np.zeros(len(times))
+        for iv in self._intervals.get((node, metric), []):
+            mask = (times >= iv.t0) & (times < iv.t1)
+            out[mask] += iv.value
+        return out
+
+    def series(
+        self, node: str, metric: str, *, num_points: int = 100
+    ) -> np.ndarray:
+        """The paper's normalized trace: ``num_points`` samples evenly
+        spread over [0, end_time] (Section 4.2's interpolation)."""
+        horizon = self.end_time if self.end_time > 0 else 1.0
+        times = np.linspace(0.0, horizon, num_points, endpoint=False)
+        # Sample at the midpoint of each normalized slice, which is the
+        # 1-second-Ganglia-sample analogue.
+        step = horizon / num_points
+        return self.sample(node, metric, times + step / 2)
+
+    def peak(self, node: str, metric: str) -> float:
+        """Maximum sampled value over a fine grid."""
+        return float(self.series(node, metric, num_points=400).max())
+
+    def mean(self, node: str, metric: str) -> float:
+        """Time-average over the job's lifetime."""
+        return float(self.series(node, metric, num_points=400).mean())
+
+
+def normalize_series(values: np.ndarray, num_points: int = 100) -> np.ndarray:
+    """Linearly interpolate an arbitrary-length sample vector onto
+    ``num_points`` normalized points (the paper's comparison step)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return np.zeros(num_points)
+    if len(values) == 1:
+        return np.full(num_points, values[0])
+    x_old = np.linspace(0.0, 1.0, len(values))
+    x_new = np.linspace(0.0, 1.0, num_points)
+    return np.interp(x_new, x_old, values)

@@ -1,0 +1,105 @@
+"""Machine and cluster specifications.
+
+The defaults model DAS-4 as described in the paper's Section 3.2: dual
+quad-core Intel Xeon E5620 (8 cores), 24 GB memory, 1 Gbit/s Ethernet
+(the 10 Gbit/s InfiniBand carries NFS), enterprise SATA disks, and a
+dedicated master node (plus a ZooKeeper node for Giraph).
+
+All capacities are in base SI units (bytes, bytes/second, seconds).
+Simulated platform models charge costs against these numbers at *paper
+scale* (see :class:`repro.platforms.scale.ScaleModel`), so the
+capacities here are the real DAS-4 ones, not miniaturized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["MachineSpec", "ClusterSpec", "DAS4_MACHINE", "das4_cluster"]
+
+GB = 1024**3
+MB = 1024**2
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """One DAS-4 node."""
+
+    cores: int = 8
+    memory_bytes: int = 24 * GB
+    #: JVM heap / usable process memory the paper configures (20 GB)
+    usable_memory_bytes: int = 20 * GB
+    #: sequential disk bandwidth (enterprise SATA, ~100 MB/s)
+    disk_read_bps: float = 100.0 * MB
+    disk_write_bps: float = 90.0 * MB
+    #: random-access disk penalty: average seek+rotate per random page
+    disk_seek_seconds: float = 0.008
+    #: page size for random-read accounting
+    disk_page_bytes: int = 8192
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """A provisioned slice of the cluster for one experiment.
+
+    Parameters mirror the paper's two scalability axes: the number of
+    computing machines (horizontal, 20..50) and the cores used per
+    machine (vertical, 1..7 — one core is always left to the OS).
+    """
+
+    num_workers: int = 20
+    cores_per_worker: int = 1
+    machine: MachineSpec = dataclasses.field(default_factory=MachineSpec)
+    #: per-node Ethernet bandwidth (1 Gbit/s)
+    network_bps: float = 125.0 * MB
+    #: one-way network latency
+    network_latency: float = 100e-6
+    #: a dedicated master node runs all master services (Section 3.2)
+    has_master: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 1 <= self.cores_per_worker <= self.machine.cores - 1:
+            raise ValueError(
+                f"cores_per_worker must be in 1..{self.machine.cores - 1} "
+                "(one core is reserved for the OS, as in the paper)"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Computing cores across all workers."""
+        return self.num_workers * self.cores_per_worker
+
+    @property
+    def worker_heap_bytes(self) -> float:
+        """Per-worker usable memory, divided among concurrent tasks.
+
+        The paper splits the 20 GB budget across task slots when
+        scaling vertically (Section 3.1: heap 20 GB at 1 task/node,
+        ~3 GB at 7).
+        """
+        return self.machine.usable_memory_bytes / self.cores_per_worker
+
+    def with_workers(self, num_workers: int) -> "ClusterSpec":
+        """A copy at a different horizontal scale."""
+        return dataclasses.replace(self, num_workers=num_workers)
+
+    def with_cores(self, cores_per_worker: int) -> "ClusterSpec":
+        """A copy at a different vertical scale."""
+        return dataclasses.replace(self, cores_per_worker=cores_per_worker)
+
+
+#: the paper's DAS-4 node
+DAS4_MACHINE = MachineSpec()
+
+
+def das4_cluster(
+    num_workers: int = 20, cores_per_worker: int = 1
+) -> ClusterSpec:
+    """The paper's default experiment slice: 20 workers x 1 core."""
+    return ClusterSpec(
+        num_workers=num_workers,
+        cores_per_worker=cores_per_worker,
+        machine=DAS4_MACHINE,
+    )

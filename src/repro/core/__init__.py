@@ -1,0 +1,55 @@
+"""The benchmarking suite — the paper's primary contribution.
+
+This package implements the empirical method of Section 2:
+
+* :mod:`repro.core.metrics` — the Table 1 metric set (T, EPS, VPS,
+  NEPS, NVPS, computation vs. overhead time).
+* :mod:`repro.core.results` — run records and experiment collections.
+* :mod:`repro.core.runner` — the experiment runner: repetitions,
+  averaging, crash/DNF bookkeeping (Section 3.2's process).
+* :mod:`repro.core.process` — the three test processes: load,
+  capacity, and exploratory tests (Section 2.1).
+* :mod:`repro.core.report` — ASCII tables and figure-series rendering,
+  including paper-vs-measured comparisons.
+* :mod:`repro.core.suite` — :class:`BenchmarkSuite`: one method per
+  table/figure of the paper's evaluation.
+* :mod:`repro.core.scalability` — horizontal/vertical sweep drivers.
+* :mod:`repro.core.findings` — the paper's key findings as checkable
+  predicates.
+* :mod:`repro.core.prediction` — the worst-case performance-boundary
+  model (the paper's stated future work).
+* :mod:`repro.core.graph500` — the Graph500-style contrast benchmark.
+* :mod:`repro.core.tuning` — SPEC-style baseline vs peak reporting.
+* :mod:`repro.core.export` — JSON/CSV/gnuplot result export.
+"""
+
+from repro.core.metrics import (
+    Metrics,
+    job_metrics,
+    normalized_eps,
+    paper_scale_eps,
+    paper_scale_vps,
+)
+from repro.core.process import CapacityTest, ExploratoryTest, LoadTest
+from repro.core.results import ExperimentResult, RunRecord, RunStatus
+from repro.core.runner import Runner
+from repro.core.scalability import horizontal_sweep, vertical_sweep
+from repro.core.suite import BenchmarkSuite
+
+__all__ = [
+    "BenchmarkSuite",
+    "CapacityTest",
+    "ExperimentResult",
+    "ExploratoryTest",
+    "LoadTest",
+    "Metrics",
+    "Runner",
+    "RunRecord",
+    "RunStatus",
+    "horizontal_sweep",
+    "job_metrics",
+    "normalized_eps",
+    "paper_scale_eps",
+    "paper_scale_vps",
+    "vertical_sweep",
+]

@@ -1,0 +1,113 @@
+"""Result and trace export: JSON records, CSV traces, gnuplot data.
+
+The paper's Section 5.2 notes that reporting is an unresolved part of
+its method ("another non-trivial practical aspect is reporting ...
+which our method does not precisely specify").  This module pins a
+concrete reporting format:
+
+* :func:`export_records_json` — experiment cells as a JSON document
+  (full disclosure: cluster configuration, repetitions, failures);
+* :func:`export_trace_csv` — a resource trace as tidy CSV
+  (node, metric, normalized_time, value);
+* :func:`export_series_dat` — figure series as whitespace ``.dat``
+  files directly plottable with gnuplot, matching the paper's figure
+  style.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import typing as _t
+
+
+from repro.cluster.monitoring import ResourceTrace
+from repro.core.results import ExperimentResult, RunRecord
+
+__all__ = [
+    "record_to_dict",
+    "export_records_json",
+    "export_trace_csv",
+    "export_series_dat",
+]
+
+
+def record_to_dict(record: RunRecord) -> dict:
+    """A JSON-serializable view of one run record (full disclosure)."""
+    out: dict[str, object] = {
+        "platform": record.platform,
+        "algorithm": record.algorithm,
+        "dataset": record.dataset,
+        "status": str(record.status),
+        "cluster": {
+            "num_workers": record.cluster.num_workers,
+            "cores_per_worker": record.cluster.cores_per_worker,
+        },
+        "execution_time": record.execution_time,
+        "repetition_times": list(record.repetition_times),
+        "failure_reason": record.failure_reason or None,
+    }
+    if record.result is not None:
+        r = record.result
+        out["computation_time"] = r.computation_time
+        out["overhead_time"] = r.overhead_time
+        out["supersteps"] = r.supersteps
+        out["breakdown"] = dict(r.breakdown)
+        out["num_vertices"] = r.num_vertices
+        out["num_edges"] = r.num_edges
+    return out
+
+
+def export_records_json(
+    experiment: ExperimentResult, path: str | os.PathLike
+) -> None:
+    """Write an experiment's records as a JSON document."""
+    doc = {
+        "experiment": experiment.name,
+        "records": [record_to_dict(r) for r in experiment],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def export_trace_csv(
+    trace: ResourceTrace,
+    path: str | os.PathLike,
+    *,
+    num_points: int = 100,
+) -> None:
+    """Write a resource trace as tidy CSV over normalized time."""
+    metrics = ("cpu", "memory", "net_in", "net_out")
+    with open(path, "w") as fh:
+        fh.write("node,metric,normalized_time,value\n")
+        for node in trace.nodes():
+            for metric in metrics:
+                series = trace.series(node, metric, num_points=num_points)
+                for i, v in enumerate(series):
+                    t = (i + 0.5) / num_points
+                    fh.write(f"{node},{metric},{t:.4f},{v:.6g}\n")
+
+
+def export_series_dat(
+    x_values: _t.Sequence[float],
+    series: dict[str, _t.Sequence[float | None]],
+    path: str | os.PathLike,
+    *,
+    x_label: str = "x",
+) -> None:
+    """Write figure series as a gnuplot-ready .dat file.
+
+    Missing values (crashed/DNF cells) become ``nan`` so gnuplot leaves
+    gaps, the convention the paper's figures use.
+    """
+    names = list(series)
+    with open(path, "w") as fh:
+        fh.write("# " + " ".join([x_label] + names) + "\n")
+        for i, x in enumerate(x_values):
+            row = [f"{x:g}"]
+            for name in names:
+                vals = series[name]
+                v = vals[i] if i < len(vals) else None
+                row.append("nan" if v is None else f"{float(v):.6g}")
+            fh.write(" ".join(row) + "\n")

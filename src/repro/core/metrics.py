@@ -1,0 +1,118 @@
+"""The paper's metric set (Table 1).
+
+========================  ====================================================
+metric                    definition
+========================  ====================================================
+job execution time T      submission to completion (read + write included)
+computation time Tc       time spent making algorithmic progress
+overhead time To          T - Tc
+EPS                       #E / T  (edges per second; TEPS-style throughput)
+VPS                       #V / T  (vertices per second)
+NEPS                      EPS / #nodes  (or / #cores for vertical scaling)
+NVPS                      VPS / #nodes
+========================  ====================================================
+
+Throughput metrics are reported at **paper scale**: ``#E``/``#V`` are
+the Table 2 published counts when the graph is a registry dataset, so
+EPS/VPS magnitudes are directly comparable with the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.platforms.base import JobResult
+
+__all__ = [
+    "Metrics",
+    "job_metrics",
+    "paper_scale_eps",
+    "paper_scale_vps",
+    "normalized_eps",
+    "normalized_vps",
+]
+
+
+def _paper_counts(result: JobResult) -> tuple[float, float]:
+    """(#V, #E) at paper scale for the result's dataset."""
+    from repro.datasets.spec import PAPER_SPECS_TABLE2
+
+    base = result.graph_name.split("(")[0].lower()
+    spec = PAPER_SPECS_TABLE2.get(base)
+    if spec is not None:
+        return float(spec.num_vertices), float(spec.num_edges)
+    return float(result.num_vertices), float(result.num_edges)
+
+
+def paper_scale_eps(result: JobResult) -> float:
+    """EPS with the paper-scale edge count (Figure 2 convention)."""
+    _, e = _paper_counts(result)
+    return e / result.execution_time if result.execution_time > 0 else 0.0
+
+
+def paper_scale_vps(result: JobResult) -> float:
+    """VPS with the paper-scale vertex count (Figure 2 convention)."""
+    v, _ = _paper_counts(result)
+    return v / result.execution_time if result.execution_time > 0 else 0.0
+
+
+def normalized_eps(result: JobResult, *, per: str = "nodes") -> float:
+    """NEPS: EPS normalized by computing nodes or by total cores.
+
+    The paper normalizes by nodes for horizontal scalability
+    (Figure 12) and by cores for vertical scalability (Figure 14).
+    """
+    eps = paper_scale_eps(result)
+    if per == "nodes":
+        return eps / result.cluster.num_workers
+    if per == "cores":
+        return eps / result.cluster.total_cores
+    raise ValueError(f"per must be 'nodes' or 'cores', got {per!r}")
+
+
+def normalized_vps(result: JobResult, *, per: str = "nodes") -> float:
+    """NVPS: VPS normalized by computing nodes or total cores."""
+    vps = paper_scale_vps(result)
+    if per == "nodes":
+        return vps / result.cluster.num_workers
+    if per == "cores":
+        return vps / result.cluster.total_cores
+    raise ValueError(f"per must be 'nodes' or 'cores', got {per!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Metrics:
+    """All Table 1 metrics for one job run."""
+
+    execution_time: float
+    computation_time: float
+    overhead_time: float
+    overhead_fraction: float
+    eps: float
+    vps: float
+    neps: float
+    nvps: float
+    neps_per_core: float
+    supersteps: int
+
+    @classmethod
+    def empty(cls) -> "Metrics":
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+
+
+def job_metrics(result: JobResult) -> Metrics:
+    """Compute the full metric set for a completed run."""
+    t = result.execution_time
+    to = result.overhead_time
+    return Metrics(
+        execution_time=t,
+        computation_time=result.computation_time,
+        overhead_time=to,
+        overhead_fraction=(to / t) if t > 0 else 0.0,
+        eps=paper_scale_eps(result),
+        vps=paper_scale_vps(result),
+        neps=normalized_eps(result, per="nodes"),
+        nvps=normalized_vps(result, per="nodes"),
+        neps_per_core=normalized_eps(result, per="cores"),
+        supersteps=result.supersteps,
+    )

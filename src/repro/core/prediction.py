@@ -1,0 +1,176 @@
+"""Performance-boundary prediction (the paper's stated future work).
+
+Section 7: *"we plan to extend our work by ... building an empirically
+validated performance-boundary model for predicting the worst
+performance of these platforms."*  This module builds that model on top
+of the suite: a per-platform linear regression from cheap workload
+features (iteration count, edge volume, message volume, input size —
+all obtainable from a reference program run without touching the
+platform) to job execution time, with a worst-case boundary derived
+from the maximum training residual.
+
+The model is *empirically validated* in the paper's sense: it is fit
+on measured runs, and its boundary is checked against held-out runs by
+the test suite and the ablation bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, get_algorithm
+from repro.cluster.spec import ClusterSpec, das4_cluster
+from repro.graph.graph import Graph
+from repro.platforms.scale import ScaleModel
+
+__all__ = [
+    "WorkloadFeatures",
+    "features_for",
+    "BoundaryModel",
+    "collect_training_data",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadFeatures:
+    """Platform-independent predictors of job cost (paper scale)."""
+
+    iterations: float
+    half_edges: float  # adjacency entries per full sweep
+    message_bytes: float  # total over all supersteps
+    text_bytes: float  # input size on disk
+    workers: float
+    cores_per_worker: float
+
+    def vector(self) -> np.ndarray:
+        """Design-matrix row: per-worker iteration-scaled quantities
+        plus an intercept."""
+        w = max(self.workers, 1.0)
+        return np.array(
+            [
+                1.0,
+                self.iterations,
+                self.iterations * self.half_edges / w / 1e9,
+                self.message_bytes / w / 1e9,
+                self.text_bytes / w / 1e9 * self.iterations,
+            ]
+        )
+
+    #: names matching :meth:`vector`
+    FEATURE_NAMES: _t.ClassVar[tuple[str, ...]] = (
+        "intercept",
+        "iterations",
+        "iter x Gedges/worker",
+        "Gmsg/worker",
+        "iter x Gtext/worker",
+    )
+
+
+def features_for(
+    algorithm: str | Algorithm,
+    graph: Graph,
+    cluster: ClusterSpec | None = None,
+    **params: object,
+) -> WorkloadFeatures:
+    """Extract features by running the (cheap) reference program."""
+    algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    cluster = cluster or das4_cluster()
+    scale = ScaleModel.for_graph(graph)
+    res = algo.run_reference(graph, **params)
+    return WorkloadFeatures(
+        iterations=float(res.iterations),
+        half_edges=scale.edges(graph.num_half_edges),
+        message_bytes=scale.edges(float(res.total_message_bytes)),
+        text_bytes=scale.bytes_text(graph),
+        workers=float(cluster.num_workers),
+        cores_per_worker=float(cluster.cores_per_worker),
+    )
+
+
+class BoundaryModel:
+    """Per-platform linear cost model with a worst-case boundary.
+
+    ``predict`` returns the least-squares estimate of the execution
+    time; ``predict_worst`` inflates it by the largest relative
+    training residual, giving an upper boundary that is exact on the
+    training set by construction and validated on held-out runs by the
+    tests.
+    """
+
+    def __init__(self, platform: str) -> None:
+        self.platform = platform
+        self.coefficients: np.ndarray | None = None
+        self.worst_ratio: float = 1.0
+        self._n_train = 0
+
+    # -- fitting -----------------------------------------------------------
+    def fit(
+        self, samples: _t.Sequence[tuple[WorkloadFeatures, float]]
+    ) -> "BoundaryModel":
+        """Least-squares fit on (features, measured seconds) pairs."""
+        if len(samples) < 2:
+            raise ValueError("need at least two training samples")
+        x = np.stack([f.vector() for f, _ in samples])
+        y = np.array([t for _, t in samples])
+        coef, *_ = np.linalg.lstsq(x, y, rcond=None)
+        self.coefficients = coef
+        self._n_train = len(samples)
+        predictions = np.maximum(x @ coef, 1e-9)
+        self.worst_ratio = float(np.max(y / predictions))
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coefficients is not None
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, features: WorkloadFeatures) -> float:
+        """Expected execution time in simulated seconds."""
+        if self.coefficients is None:
+            raise RuntimeError("model has not been fitted")
+        return float(max(features.vector() @ self.coefficients, 0.0))
+
+    def predict_worst(self, features: WorkloadFeatures) -> float:
+        """Upper performance boundary (the paper's goal quantity)."""
+        return self.predict(features) * self.worst_ratio
+
+    def describe(self) -> str:
+        """Human-readable coefficient summary."""
+        if self.coefficients is None:
+            return f"<BoundaryModel {self.platform}: unfitted>"
+        parts = [
+            f"{name}={c:.3g}"
+            for name, c in zip(WorkloadFeatures.FEATURE_NAMES, self.coefficients)
+        ]
+        return (
+            f"<BoundaryModel {self.platform} n={self._n_train} "
+            f"worst_ratio={self.worst_ratio:.2f}: " + ", ".join(parts) + ">"
+        )
+
+
+def collect_training_data(
+    platform: str,
+    cells: _t.Sequence[tuple[str, str]],
+    *,
+    cluster: ClusterSpec | None = None,
+    scale: float = 1.0,
+) -> list[tuple[WorkloadFeatures, float]]:
+    """Run (algorithm, dataset) cells on ``platform`` and pair each
+    completed run's features with its measured time."""
+    from repro.core.runner import Runner
+    from repro.datasets.registry import load_dataset
+
+    runner = Runner(scale=scale)
+    cluster = cluster or das4_cluster()
+    out: list[tuple[WorkloadFeatures, float]] = []
+    for algorithm, dataset in cells:
+        record = runner.run_cell(platform, algorithm, dataset, cluster)
+        if not record.ok or record.execution_time is None:
+            continue
+        graph = load_dataset(dataset, scale=scale)
+        feats = features_for(algorithm, graph, cluster)
+        out.append((feats, record.execution_time))
+    return out

@@ -1,0 +1,105 @@
+"""The three evaluation-process test types (paper Section 2.1).
+
+* :class:`LoadTest` — "launch an expected (peak) load on the system
+  under test": run a fixed (algorithm, dataset) workload on a fixed
+  cluster and report the Table 1 metrics.
+* :class:`CapacityTest` — "increase the load by changing the input
+  dataset or keep the load fixed but vary the capacity": sweep dataset
+  scale, or sweep the cluster (delegating to
+  :mod:`repro.core.scalability`).
+* :class:`ExploratoryTest` — "evaluate the capacity of the system to
+  perform its task without crashing": grow the load until the platform
+  crashes or exceeds the budget, reporting the boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.spec import ClusterSpec, das4_cluster
+from repro.core.metrics import Metrics, job_metrics
+from repro.core.results import ExperimentResult, RunRecord, RunStatus
+from repro.core.runner import Runner
+
+__all__ = ["LoadTest", "CapacityTest", "ExploratoryTest"]
+
+
+@dataclasses.dataclass
+class LoadTest:
+    """Fixed-configuration stress run."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    cluster: ClusterSpec = dataclasses.field(default_factory=das4_cluster)
+    runner: Runner = dataclasses.field(default_factory=Runner)
+
+    def run(self) -> tuple[RunRecord, Metrics | None]:
+        """Execute once; returns the record and, if OK, its metrics."""
+        record = self.runner.run_cell(
+            self.platform, self.algorithm, self.dataset, self.cluster
+        )
+        metrics = job_metrics(record.result) if record.ok and record.result else None
+        return record, metrics
+
+
+@dataclasses.dataclass
+class CapacityTest:
+    """Vary the load (dataset scale) at fixed capacity."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    scales: _t.Sequence[float] = (0.25, 0.5, 1.0, 2.0)
+    cluster: ClusterSpec = dataclasses.field(default_factory=das4_cluster)
+
+    def run(self) -> ExperimentResult:
+        """One record per dataset scale."""
+        exp = ExperimentResult(
+            f"capacity:{self.platform}:{self.algorithm}:{self.dataset}"
+        )
+        for s in self.scales:
+            runner = Runner(scale=s)
+            record = runner.run_cell(
+                self.platform, self.algorithm, self.dataset, self.cluster
+            )
+            record.dataset = f"{self.dataset}@{s:g}x"
+            exp.add(record)
+        return exp
+
+
+@dataclasses.dataclass
+class ExploratoryTest:
+    """Find the largest load a platform survives.
+
+    Doubles the dataset scale until the platform crashes, exceeds the
+    budget, or ``max_scale`` is reached.
+    """
+
+    platform: str
+    algorithm: str
+    dataset: str
+    start_scale: float = 0.25
+    max_scale: float = 4.0
+    cluster: ClusterSpec = dataclasses.field(default_factory=das4_cluster)
+
+    def run(self) -> tuple[float | None, ExperimentResult]:
+        """Returns (largest surviving scale or None, all records)."""
+        exp = ExperimentResult(
+            f"exploratory:{self.platform}:{self.algorithm}:{self.dataset}"
+        )
+        best: float | None = None
+        s = self.start_scale
+        while s <= self.max_scale:
+            runner = Runner(scale=s)
+            record = runner.run_cell(
+                self.platform, self.algorithm, self.dataset, self.cluster
+            )
+            record.dataset = f"{self.dataset}@{s:g}x"
+            exp.add(record)
+            if record.status is not RunStatus.OK:
+                break
+            best = s
+            s *= 2.0
+        return best, exp

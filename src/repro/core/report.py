@@ -1,0 +1,91 @@
+"""Report rendering: ASCII tables and figure-series output.
+
+The harness renders every paper table and figure as plain text so that
+``pytest benchmarks/`` output can be compared to the paper directly.
+Figures become series tables (one row per x-value); comparison tables
+put the paper's published value next to the measured one.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["render_table", "render_series", "render_comparison", "format_seconds"]
+
+
+def format_seconds(t: float | None) -> str:
+    """Human-scale duration (the paper annotates 1 min / 15 min / 1 h)."""
+    if t is None:
+        return "-"
+    if t >= 3600:
+        return f"{t / 3600:.1f}h"
+    if t >= 60:
+        return f"{t / 60:.1f}m"
+    if t >= 1:
+        return f"{t:.1f}s"
+    return f"{t * 1000:.0f}ms"
+
+
+def render_table(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A boxed, aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row: _t.Sequence[str], pad: str = " ") -> str:
+        return (
+            "| "
+            + " | ".join(c.rjust(w, pad[0]) if pad == " " else c for c, w in zip(row, widths))
+            + " |"
+        )
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(cells[0]))
+    out.append(sep)
+    for row in cells[1:]:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    x_values: _t.Sequence[object],
+    series: dict[str, _t.Sequence[object]],
+    *,
+    title: str | None = None,
+    fmt: _t.Callable[[object], str] = str,
+) -> str:
+    """A figure as a table: one column per series, one row per x."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            vals = series[name]
+            row.append(fmt(vals[i]) if i < len(vals) else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(
+    rows: _t.Sequence[tuple[str, object, object]],
+    *,
+    title: str | None = None,
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> str:
+    """A paper-vs-measured table (EXPERIMENTS.md's core format)."""
+    return render_table(
+        ["quantity", paper_label, measured_label],
+        [[name, str(paper), str(measured)] for name, paper, measured in rows],
+        title=title,
+    )

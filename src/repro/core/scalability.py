@@ -1,0 +1,61 @@
+"""Horizontal and vertical scalability sweeps (paper Section 4.3).
+
+* Horizontal: 20 to 50 machines in steps of 5, one core each.
+* Vertical: 20 machines, 1 to 7 cores (one core is left to the OS).
+
+Both return an :class:`~repro.core.results.ExperimentResult` whose
+records carry the cluster used, so NEPS (per node or per core) can be
+derived by the report layer.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.spec import das4_cluster
+from repro.core.results import ExperimentResult
+from repro.core.runner import Runner
+
+__all__ = ["HORIZONTAL_STEPS", "VERTICAL_STEPS", "horizontal_sweep", "vertical_sweep"]
+
+#: the paper's machine counts (Section 4.3)
+HORIZONTAL_STEPS: tuple[int, ...] = (20, 25, 30, 35, 40, 45, 50)
+#: the paper's per-node core counts
+VERTICAL_STEPS: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7)
+
+
+def horizontal_sweep(
+    platforms: _t.Sequence[str],
+    dataset: str,
+    *,
+    algorithm: str = "bfs",
+    steps: _t.Sequence[int] = HORIZONTAL_STEPS,
+    runner: Runner | None = None,
+) -> ExperimentResult:
+    """Execution time vs. cluster size at one core per machine."""
+    runner = runner or Runner()
+    exp = ExperimentResult(f"horizontal:{dataset}:{algorithm}")
+    for n in steps:
+        cluster = das4_cluster(num_workers=n, cores_per_worker=1)
+        for plat in platforms:
+            exp.add(runner.run_cell(plat, algorithm, dataset, cluster))
+    return exp
+
+
+def vertical_sweep(
+    platforms: _t.Sequence[str],
+    dataset: str,
+    *,
+    algorithm: str = "bfs",
+    num_workers: int = 20,
+    steps: _t.Sequence[int] = VERTICAL_STEPS,
+    runner: Runner | None = None,
+) -> ExperimentResult:
+    """Execution time vs. cores per machine at a fixed machine count."""
+    runner = runner or Runner()
+    exp = ExperimentResult(f"vertical:{dataset}:{algorithm}")
+    for c in steps:
+        cluster = das4_cluster(num_workers=num_workers, cores_per_worker=c)
+        for plat in platforms:
+            exp.add(runner.run_cell(plat, algorithm, dataset, cluster))
+    return exp

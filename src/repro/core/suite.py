@@ -1,0 +1,582 @@
+""":class:`BenchmarkSuite` — one method per table/figure of the paper.
+
+Every method returns ``(data, text)``: structured results plus the
+rendered ASCII table the benchmarks print.  Figure-numbered methods
+regenerate the corresponding paper artifact; the companion
+``EXPERIMENTS.md`` records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHM_NAMES, get_algorithm
+from repro.cluster.monitoring import MASTER, worker_node
+from repro.core.metrics import normalized_eps, paper_scale_eps, paper_scale_vps
+from repro.core.report import format_seconds, render_series, render_table
+from repro.core.results import ExperimentResult, RunRecord
+from repro.core.runner import Runner
+from repro.core.scalability import (
+    HORIZONTAL_STEPS,
+    VERTICAL_STEPS,
+    horizontal_sweep,
+    vertical_sweep,
+)
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.spec import (
+    DEV_EFFORT_TABLE7,
+    INGESTION_TABLE6,
+    PAPER_BFS_TABLE5,
+    PAPER_SPECS_TABLE2,
+)
+from repro.graph.properties import summarize
+from repro.platforms.registry import get_platform
+
+__all__ = ["BenchmarkSuite", "DISTRIBUTED_PLATFORMS", "ALL_PLATFORMS"]
+
+#: paper Table 4 order (distributed only)
+DISTRIBUTED_PLATFORMS: tuple[str, ...] = (
+    "hadoop",
+    "yarn",
+    "stratosphere",
+    "giraph",
+    "graphlab",
+)
+#: all six paper platforms
+ALL_PLATFORMS: tuple[str, ...] = DISTRIBUTED_PLATFORMS + ("neo4j",)
+
+
+@dataclasses.dataclass
+class BenchmarkSuite:
+    """The full benchmarking suite over the simulated platforms.
+
+    Parameters
+    ----------
+    scale:
+        Dataset scale factor (1.0 = the default mini datasets).
+    runner:
+        Custom runner (repetitions, jitter); defaults to 1 repetition.
+    """
+
+    scale: float = 1.0
+    runner: Runner | None = None
+
+    def __post_init__(self) -> None:
+        if self.runner is None:
+            self.runner = Runner(scale=self.scale)
+        self._fig01_cache: ExperimentResult | None = None
+
+    # ------------------------------------------------------------------ tables
+    def table2_datasets(self) -> tuple[list[dict], str]:
+        """Table 2: dataset summary, measured next to published."""
+        rows = []
+        data = []
+        for name in DATASET_NAMES:
+            g = load_dataset(name, scale=self.scale)
+            s = summarize(g)
+            spec = PAPER_SPECS_TABLE2[name]
+            data.append({"name": name, "measured": s, "paper": spec})
+            rows.append(
+                [
+                    name,
+                    f"{s.num_vertices:,}",
+                    f"{s.num_edges:,}",
+                    f"{s.average_degree:.1f}",
+                    s.directivity,
+                    f"{spec.num_vertices:,}",
+                    f"{spec.num_edges:,}",
+                    f"{spec.avg_degree:g}",
+                ]
+            )
+        text = render_table(
+            ["graph", "#V", "#E", "D", "directivity", "paper #V", "paper #E", "paper D"],
+            rows,
+            title="Table 2: summary of datasets (measured | paper)",
+        )
+        return data, text
+
+    def table5_bfs_statistics(self) -> tuple[list[dict], str]:
+        """Table 5: BFS coverage and iteration count per dataset."""
+        rows = []
+        data = []
+        for name in DATASET_NAMES:
+            g = load_dataset(name, scale=self.scale)
+            res = get_algorithm("bfs").run_reference(g)
+            paper = PAPER_BFS_TABLE5[name]
+            data.append(
+                {
+                    "name": name,
+                    "coverage": res.coverage,
+                    "iterations": res.iterations,
+                    "paper": paper,
+                }
+            )
+            rows.append(
+                [
+                    name,
+                    f"{res.coverage * 100:.1f}%",
+                    res.iterations,
+                    f"{paper.coverage_percent:g}%",
+                    paper.iterations,
+                ]
+            )
+        text = render_table(
+            ["graph", "coverage", "iterations", "paper cov.", "paper iter."],
+            rows,
+            title="Table 5: statistics of BFS (measured | paper)",
+        )
+        return data, text
+
+    def table6_ingestion(self) -> tuple[list[dict], str]:
+        """Table 6: data ingestion time, HDFS vs Neo4j."""
+        hdfs_platform = get_platform("hadoop")
+        neo = get_platform("neo4j")
+        rows = []
+        data = []
+        for name in DATASET_NAMES:
+            g = load_dataset(name, scale=self.scale)
+            t_hdfs = hdfs_platform.ingest_seconds(g)
+            t_neo = neo.ingest_seconds(g)
+            paper_hdfs, paper_neo = INGESTION_TABLE6[name]
+            data.append(
+                {"name": name, "hdfs": t_hdfs, "neo4j": t_neo,
+                 "paper_hdfs": paper_hdfs, "paper_neo4j": paper_neo}
+            )
+            rows.append(
+                [
+                    name,
+                    f"{t_hdfs:.1f}s",
+                    f"{t_neo / 3600:.1f}h",
+                    f"{paper_hdfs:g}s",
+                    "N/A" if paper_neo is None else f"{paper_neo:g}h",
+                ]
+            )
+        text = render_table(
+            ["graph", "HDFS", "Neo4j", "paper HDFS", "paper Neo4j"],
+            rows,
+            title="Table 6: data ingestion time (measured | paper)",
+        )
+        return data, text
+
+    def table7_dev_effort(self) -> tuple[dict, str]:
+        """Table 7: development time and core LoC (paper survey data)."""
+        rows = []
+        for plat, entries in DEV_EFFORT_TABLE7.items():
+            for algo, (days, loc) in entries.items():
+                rows.append([plat, algo.upper(),
+                             f"{days * 24:.0f}h" if days < 1 else f"{days:g}d",
+                             loc])
+        text = render_table(
+            ["platform", "algorithm", "dev time", "core LoC"],
+            rows,
+            title="Table 7: development effort (paper survey, reproduced verbatim)",
+        )
+        return DEV_EFFORT_TABLE7, text
+
+    def table1_metrics(self) -> tuple[dict, str]:
+        """Table 1: the metric set, rendered from the definitions."""
+        from repro.datasets.survey import METRICS_TABLE1
+
+        rows = [[name, how, aspect] for name, (how, aspect) in METRICS_TABLE1.items()]
+        text = render_table(
+            ["metric", "how measured / derived", "relevant aspect"],
+            rows, title="Table 1: summary of metrics",
+        )
+        return METRICS_TABLE1, text
+
+    def table3_algorithm_survey(self) -> tuple[tuple, str]:
+        """Table 3: the ten-conference algorithm survey."""
+        from repro.datasets.survey import SURVEY_TABLE3
+
+        rows = [
+            [r.class_name, r.typical_algorithms, r.count, f"{r.percentage:g}%"]
+            for r in SURVEY_TABLE3
+        ]
+        total = sum(r.count for r in SURVEY_TABLE3)
+        rows.append(["Total", "", total, "100%"])
+        text = render_table(
+            ["class", "typical algorithms", "number", "percentage"],
+            rows, title="Table 3: survey of graph algorithms",
+        )
+        return SURVEY_TABLE3, text
+
+    def table4_platforms(self) -> tuple[tuple, str]:
+        """Table 4: selected platforms, checked against the models."""
+        from repro.datasets.survey import PLATFORMS_TABLE4
+
+        rows = []
+        for row in PLATFORMS_TABLE4:
+            model = get_platform(row.name)
+            rows.append([
+                model.label, row.version,
+                f"{row.kind}, {'Distributed' if row.distributed else 'Non-distributed'}",
+                row.release_date,
+            ])
+        text = render_table(
+            ["platform", "version", "type", "release date"],
+            rows, title="Table 4: selected platforms",
+        )
+        return PLATFORMS_TABLE4, text
+
+    def table8_related_work(self) -> tuple[tuple, str]:
+        """Table 8: prior evaluation studies vs this method."""
+        from repro.datasets.survey import RELATED_WORK_TABLE8
+
+        rows = [
+            [r.study, r.algorithms, r.dataset_type, r.largest_dataset, r.system]
+            for r in RELATED_WORK_TABLE8
+        ]
+        text = render_table(
+            ["platforms", "algorithms", "dataset type", "largest dataset",
+             "system"],
+            rows, title="Table 8: prior evaluations of graph processing",
+        )
+        return RELATED_WORK_TABLE8, text
+
+    # ------------------------------------------------------------------ figures
+    def fig01_bfs(self) -> tuple[ExperimentResult, str]:
+        """Figure 1: BFS execution time, all platforms x datasets."""
+        if self._fig01_cache is None:
+            assert self.runner is not None
+            self._fig01_cache = self.runner.run_grid(
+                "fig01:bfs",
+                platforms=ALL_PLATFORMS,
+                algorithms=["bfs"],
+                datasets=list(DATASET_NAMES),
+            )
+        exp = self._fig01_cache
+        rows = []
+        for ds in DATASET_NAMES:
+            row: list[object] = [ds]
+            for plat in ALL_PLATFORMS:
+                rec = exp.get(plat, "bfs", ds)
+                row.append(rec.describe() if rec else "-")
+            rows.append(row)
+        text = render_table(
+            ["dataset"] + [get_platform(p).label for p in ALL_PLATFORMS],
+            rows,
+            title="Figure 1: execution time of BFS (all datasets, all platforms)",
+        )
+        return exp, text
+
+    def fig02_throughput(self) -> tuple[dict, str]:
+        """Figure 2: EPS and VPS of BFS (distributed platforms)."""
+        exp, _ = self.fig01_bfs()
+        eps: dict[str, list[float | None]] = {}
+        vps: dict[str, list[float | None]] = {}
+        for plat in DISTRIBUTED_PLATFORMS:
+            eps_row: list[float | None] = []
+            vps_row: list[float | None] = []
+            for ds in DATASET_NAMES:
+                rec = exp.get(plat, "bfs", ds)
+                if rec and rec.ok and rec.result:
+                    eps_row.append(paper_scale_eps(rec.result))
+                    vps_row.append(paper_scale_vps(rec.result))
+                else:
+                    eps_row.append(None)
+                    vps_row.append(None)
+            eps[plat] = eps_row
+            vps[plat] = vps_row
+
+        def _fmt(v: object) -> str:
+            return "-" if v is None else f"{float(_t.cast(float, v)):.3g}"
+
+        text = (
+            render_series(
+                "dataset", list(DATASET_NAMES),
+                {get_platform(p).label: eps[p] for p in DISTRIBUTED_PLATFORMS},
+                title="Figure 2 (left): EPS of BFS", fmt=_fmt,
+            )
+            + "\n"
+            + render_series(
+                "dataset", list(DATASET_NAMES),
+                {get_platform(p).label: vps[p] for p in DISTRIBUTED_PLATFORMS},
+                title="Figure 2 (right): VPS of BFS", fmt=_fmt,
+            )
+        )
+        return {"eps": eps, "vps": vps}, text
+
+    def fig03_giraph_all(self) -> tuple[ExperimentResult, str]:
+        """Figure 3: all algorithms x datasets on Giraph, plus
+        GraphLab CONN (the paper's right-most bars)."""
+        assert self.runner is not None
+        exp = self.runner.run_grid(
+            "fig03:giraph",
+            platforms=["giraph"],
+            algorithms=list(ALGORITHM_NAMES),
+            datasets=list(DATASET_NAMES),
+        )
+        for ds in DATASET_NAMES:
+            exp.add(self.runner.run_cell("graphlab", "conn", ds))
+        rows = []
+        for algo in ALGORITHM_NAMES:
+            row: list[object] = [algo.upper()]
+            for ds in DATASET_NAMES:
+                rec = exp.get("giraph", algo, ds)
+                row.append(rec.describe() if rec else "-")
+            rows.append(row)
+        row = ["CONN(GraphLab)"]
+        for ds in DATASET_NAMES:
+            rec = exp.get("graphlab", "conn", ds)
+            row.append(rec.describe() if rec else "-")
+        rows.append(row)
+        text = render_table(
+            ["algorithm"] + list(DATASET_NAMES),
+            rows,
+            title="Figure 3: Giraph, all algorithms x datasets (+ GraphLab CONN)",
+        )
+        return exp, text
+
+    def fig04_dotaleague(self) -> tuple[ExperimentResult, str]:
+        """Figure 4: all algorithms x platforms on DotaLeague, plus
+        CONN on Citation (the paper's right-most bars)."""
+        assert self.runner is not None
+        exp = self.runner.run_grid(
+            "fig04:dotaleague",
+            platforms=list(ALL_PLATFORMS),
+            algorithms=list(ALGORITHM_NAMES),
+            datasets=["dotaleague"],
+        )
+        for plat in ALL_PLATFORMS:
+            exp.add(self.runner.run_cell(plat, "conn", "citation"))
+        rows = []
+        for algo in list(ALGORITHM_NAMES) + ["conn(citation)"]:
+            if algo == "conn(citation)":
+                row: list[object] = [algo]
+                for plat in ALL_PLATFORMS:
+                    rec = exp.get(plat, "conn", "citation")
+                    row.append(rec.describe() if rec else "-")
+            else:
+                row = [algo.upper()]
+                for plat in ALL_PLATFORMS:
+                    rec = exp.get(plat, algo, "dotaleague")
+                    row.append(rec.describe() if rec else "-")
+            rows.append(row)
+        text = render_table(
+            ["algorithm"] + [get_platform(p).label for p in ALL_PLATFORMS],
+            rows,
+            title="Figure 4: DotaLeague, all algorithms x platforms (+ Citation CONN)",
+        )
+        return exp, text
+
+    # -------------------------------------------------------- resource figures
+    def _resource_runs(self, dataset: str = "dotaleague") -> dict[str, RunRecord]:
+        assert self.runner is not None
+        out = {}
+        for plat in DISTRIBUTED_PLATFORMS:
+            out[plat] = self.runner.run_cell(plat, "bfs", dataset)
+        return out
+
+    def fig05_07_master_resources(
+        self, dataset: str = "dotaleague", num_points: int = 100
+    ) -> tuple[dict, str]:
+        """Figures 5-7: master CPU / memory / network over normalized
+        job time (BFS on DotaLeague)."""
+        runs = self._resource_runs(dataset)
+        data: dict[str, dict[str, np.ndarray]] = {}
+        chunks = []
+        for metric, figno, unit in (
+            ("cpu", 5, "%"), ("memory", 6, "GB"), ("net_in", 7, "Kbit/s")
+        ):
+            series = {}
+            for plat, rec in runs.items():
+                if not rec.ok or rec.result is None:
+                    continue
+                vals = rec.result.trace.series(MASTER, metric, num_points=num_points)
+                if metric == "cpu":
+                    vals = vals * 100.0
+                elif metric == "memory":
+                    vals = vals / 2**30
+                else:
+                    vals = vals * 8.0 / 1e3
+                series[get_platform(plat).label] = vals
+                data.setdefault(plat, {})[metric] = vals
+            summary_rows = [
+                [label, f"{v.mean():.3g}", f"{v.max():.3g}"]
+                for label, v in series.items()
+            ]
+            chunks.append(
+                render_table(
+                    ["platform", f"mean {unit}", f"peak {unit}"],
+                    summary_rows,
+                    title=f"Figure {figno}: master {metric} (normalized run)",
+                )
+            )
+        return data, "\n".join(chunks)
+
+    def fig08_10_worker_resources(
+        self, dataset: str = "dotaleague", num_points: int = 100
+    ) -> tuple[dict, str]:
+        """Figures 8-10: computing-node CPU / memory / network."""
+        runs = self._resource_runs(dataset)
+        node = worker_node(0)
+        data: dict[str, dict[str, np.ndarray]] = {}
+        chunks = []
+        for metric, figno, unit in (
+            ("cpu", 8, "%"), ("memory", 9, "GB"), ("net_in", 10, "Mbit/s")
+        ):
+            series = {}
+            for plat, rec in runs.items():
+                if not rec.ok or rec.result is None:
+                    continue
+                vals = rec.result.trace.series(node, metric, num_points=num_points)
+                if metric == "cpu":
+                    vals = vals * 100.0
+                elif metric == "memory":
+                    vals = vals / 2**30
+                else:
+                    vals = vals * 8.0 / 1e6
+                series[get_platform(plat).label] = vals
+                data.setdefault(plat, {})[metric] = vals
+            summary_rows = [
+                [label, f"{v.mean():.3g}", f"{v.max():.3g}"]
+                for label, v in series.items()
+            ]
+            chunks.append(
+                render_table(
+                    ["platform", f"mean {unit}", f"peak {unit}"],
+                    summary_rows,
+                    title=f"Figure {figno}: worker {metric} (normalized run)",
+                )
+            )
+        return data, "\n".join(chunks)
+
+    # -------------------------------------------------------- scalability figures
+    def fig11_12_horizontal(
+        self, datasets: _t.Sequence[str] = ("friendster", "dotaleague")
+    ) -> tuple[dict, str]:
+        """Figures 11-12: horizontal scalability (T and NEPS)."""
+        platforms = list(DISTRIBUTED_PLATFORMS) + ["graphlab_mp"]
+        chunks = []
+        data = {}
+        for ds in datasets:
+            exp = horizontal_sweep(platforms, ds, runner=self.runner)
+            data[ds] = exp
+            t_series = {}
+            neps_series = {}
+            for plat in platforms:
+                times: list[object] = []
+                neps: list[object] = []
+                for n in HORIZONTAL_STEPS:
+                    rec = next(
+                        (r for r in exp.find(platform=get_platform(plat).name)
+                         if r.cluster.num_workers == n),
+                        None,
+                    )
+                    if rec and rec.ok and rec.result:
+                        times.append(format_seconds(rec.execution_time))
+                        neps.append(f"{normalized_eps(rec.result):.3g}")
+                    else:
+                        times.append(rec.describe() if rec else "-")
+                        neps.append("-")
+                label = get_platform(plat).label
+                t_series[label] = times
+                neps_series[label] = neps
+            chunks.append(render_series(
+                "#machines", list(HORIZONTAL_STEPS), t_series,
+                title=f"Figure 11: horizontal scalability, {ds} (execution time)",
+            ))
+            chunks.append(render_series(
+                "#machines", list(HORIZONTAL_STEPS), neps_series,
+                title=f"Figure 12: NEPS, {ds} (horizontal)",
+            ))
+        return data, "\n".join(chunks)
+
+    def fig13_14_vertical(
+        self, datasets: _t.Sequence[str] = ("friendster", "dotaleague")
+    ) -> tuple[dict, str]:
+        """Figures 13-14: vertical scalability (T and NEPS per core)."""
+        platforms = list(DISTRIBUTED_PLATFORMS) + ["graphlab_mp"]
+        chunks = []
+        data = {}
+        for ds in datasets:
+            exp = vertical_sweep(platforms, ds, runner=self.runner)
+            data[ds] = exp
+            t_series = {}
+            neps_series = {}
+            for plat in platforms:
+                times: list[object] = []
+                neps: list[object] = []
+                for c in VERTICAL_STEPS:
+                    rec = next(
+                        (r for r in exp.find(platform=get_platform(plat).name)
+                         if r.cluster.cores_per_worker == c),
+                        None,
+                    )
+                    if rec and rec.ok and rec.result:
+                        times.append(format_seconds(rec.execution_time))
+                        neps.append(f"{normalized_eps(rec.result, per='cores'):.3g}")
+                    else:
+                        times.append(rec.describe() if rec else "-")
+                        neps.append("-")
+                label = get_platform(plat).label
+                t_series[label] = times
+                neps_series[label] = neps
+            chunks.append(render_series(
+                "#cores", list(VERTICAL_STEPS), t_series,
+                title=f"Figure 13: vertical scalability, {ds} (execution time)",
+            ))
+            chunks.append(render_series(
+                "#cores", list(VERTICAL_STEPS), neps_series,
+                title=f"Figure 14: NEPS per core, {ds} (vertical)",
+            ))
+        return data, "\n".join(chunks)
+
+    # -------------------------------------------------------- overhead figures
+    def fig15_breakdown(self, dataset: str = "dotaleague") -> tuple[dict, str]:
+        """Figure 15: computation vs overhead, BFS on DotaLeague."""
+        assert self.runner is not None
+        platforms = list(DISTRIBUTED_PLATFORMS) + ["graphlab_mp"]
+        rows = []
+        data = {}
+        for plat in platforms:
+            rec = self.runner.run_cell(plat, "bfs", dataset)
+            if rec.ok and rec.result:
+                r = rec.result
+                data[plat] = (r.computation_time, r.overhead_time)
+                rows.append(
+                    [
+                        get_platform(plat).label,
+                        format_seconds(r.computation_time),
+                        format_seconds(r.overhead_time),
+                        f"{r.overhead_time / r.execution_time * 100:.0f}%",
+                    ]
+                )
+            else:
+                rows.append([get_platform(plat).label, rec.describe(), "-", "-"])
+        text = render_table(
+            ["platform", "computation", "overhead", "overhead %"],
+            rows,
+            title=f"Figure 15: execution time breakdown, BFS on {dataset}",
+        )
+        return data, text
+
+    def fig16_graphlab_breakdown(self) -> tuple[dict, str]:
+        """Figure 16: GraphLab CONN breakdown across datasets."""
+        assert self.runner is not None
+        rows = []
+        data = {}
+        for ds in DATASET_NAMES:
+            rec = self.runner.run_cell("graphlab", "conn", ds)
+            if rec.ok and rec.result:
+                r = rec.result
+                data[ds] = (r.computation_time, r.overhead_time)
+                rows.append(
+                    [
+                        ds,
+                        format_seconds(r.computation_time),
+                        format_seconds(r.overhead_time),
+                        f"{r.overhead_time / r.execution_time * 100:.0f}%",
+                    ]
+                )
+            else:
+                rows.append([ds, rec.describe(), "-", "-"])
+        text = render_table(
+            ["dataset", "computation", "overhead", "overhead %"],
+            rows,
+            title="Figure 16: GraphLab CONN execution time breakdown",
+        )
+        return data, text

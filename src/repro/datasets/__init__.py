@@ -1,0 +1,40 @@
+"""The paper's seven datasets.
+
+:mod:`repro.datasets.spec` records the paper's published numbers
+(Tables 2, 5, 6, 7).  :mod:`repro.datasets.synthesize` builds
+structure-matched synthetic stand-ins at a configurable scale, and
+:mod:`repro.datasets.registry` is the cached front door:
+
+>>> from repro.datasets import load_dataset
+>>> g = load_dataset("dotaleague")           # default mini scale
+>>> g.directed
+False
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_spec,
+    load_dataset,
+    load_all,
+)
+from repro.datasets.spec import (
+    DEV_EFFORT_TABLE7,
+    INGESTION_TABLE6,
+    PAPER_BFS_TABLE5,
+    PAPER_SPECS_TABLE2,
+    BfsStats,
+    DatasetSpec,
+)
+
+__all__ = [
+    "BfsStats",
+    "DATASET_NAMES",
+    "DEV_EFFORT_TABLE7",
+    "DatasetSpec",
+    "INGESTION_TABLE6",
+    "PAPER_BFS_TABLE5",
+    "PAPER_SPECS_TABLE2",
+    "dataset_spec",
+    "load_all",
+    "load_dataset",
+]

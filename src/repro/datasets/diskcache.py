@@ -1,0 +1,100 @@
+"""On-disk dataset cache.
+
+Dataset generation is deterministic but not free (~40 s for the full
+set), and every new process pays it.  This cache stores generated
+graphs as compressed CSR arrays under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-datasets``), keyed by (dataset, scale, seed, generator
+version).  Set ``REPRO_DATASET_CACHE=0`` to disable.
+
+Bump :data:`GENERATOR_VERSION` whenever a synthesizer changes so stale
+caches are ignored automatically.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["GENERATOR_VERSION", "cache_enabled", "load_cached", "store_cached"]
+
+#: bump on any change to repro.datasets.synthesize or the generators
+GENERATOR_VERSION = 3
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is active."""
+    return os.environ.get("REPRO_DATASET_CACHE", "1") != "0"
+
+
+def _cache_dir() -> pathlib.Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return pathlib.Path(root)
+    return pathlib.Path.home() / ".cache" / "repro-datasets"
+
+
+def _cache_path(name: str, scale: float, seed: int | None) -> pathlib.Path:
+    seed_part = "default" if seed is None else str(seed)
+    fname = f"{name}-s{scale:g}-r{seed_part}-v{GENERATOR_VERSION}.npz"
+    return _cache_dir() / fname
+
+
+def load_cached(name: str, scale: float, seed: int | None) -> Graph | None:
+    """Load a cached graph, or None on miss/corruption."""
+    if not cache_enabled():
+        return None
+    path = _cache_path(name, scale, seed)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            directed = bool(data["directed"])
+            kwargs = {}
+            if directed:
+                kwargs = {
+                    "in_indptr": data["in_indptr"],
+                    "in_indices": data["in_indices"],
+                }
+            return Graph(
+                int(data["num_vertices"]),
+                data["out_indptr"],
+                data["out_indices"],
+                directed=directed,
+                name=name,
+                **kwargs,
+            )
+    except Exception:  # corrupt cache entry: regenerate
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_cached(
+    name: str, scale: float, seed: int | None, graph: Graph
+) -> None:
+    """Persist a generated graph (best effort; failures are ignored)."""
+    if not cache_enabled():
+        return
+    path = _cache_path(name, scale, seed)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "num_vertices": np.int64(graph.num_vertices),
+            "directed": np.bool_(graph.directed),
+            "out_indptr": graph.out_indptr,
+            "out_indices": graph.out_indices,
+        }
+        if graph.directed:
+            arrays["in_indptr"] = graph.in_indptr
+            arrays["in_indices"] = graph.in_indices
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    except OSError:
+        pass

@@ -1,0 +1,117 @@
+"""The paper's survey and definitional tables (1, 3, 4, 8).
+
+These are data, not measurements: the metric definitions (Table 1),
+the 124-article algorithm survey (Table 3), the selected platforms
+(Table 4), and the related-work comparison (Table 8).  Reproduced
+verbatim so the harness can regenerate every numbered table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "METRICS_TABLE1",
+    "AlgorithmClassSurvey",
+    "SURVEY_TABLE3",
+    "PlatformRow",
+    "PLATFORMS_TABLE4",
+    "RelatedWorkRow",
+    "RELATED_WORK_TABLE8",
+]
+
+#: Table 1: metric name -> (how measured / derived, relevant aspect)
+METRICS_TABLE1: dict[str, tuple[str, str]] = {
+    "job execution time (T)": ("time the full execution", "raw processing power"),
+    "edges per second (EPS)": ("#E / T", "raw processing power"),
+    "vertices per second (VPS)": ("#V / T", "raw processing power"),
+    "CPU, memory, network": ("monitoring sampled each second", "resource use"),
+    "horizontal scalability": ("T at different cluster size (N)", "scalability"),
+    "vertical scalability": ("T at different cores per node (C)", "scalability"),
+    "normalized EPS (NEPS)": ("#E/T/N or #E/T/N/C", "scalability"),
+    "computation time (Tc)": ("time actually calculating", "raw processing power"),
+    "overhead time (To)": ("T - Tc", "processing overheads"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AlgorithmClassSurvey:
+    """One row of Table 3 (survey of 124 articles, 149 algorithm uses)."""
+
+    class_name: str
+    typical_algorithms: str
+    count: int
+    percentage: float
+
+
+#: Table 3: the ten-conference survey behind the algorithm selection.
+SURVEY_TABLE3: tuple[AlgorithmClassSurvey, ...] = (
+    AlgorithmClassSurvey(
+        "General Statistics", "Triangulation, Diameter, BC", 24, 16.1),
+    AlgorithmClassSurvey(
+        "Graph Traversal", "BFS, DFS, Shortest Path Search", 69, 46.3),
+    AlgorithmClassSurvey(
+        "Connected Components", "MIS, BiCC, Reachability", 20, 13.4),
+    AlgorithmClassSurvey(
+        "Community Detection", "Clustering, Nearest Neighbor Search", 8, 5.4),
+    AlgorithmClassSurvey(
+        "Graph Evolution", "Forest Fire Model, Preferential Attachment", 6, 4.0),
+    AlgorithmClassSurvey("Other", "Sampling, Partitioning", 22, 14.8),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformRow:
+    """One row of Table 4 (selected platforms)."""
+
+    name: str
+    version: str
+    kind: str  # Generic / Graph
+    distributed: bool
+    release_date: str
+
+
+#: Table 4: the six selected platforms.
+PLATFORMS_TABLE4: tuple[PlatformRow, ...] = (
+    PlatformRow("hadoop", "hadoop-0.20.203.0", "Generic", True, "2011-05"),
+    PlatformRow("yarn", "hadoop-2.0.3-alpha", "Generic", True, "2013-02"),
+    PlatformRow("stratosphere", "Stratosphere-0.2", "Generic", True, "2012-08"),
+    PlatformRow("giraph", "Giraph 0.2 (rev 1336743)", "Graph", True, "2012-05"),
+    PlatformRow("graphlab", "GraphLab 2.1.4434", "Graph", True, "2012-10"),
+    PlatformRow("neo4j", "Neo4j 1.5", "Graph", False, "2011-10"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RelatedWorkRow:
+    """One row of Table 8 (prior evaluation studies)."""
+
+    study: str
+    algorithms: str
+    dataset_type: str
+    largest_dataset: str
+    system: str
+
+
+#: Table 8: overview of prior performance evaluations.
+RELATED_WORK_TABLE8: tuple[RelatedWorkRow, ...] = (
+    RelatedWorkRow("Neo4j, MySQL [46]", "1 other", "synthetic", "100 KV", "1 C"),
+    RelatedWorkRow("Neo4j, etc. [4]", "3 others", "synthetic", "1 MV", "1 C"),
+    RelatedWorkRow("Pregel [5]", "1 other", "synthetic", "50 BV", "300 C"),
+    RelatedWorkRow("GPS, Giraph [47]", "CONN, 3 others", "real",
+                   "39 MV, 1.5 BE", "60 C"),
+    RelatedWorkRow("Trinity, etc. [27]", "BFS, 2 others", "synthetic",
+                   "1 BV", "16 C"),
+    RelatedWorkRow("PEGASUS [25]", "CONN, 2 others", "synthetic, real",
+                   "282 MV", "90 C"),
+    RelatedWorkRow("CGMgraph [48]", "CONN, 4 others", "synthetic",
+                   "10 MV", "30 C"),
+    RelatedWorkRow("PBGL, CGMgraph [49]", "CONN, 3 others", "synthetic",
+                   "70 MV, 1 BE", "128 C"),
+    RelatedWorkRow("Hadoop, PEGASUS [50]", "1 other", "synthetic, real",
+                   "1 BV, 20 BE", "32 C"),
+    RelatedWorkRow("HaLoop, Hadoop [23]", "2 others", "synthetic, real",
+                   "1.4 BV, 1.6 BE", "90 C"),
+    RelatedWorkRow("This work", "5 classes", "synthetic, real",
+                   "66 MV, 1.8 BE", "50 C"),
+)

@@ -1,0 +1,54 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free discrete-event engine in the style of SimPy,
+used by :mod:`repro.cluster` and :mod:`repro.platforms` to model
+distributed execution: task waves over limited slots, bandwidth-shared
+links, and disks with serialized access.
+
+The kernel is deliberately minimal but complete:
+
+* :class:`~repro.des.engine.Simulator` — the event loop and clock.
+* :class:`~repro.des.events.Event` / :class:`~repro.des.events.Timeout`
+  — one-shot synchronization primitives.
+* :class:`~repro.des.process.Process` — generator-based cooperative
+  processes (``yield`` an event to wait on it).
+* :class:`~repro.des.resources.Resource` — FIFO capacity-limited
+  resource (CPU slots, disk heads).
+* :class:`~repro.des.resources.Container` — continuous-quantity
+  resource (memory pools).
+* :class:`~repro.des.network.Link` — a bandwidth-shared channel with
+  fair progressive filling.
+
+Example
+-------
+>>> from repro.des import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from repro.des.engine import Simulator
+from repro.des.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.des.network import Link
+from repro.des.process import Process
+from repro.des.resources import Container, Resource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Link",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Timeout",
+]

@@ -1,0 +1,142 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the clock and the event heap.  Time is a float
+in *simulated seconds*.  Events scheduled at equal times fire in FIFO
+order (a monotonically increasing sequence number breaks ties), which
+makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.process import Process
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal simulator operations (e.g. running backwards)."""
+
+
+class Simulator:
+    """Event loop, clock, and factory for DES primitives.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulation clock, in simulated seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = count()
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- primitive factories ----------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator) -> Process:
+        """Start a new cooperative :class:`Process` from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling (engine internal) ---------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` to have its callbacks run ``delay`` from now."""
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def schedule(
+        self, delay: float, callback: _t.Callable[[], None]
+    ) -> Event:
+        """Run a plain callable ``delay`` seconds from now.
+
+        Returns the underlying timeout event.
+        """
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: callback())
+        return ev
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> float:
+        """Process the single next event; return the new clock value."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process_callbacks()
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            ``float`` — run until the clock reaches the given time.
+            :class:`Event` — run until the event fires, returning its
+            value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            # A defused sentinel: stop the loop as soon as the event is
+            # processed.
+            done: list[object] = []
+            target.add_callback(lambda ev: done.append(ev))
+            while not done:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            if not target.ok:
+                raise _t.cast(BaseException, target._value)
+            return target._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon} < current time {self._now}"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} pending={len(self._heap)}>"

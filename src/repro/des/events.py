@@ -1,0 +1,198 @@
+"""Synchronization primitives for the DES kernel.
+
+An :class:`Event` is a one-shot flag living inside a single
+:class:`~repro.des.engine.Simulator`.  Processes wait on events by
+yielding them; arbitrary callbacks can also be attached.  Events carry
+a value (or an exception) once triggered.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.engine import Simulator
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Interrupt", "EventError"]
+
+
+class EventError(RuntimeError):
+    """Raised on illegal event transitions (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted.
+
+    The ``cause`` attribute carries the interrupter-supplied reason.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot triggerable event.
+
+    States: *pending* (initial) -> *triggered* (scheduled to fire) ->
+    *processed* (callbacks ran).  ``succeed``/``fail`` move the event to
+    the triggered state and schedule callback execution at the current
+    simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    #: sentinel for "no value yet"
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[_t.Callable[[Event], None]] | None = []
+        self._value: object = Event._PENDING
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event failed with an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value; raises if still pending."""
+        if self._value is Event._PENDING:
+            raise EventError("event value is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise EventError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A process waiting on the event will have the exception thrown
+        into it.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._triggered:
+            raise EventError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    # -- engine hook -------------------------------------------------------
+    def _process_callbacks(self) -> None:
+        """Run callbacks exactly once.  Called by the simulator loop."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, callback: _t.Callable[["Event"], None]) -> None:
+        """Attach ``callback`` to run when the event fires.
+
+        If the event was already processed the callback runs
+        immediately (same semantics as waiting on a fired event).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, delay=self.delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: _t.Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ValueError("cannot combine events from different simulators")
+            ev.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(_t.cast(BaseException, event._value))
+            return
+        self._n_fired += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, object]:
+        return {ev: ev._value for ev in self.events if ev.triggered}
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event has fired."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_fired >= 1

@@ -1,0 +1,133 @@
+"""Bandwidth-shared links (processor-sharing queues).
+
+:class:`Link` models a network pipe or disk channel of fixed capacity
+(bytes/second).  Concurrent transfers share the capacity equally
+(max-min fair / egalitarian processor sharing), the standard fluid
+model for TCP flows on a common bottleneck.  Each state change
+(transfer start or finish) re-computes the next completion.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.des.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.engine import Simulator
+
+__all__ = ["Link", "Transfer"]
+
+
+class Transfer:
+    """An in-flight transfer on a :class:`Link`."""
+
+    __slots__ = ("link", "size", "remaining", "done", "latency_paid")
+
+    def __init__(self, link: "Link", nbytes: float, done: Event) -> None:
+        self.link = link
+        self.size = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = done
+        self.latency_paid = False
+
+
+class Link:
+    """A fair-shared channel of ``bandwidth`` bytes/second.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    bandwidth:
+        Aggregate capacity in bytes per simulated second.
+    latency:
+        Fixed per-transfer startup latency in seconds (propagation +
+        connection setup), paid before bytes start flowing.
+    """
+
+    def __init__(self, sim: "Simulator", bandwidth: float, latency: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._active: list[Transfer] = []
+        self._last_update = sim.now
+        self._wakeup: Event | None = None
+        #: cumulative bytes fully delivered, for accounting
+        self.bytes_delivered = 0.0
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently sharing the link."""
+        return len(self._active)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start a transfer of ``nbytes``; the event fires at completion."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        done = Event(self.sim)
+        if nbytes == 0 and self.latency == 0:
+            done.succeed(0.0)
+            return done
+        tr = Transfer(self, nbytes, done)
+        if self.latency > 0:
+            delay = self.sim.timeout(self.latency)
+            delay.add_callback(lambda _ev: self._admit(tr))
+        else:
+            self._admit(tr)
+        return done
+
+    # -- fluid-model bookkeeping ---------------------------------------------
+    def _admit(self, tr: Transfer) -> None:
+        self._drain()
+        tr.latency_paid = True
+        if tr.remaining <= 0:
+            self._complete(tr)
+        else:
+            self._active.append(tr)
+        self._reschedule()
+
+    def _drain(self) -> None:
+        """Advance all active transfers to the current instant."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        rate = self.bandwidth / len(self._active)
+        moved = rate * elapsed
+        finished = []
+        for tr in self._active:
+            tr.remaining -= moved
+            if tr.remaining <= 1e-9:
+                finished.append(tr)
+        for tr in finished:
+            self._active.remove(tr)
+            self._complete(tr)
+
+    def _complete(self, tr: Transfer) -> None:
+        self.bytes_delivered += tr.size
+        tr.done.succeed(self.sim.now)
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the next transfer completion time."""
+        self._wakeup = None  # orphan any previously scheduled wakeup
+        if not self._active:
+            return
+        rate = self.bandwidth / len(self._active)
+        shortest = min(tr.remaining for tr in self._active)
+        eta = max(shortest / rate, 0.0)
+        wakeup = self.sim.timeout(eta)
+        self._wakeup = wakeup
+
+        def _on_wakeup(_ev: Event, token: Event = wakeup) -> None:
+            if self._wakeup is not token:
+                return  # superseded by a newer state change
+            self._drain()
+            self._reschedule()
+
+        wakeup.add_callback(_on_wakeup)

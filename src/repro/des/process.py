@@ -1,0 +1,103 @@
+"""Generator-based cooperative processes.
+
+A process wraps a Python generator.  The generator yields
+:class:`~repro.des.events.Event` instances; the process suspends until
+the yielded event fires, then resumes with the event's value (or has
+the event's exception thrown into it).
+
+A :class:`Process` is itself an event: it fires when the generator
+returns, carrying the generator's return value.  Processes can
+therefore wait on each other (fork/join).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.des.events import Event, EventError, Interrupt
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.engine import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running cooperative process (also an awaitable event)."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: _t.Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process at the current simulated instant.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.des.events.Interrupt` into the process.
+
+        The event the process was waiting on is detached; a process may
+        catch the interrupt and keep running.
+        """
+        if self._triggered:
+            raise EventError("cannot interrupt a finished process")
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._waiting_on = None
+        interrupt = Event(self.sim)
+        interrupt.add_callback(lambda _ev: self._throw_in(Interrupt(cause)))
+        interrupt.succeed(None)
+
+    # -- internal stepping ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            exc = _t.cast(BaseException, event._value)
+            self._step(lambda: self._generator.throw(exc))
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self._triggered:  # finished while interrupt was in flight
+            return
+        self._step(lambda: self._generator.throw(exc))
+
+    def _step(self, advance: _t.Callable[[], object]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # process body raised -> fail the event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = TypeError(
+                f"process yielded {target!r}; processes must yield Event "
+                "instances (e.g. sim.timeout(...))"
+            )
+            try:
+                self._generator.throw(err)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            raise EventError("process yielded an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,149 @@
+"""Capacity-limited resources for the DES kernel.
+
+:class:`Resource` models a pool of identical slots (CPU cores, map
+slots, disk heads) with a FIFO wait queue.  :class:`Container` models a
+continuous quantity (memory bytes, buffer space) with blocking ``get``
+and non-blocking ``put``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.des.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.engine import Simulator
+
+__all__ = ["Resource", "Container", "Request"]
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`.
+
+    Fires when the slot is granted.  Use as a context manager inside a
+    process to release automatically::
+
+        with resource.request() as req:
+            yield req
+            yield sim.timeout(work)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A FIFO pool of ``capacity`` identical slots."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._users: set[Request] = set()
+        self._queue: deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(None)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Granting a queued request happens immediately.
+
+        Releasing an unfired (still queued) request cancels it.
+        """
+        if request in self._users:
+            self._users.discard(request)
+            self._grant_next()
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass  # already released / cancelled: idempotent
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed(None)
+
+
+class Container:
+    """A continuous-quantity store (e.g. bytes of memory).
+
+    ``put`` is immediate (bounded by ``capacity``); ``get`` blocks until
+    the requested amount is available, FIFO-fair.
+    """
+
+    def __init__(
+        self, sim: "Simulator", capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add ``amount`` immediately; raises if capacity is exceeded."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._level + amount > self.capacity + 1e-9:
+            raise ValueError(
+                f"container overflow: level {self._level} + {amount} "
+                f"> capacity {self.capacity}"
+            )
+        self._level += amount
+        self._serve_getters()
+
+    def get(self, amount: float) -> Event:
+        """Request ``amount``; the event fires when it has been taken."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount > self.capacity:
+            raise ValueError(f"requested {amount} exceeds capacity {self.capacity}")
+        ev = Event(self.sim)
+        self._getters.append((ev, float(amount)))
+        self._serve_getters()
+        return ev
+
+    def _serve_getters(self) -> None:
+        while self._getters and self._getters[0][1] <= self._level + 1e-12:
+            ev, amount = self._getters.popleft()
+            self._level -= amount
+            ev.succeed(amount)

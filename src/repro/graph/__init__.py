@@ -1,0 +1,51 @@
+"""Graph substrate: CSR graphs, I/O, properties, partitioning, generators.
+
+The paper's formalism (Section 2.2.1): a graph ``G = (V, E)`` with
+integer vertex identifiers, directed or undirected, stored in a plain
+text, processing-friendly format without indexes.  This package
+implements that data model on compressed-sparse-row (CSR) arrays so
+that all whole-graph operations are vectorized numpy sweeps.
+
+Public entry points
+-------------------
+* :class:`~repro.graph.graph.Graph` — immutable CSR graph.
+* :func:`~repro.graph.builder.from_edges` — build from an edge list.
+* :mod:`~repro.graph.io` — the paper's vertex-line text format.
+* :mod:`~repro.graph.properties` — density, degrees, LCC, components.
+* :mod:`~repro.graph.partition` — hash / range / greedy partitioners.
+* :mod:`~repro.graph.generators` — synthetic graph generators.
+"""
+
+from repro.graph.builder import from_edges, from_networkx
+from repro.graph.graph import Graph
+from repro.graph.io import read_graph, write_graph
+from repro.graph.partition import (
+    Partition,
+    greedy_partition,
+    hash_partition,
+    range_partition,
+)
+from repro.graph.properties import (
+    GraphSummary,
+    largest_connected_component,
+    link_density,
+    local_clustering_coefficients,
+    summarize,
+)
+
+__all__ = [
+    "Graph",
+    "GraphSummary",
+    "Partition",
+    "from_edges",
+    "from_networkx",
+    "greedy_partition",
+    "hash_partition",
+    "largest_connected_component",
+    "link_density",
+    "local_clustering_coefficients",
+    "range_partition",
+    "read_graph",
+    "summarize",
+    "write_graph",
+]

@@ -1,0 +1,132 @@
+"""Building :class:`~repro.graph.graph.Graph` objects from edge lists.
+
+The builder performs the whole pipeline in vectorized numpy: optional
+self-loop removal, symmetrization for undirected graphs,
+deduplication, CSR assembly via ``bincount`` + stable sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["from_edges", "from_networkx", "empty_graph"]
+
+
+def _csr_from_arcs(
+    num_vertices: int, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble CSR (indptr, indices) from arc arrays.
+
+    Neighbor lists come out sorted by destination id, which keeps
+    binary-search membership tests and deterministic iteration cheap.
+    """
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst.astype(np.int32)
+
+
+def from_edges(
+    num_vertices: int,
+    edges: np.ndarray,
+    *,
+    directed: bool,
+    dedupe: bool = True,
+    allow_self_loops: bool = False,
+    name: str = "graph",
+) -> Graph:
+    """Build a graph from an ``(m, 2)`` array of (u, v) pairs.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex-id domain size; every edge endpoint must be < this.
+    edges:
+        Integer array of shape (m, 2).  For undirected graphs each
+        pair is one edge regardless of orientation.
+    directed:
+        Whether arcs are one-way.
+    dedupe:
+        Drop duplicate edges (default; the paper's graphs are simple).
+    allow_self_loops:
+        Keep (v, v) edges instead of dropping them.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+    if len(edges) and (edges.min() < 0 or edges.max() >= num_vertices):
+        raise ValueError("edge endpoints out of range")
+
+    src, dst = edges[:, 0], edges[:, 1]
+    if not allow_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+
+    if directed:
+        if dedupe and len(src):
+            key = src * np.int64(num_vertices) + dst
+            _, first = np.unique(key, return_index=True)
+            src, dst = src[first], dst[first]
+        out_indptr, out_indices = _csr_from_arcs(num_vertices, src, dst)
+        in_indptr, in_indices = _csr_from_arcs(num_vertices, dst, src)
+        return Graph(
+            num_vertices,
+            out_indptr,
+            out_indices,
+            directed=True,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            name=name,
+        )
+
+    # Undirected: canonicalize to (min, max), dedupe, then mirror.
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    if dedupe and len(lo):
+        key = lo * np.int64(num_vertices) + hi
+        _, first = np.unique(key, return_index=True)
+        lo, hi = lo[first], hi[first]
+    loops = lo == hi  # only present when allow_self_loops=True
+    both_src = np.concatenate([lo, hi[~loops]])
+    both_dst = np.concatenate([hi, lo[~loops]])
+    out_indptr, out_indices = _csr_from_arcs(num_vertices, both_src, both_dst)
+    if np.count_nonzero(loops):
+        # A self-loop stores one half-edge; pad to keep the 2E invariant.
+        raise ValueError(
+            "self-loops are not representable in undirected CSR; "
+            "build with allow_self_loops=False"
+        )
+    return Graph(num_vertices, out_indptr, out_indices, directed=False, name=name)
+
+
+def from_networkx(g, *, name: str | None = None) -> Graph:
+    """Convert a networkx graph with integer node labels 0..n-1."""
+    directed = g.is_directed()
+    n = g.number_of_nodes()
+    nodes = sorted(g.nodes())
+    if nodes != list(range(n)):
+        raise ValueError("networkx graph must be labelled 0..n-1 contiguously")
+    edges = np.array(list(g.edges()), dtype=np.int64).reshape(-1, 2)
+    return from_edges(
+        n,
+        edges,
+        directed=directed,
+        name=name or getattr(g, "name", "") or "from_networkx",
+    )
+
+
+def empty_graph(num_vertices: int, *, directed: bool, name: str = "empty") -> Graph:
+    """A graph with vertices but no edges."""
+    return from_edges(
+        num_vertices,
+        np.empty((0, 2), dtype=np.int64),
+        directed=directed,
+        name=name,
+    )

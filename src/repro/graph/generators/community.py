@@ -1,0 +1,72 @@
+"""Planted-partition (community-structured) generator.
+
+Used for the game-community stand-ins (KGS, DotaLeague): players
+cluster into groups (Go clubs, DotA leagues) with dense intra-group
+play relationships and sparser cross-group edges.  DotaLeague's extreme
+density (average degree 1663 over 61 k vertices) is reproduced by
+making groups near-cliques.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.graph import Graph
+
+__all__ = ["planted_partition"]
+
+
+def planted_partition(
+    num_vertices: int,
+    num_communities: int,
+    intra_degree: float,
+    inter_degree: float,
+    *,
+    seed: int = 1,
+    directed: bool = False,
+    name: str = "planted",
+) -> Graph:
+    """Communities of near-equal size with target intra/inter degrees.
+
+    Parameters
+    ----------
+    intra_degree:
+        Expected number of *intra-community* edge endpoints per vertex.
+    inter_degree:
+        Expected number of *cross-community* edge endpoints per vertex.
+    """
+    if num_communities < 1:
+        raise ValueError("num_communities must be >= 1")
+    rng = np.random.default_rng(seed)
+    comm = (
+        np.arange(num_vertices, dtype=np.int64) * num_communities // max(num_vertices, 1)
+    )
+    comm = np.minimum(comm, num_communities - 1)
+    # Intra edges: sample pairs within each community.
+    chunks: list[np.ndarray] = []
+    starts = np.searchsorted(comm, np.arange(num_communities))
+    ends = np.append(starts[1:], num_vertices)
+    for c in range(num_communities):
+        lo, hi = int(starts[c]), int(ends[c])
+        size = hi - lo
+        if size < 2:
+            continue
+        m = int(size * intra_degree / 2)
+        cap = size * (size - 1) // 2
+        m = min(m, cap)
+        src = rng.integers(lo, hi, size=int(m * 1.15) + 8, dtype=np.int64)
+        dst = rng.integers(lo, hi, size=int(m * 1.15) + 8, dtype=np.int64)
+        chunks.append(np.column_stack([src, dst]))
+    # Inter edges: uniform endpoints (cross pairs dominate when
+    # num_communities is large).
+    m_inter = int(num_vertices * inter_degree / 2)
+    if m_inter:
+        src = rng.integers(0, num_vertices, size=m_inter, dtype=np.int64)
+        dst = rng.integers(0, num_vertices, size=m_inter, dtype=np.int64)
+        chunks.append(np.column_stack([src, dst]))
+    # A community-order ring keeps everything weakly connected.
+    ids = np.arange(num_vertices, dtype=np.int64)
+    chunks.append(np.column_stack([ids, (ids + 1) % num_vertices]))
+    edges = np.vstack(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
+    return from_edges(num_vertices, edges, directed=directed, name=name)

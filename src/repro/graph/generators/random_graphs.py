@@ -1,0 +1,68 @@
+"""Classic random graphs: Erdős–Rényi G(n, m) and Watts–Strogatz."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.graph import Graph
+
+__all__ = ["erdos_renyi", "watts_strogatz"]
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    directed: bool = False,
+    seed: int = 1,
+    name: str = "erdos_renyi",
+) -> Graph:
+    """G(n, m): ``num_edges`` uniform random edges (post-dedupe, the
+    realized count can be slightly lower; we oversample 5 % to
+    compensate and trim).
+    """
+    rng = np.random.default_rng(seed)
+    want = num_edges
+    oversample = int(want * 1.08) + 16
+    src = rng.integers(0, num_vertices, size=oversample, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=oversample, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if directed:
+        key = src * np.int64(num_vertices) + dst
+    else:
+        lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+        key = lo * np.int64(num_vertices) + hi
+    _, first = np.unique(key, return_index=True)
+    first = np.sort(first)[:want]
+    edges = np.column_stack([src[first], dst[first]])
+    return from_edges(num_vertices, edges, directed=directed, name=name)
+
+
+def watts_strogatz(
+    num_vertices: int,
+    k: int,
+    p_rewire: float,
+    *,
+    seed: int = 1,
+    name: str = "watts_strogatz",
+) -> Graph:
+    """Small-world ring lattice with rewiring (always undirected)."""
+    if k % 2 or k < 2:
+        raise ValueError("k must be even and >= 2")
+    if k >= num_vertices:
+        raise ValueError("k must be < num_vertices")
+    rng = np.random.default_rng(seed)
+    ids = np.arange(num_vertices, dtype=np.int64)
+    chunks = []
+    for offset in range(1, k // 2 + 1):
+        dst = (ids + offset) % num_vertices
+        rewire = rng.random(num_vertices) < p_rewire
+        dst = dst.copy()
+        dst[rewire] = rng.integers(
+            0, num_vertices, size=int(rewire.sum()), dtype=np.int64
+        )
+        chunks.append(np.column_stack([ids, dst]))
+    edges = np.vstack(chunks)
+    return from_edges(num_vertices, edges, directed=False, name=name)

@@ -1,0 +1,150 @@
+"""The paper's plain-text vertex-line graph format.
+
+Section 2.2.1: *"vertices have integers as identifiers.  Each vertex is
+stored in an individual line, which for undirected graphs, includes the
+identifier of the vertex and a comma-separated list of neighbors; for
+directed graphs, each vertex line includes the vertex identifier and
+two comma-separated lists of neighbors, corresponding to the incoming
+and to the outgoing edges."*
+
+Concrete grammar used here (tab-separated fields, ``#`` comments):
+
+* undirected: ``<id>\\t<n1>,<n2>,...``
+* directed:   ``<id>\\t<in1>,<in2>,...\\t<out1>,<out2>,...``
+
+Empty neighbor lists are empty fields.  A one-line header
+``# repro-graph directed|undirected <num_vertices>`` makes files
+self-describing.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+import typing as _t
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.graph import Graph
+
+__all__ = ["write_graph", "read_graph", "GraphFormatError"]
+
+_HEADER_TAG = "# repro-graph"
+
+
+class GraphFormatError(ValueError):
+    """Raised on malformed graph files."""
+
+
+def _format_list(arr: np.ndarray) -> str:
+    return ",".join(map(str, arr.tolist()))
+
+
+def write_graph(graph: Graph, path: str | os.PathLike | _t.TextIO) -> None:
+    """Write ``graph`` to ``path`` in the vertex-line text format."""
+    own = isinstance(path, (str, os.PathLike))
+    fh: _t.TextIO = open(path, "w") if own else _t.cast(_t.TextIO, path)
+    try:
+        kind = "directed" if graph.directed else "undirected"
+        fh.write(f"{_HEADER_TAG} {kind} {graph.num_vertices}\n")
+        out_indptr, out_indices = graph.out_indptr, graph.out_indices
+        if graph.directed:
+            in_indptr, in_indices = graph.in_indptr, graph.in_indices
+            for v in range(graph.num_vertices):
+                ins = _format_list(in_indices[in_indptr[v] : in_indptr[v + 1]])
+                outs = _format_list(out_indices[out_indptr[v] : out_indptr[v + 1]])
+                fh.write(f"{v}\t{ins}\t{outs}\n")
+        else:
+            for v in range(graph.num_vertices):
+                nbrs = _format_list(out_indices[out_indptr[v] : out_indptr[v + 1]])
+                fh.write(f"{v}\t{nbrs}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def _parse_list(field: str) -> list[int]:
+    field = field.strip()
+    if not field:
+        return []
+    try:
+        return [int(tok) for tok in field.split(",")]
+    except ValueError as exc:
+        raise GraphFormatError(f"bad neighbor list {field!r}") from exc
+
+
+def read_graph(path: str | os.PathLike | _t.TextIO, *, name: str | None = None) -> Graph:
+    """Read a graph written by :func:`write_graph`."""
+    own = isinstance(path, (str, os.PathLike))
+    fh: _t.TextIO = open(path, "r") if own else _t.cast(_t.TextIO, path)
+    try:
+        header = fh.readline()
+        if not header.startswith(_HEADER_TAG):
+            raise GraphFormatError(
+                f"missing {_HEADER_TAG!r} header (got {header[:40]!r})"
+            )
+        parts = header[len(_HEADER_TAG) :].split()
+        if len(parts) != 2 or parts[0] not in ("directed", "undirected"):
+            raise GraphFormatError(f"malformed header: {header!r}")
+        directed = parts[0] == "directed"
+        try:
+            num_vertices = int(parts[1])
+        except ValueError as exc:
+            raise GraphFormatError(f"bad vertex count in header: {header!r}") from exc
+
+        srcs: list[int] = []
+        dsts: list[int] = []
+        seen: set[int] = set()
+        for lineno, line in enumerate(fh, start=2):
+            line = line.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            expected = 3 if directed else 2
+            if len(fields) != expected:
+                raise GraphFormatError(
+                    f"line {lineno}: expected {expected} fields, got {len(fields)}"
+                )
+            try:
+                vid = int(fields[0])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: bad vertex id") from exc
+            if not 0 <= vid < num_vertices:
+                raise GraphFormatError(
+                    f"line {lineno}: vertex id {vid} out of range 0..{num_vertices - 1}"
+                )
+            if vid in seen:
+                raise GraphFormatError(f"line {lineno}: duplicate vertex {vid}")
+            seen.add(vid)
+            if directed:
+                # The in-list is redundant with other vertices' out-lists;
+                # we read only out-edges and let the builder derive in-CSR.
+                outs = _parse_list(fields[2])
+            else:
+                outs = _parse_list(fields[1])
+            srcs.extend([vid] * len(outs))
+            dsts.extend(outs)
+    finally:
+        if own:
+            fh.close()
+
+    edges = np.column_stack(
+        [np.asarray(srcs, dtype=np.int64), np.asarray(dsts, dtype=np.int64)]
+    ) if srcs else np.empty((0, 2), dtype=np.int64)
+    inferred = name
+    if inferred is None:
+        inferred = os.path.basename(os.fspath(path)) if own else "from_stream"
+    return from_edges(num_vertices, edges, directed=directed, name=inferred)
+
+
+def graph_to_text(graph: Graph) -> str:
+    """Serialize to an in-memory string (used by tests)."""
+    buf = _io.StringIO()
+    write_graph(graph, buf)
+    return buf.getvalue()
+
+
+def graph_from_text(text: str, *, name: str = "from_text") -> Graph:
+    """Parse a graph from an in-memory string (used by tests)."""
+    return read_graph(_io.StringIO(text), name=name)

@@ -1,0 +1,66 @@
+"""Executable performance models of the paper's six platforms.
+
+Each platform model *really executes* the algorithm's superstep program
+on a partitioned graph while charging compute, disk, network, barrier
+and job-scheduling costs from a per-platform cost model.  The structure
+of each model follows the paper's Section 3.1 description:
+
+==============  =============================================================
+platform        execution structure modelled
+==============  =============================================================
+Hadoop          one (or two) MapReduce jobs *per iteration*; the full graph
+                is read from and written back to HDFS every iteration; map
+                outputs shuffle through disk; per-job scheduling overhead
+YARN            same MapReduce structure with the MRv2/YARN resource
+                manager: slightly cheaper container scheduling but stricter
+                container-memory enforcement (the alpha-version behaviour
+                that loses Friendster at 20 nodes)
+Stratosphere    one Nephele DAG job: input read once, iterations exchange
+                data through network channels, PACT plan avoids per-
+                iteration job launches; workers pin their memory budget
+Giraph          Pregel BSP: map-only Hadoop job + ZooKeeper, graph loaded
+                once into JVM memory, per-superstep messages buffered in
+                memory (OOM-crash when they do not fit), dynamic
+                (active-vertex) computation
+GraphLab        MPI + GAS: single-file loading bottleneck (mp variant
+                pre-splits the input), smart edge-cut partitioning,
+                directed-only storage (undirected graphs double their
+                edges), C++ compute rates, synchronous engine
+Neo4j           single machine, two-level cache (cold vs. hot runs), lazy
+                reads, object-cache thrashing when the working set exceeds
+                the heap, transactional ingestion
+==============  =============================================================
+
+Use :func:`get_platform` to obtain a model by name.
+"""
+
+from repro.platforms.base import (
+    JobResult,
+    JobTimeout,
+    Platform,
+    PlatformCrash,
+)
+from repro.platforms.giraph import Giraph
+from repro.platforms.graphlab import GraphLab
+from repro.platforms.hadoop import Hadoop
+from repro.platforms.neo4j import Neo4j
+from repro.platforms.registry import PLATFORM_NAMES, get_platform
+from repro.platforms.scale import ScaleModel
+from repro.platforms.stratosphere import Stratosphere
+from repro.platforms.yarn import Yarn
+
+__all__ = [
+    "Giraph",
+    "GraphLab",
+    "Hadoop",
+    "JobResult",
+    "JobTimeout",
+    "Neo4j",
+    "PLATFORM_NAMES",
+    "Platform",
+    "PlatformCrash",
+    "ScaleModel",
+    "Stratosphere",
+    "Yarn",
+    "get_platform",
+]

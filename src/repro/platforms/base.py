@@ -1,0 +1,338 @@
+"""Platform model base classes and shared machinery.
+
+A :class:`Platform` executes an algorithm's superstep program on a
+graph over a :class:`~repro.cluster.spec.ClusterSpec`, returning a
+:class:`JobResult` with the simulated job execution time ``T``, the
+computation time ``Tc`` (the paper's Section 2.1 split: overhead
+``To = T - Tc``), a full resource trace, and the algorithm's real
+output.
+
+:class:`PartitionContext` is the shared workload aggregator: it turns a
+superstep report's per-vertex arrays into per-worker totals (compute,
+messages sent, bytes crossing the network) with one ``bincount`` per
+quantity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, SuperstepProgram, SuperstepReport, get_algorithm
+from repro.cluster.monitoring import ResourceTrace
+from repro.cluster.spec import ClusterSpec
+from repro.graph.graph import Graph
+from repro.graph.partition import Partition
+from repro.platforms.scale import ScaleModel
+
+__all__ = [
+    "Platform",
+    "JobResult",
+    "PlatformCrash",
+    "JobTimeout",
+    "PartitionContext",
+    "WorkerStepCosts",
+]
+
+
+class PlatformCrash(RuntimeError):
+    """The platform died mid-job (the paper's "crash" cells).
+
+    Carries enough context for the harness to tabulate the failure.
+    """
+
+    def __init__(self, platform: str, stage: str, reason: str) -> None:
+        super().__init__(f"{platform} crashed during {stage}: {reason}")
+        self.platform = platform
+        self.stage = stage
+        self.reason = reason
+
+
+class JobTimeout(RuntimeError):
+    """Simulated time exceeded the experiment budget (the paper's
+    "terminated after N hours" cells)."""
+
+    def __init__(self, platform: str, simulated_seconds: float, budget: float) -> None:
+        super().__init__(
+            f"{platform} exceeded the {budget / 3600:.1f} h budget "
+            f"(simulated {simulated_seconds / 3600:.1f} h)"
+        )
+        self.platform = platform
+        self.simulated_seconds = simulated_seconds
+        self.budget = budget
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Outcome of one job run (one cell of the paper's figures)."""
+
+    platform: str
+    algorithm: str
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    cluster: ClusterSpec
+    #: the paper's T: submission to completion, simulated seconds
+    execution_time: float
+    #: the paper's Tc: time making progress on the algorithm
+    computation_time: float
+    #: named phase durations summing (approximately) to T
+    breakdown: dict[str, float]
+    supersteps: int
+    output: object
+    trace: ResourceTrace
+
+    @property
+    def overhead_time(self) -> float:
+        """The paper's To = T - Tc."""
+        return self.execution_time - self.computation_time
+
+    @property
+    def eps(self) -> float:
+        """Edges per second (the paper's EPS metric)."""
+        return self.num_edges / self.execution_time if self.execution_time > 0 else 0.0
+
+    @property
+    def vps(self) -> float:
+        """Vertices per second (the paper's VPS metric)."""
+        return (
+            self.num_vertices / self.execution_time if self.execution_time > 0 else 0.0
+        )
+
+    def neps(self) -> float:
+        """EPS normalized by computing nodes (the paper's NEPS)."""
+        return self.eps / self.cluster.num_workers
+
+    def neps_per_core(self) -> float:
+        """EPS normalized by total cores (vertical-scalability NEPS)."""
+        return self.eps / self.cluster.total_cores
+
+    def nvps(self) -> float:
+        """VPS normalized by computing nodes."""
+        return self.vps / self.cluster.num_workers
+
+
+@dataclasses.dataclass
+class WorkerStepCosts:
+    """Per-worker totals for one superstep (paper-scale units)."""
+
+    compute_edges: np.ndarray  # float64[num_parts]
+    messages: np.ndarray
+    sent_bytes: np.ndarray
+    remote_sent_bytes: np.ndarray
+    received_bytes: np.ndarray
+
+    @property
+    def total_messages(self) -> float:
+        return float(self.messages.sum())
+
+    @property
+    def total_remote_bytes(self) -> float:
+        return float(self.remote_sent_bytes.sum())
+
+
+class PartitionContext:
+    """Precomputed per-partition structure for workload aggregation."""
+
+    def __init__(self, graph: Graph, partition: Partition, scale: ScaleModel) -> None:
+        if partition.graph is not graph:
+            raise ValueError("partition was built for a different graph")
+        self.graph = graph
+        self.partition = partition
+        self.scale = scale
+        self.num_parts = partition.num_parts
+        self.assign = partition.assignment
+        n = graph.num_vertices
+
+        out_deg = np.asarray(graph.out_degree(), dtype=np.int64)
+        self.out_deg = out_deg
+        # Remote out-degree: out-neighbors living on another part.
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.out_indptr))
+        dst = graph.out_indices.astype(np.int64)
+        remote = self.assign[src] != self.assign[dst]
+        self.remote_out = np.bincount(src[remote], minlength=n).astype(np.int64)
+        if graph.directed:
+            in_deg = np.asarray(graph.in_degree(), dtype=np.int64)
+            isrc = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(graph.in_indptr)
+            )
+            idst = graph.in_indices.astype(np.int64)
+            iremote = self.assign[isrc] != self.assign[idst]
+            self.in_deg = in_deg
+            self.remote_in = np.bincount(isrc[iremote], minlength=n).astype(np.int64)
+            self.both_deg = out_deg + in_deg
+            self.remote_both = self.remote_out + self.remote_in
+        else:
+            self.in_deg = out_deg
+            self.remote_in = self.remote_out
+            self.both_deg = out_deg
+            self.remote_both = self.remote_out
+
+        self.vertices_per_part = partition.vertices_per_part().astype(np.float64)
+        self.half_edges_per_part = partition.half_edges_per_part().astype(np.float64)
+        total_in = float(self.in_deg.sum())
+        self.in_share_per_part = (
+            np.bincount(self.assign, weights=self.in_deg, minlength=self.num_parts)
+            / total_in
+            if total_in > 0
+            else np.full(self.num_parts, 1.0 / self.num_parts)
+        )
+
+    # -- aggregation -------------------------------------------------------------
+    def _by_part(self, per_vertex: np.ndarray) -> np.ndarray:
+        return np.bincount(
+            self.assign, weights=per_vertex.astype(np.float64), minlength=self.num_parts
+        )
+
+    def _comm_degrees(self, direction: str) -> tuple[np.ndarray, np.ndarray]:
+        if direction == "out":
+            return self.out_deg, self.remote_out
+        if direction == "both":
+            return self.both_deg, self.remote_both
+        if direction == "none":
+            z = np.zeros_like(self.out_deg)
+            return np.maximum(self.out_deg, 1), z
+        raise ValueError(f"unknown message direction {direction!r}")
+
+    def step_costs(self, report: SuperstepReport) -> WorkerStepCosts:
+        """Aggregate a superstep report into paper-scale worker totals."""
+        scale = self.scale
+        byte_scale = (
+            scale.quadratic_mult
+            if getattr(report, "quadratic_in_degree", False)
+            else scale.e_mult
+        )
+        compute_scale = (
+            scale.quadratic_mult
+            if getattr(report, "compute_quadratic", False)
+            else scale.e_mult
+        )
+        compute = self._by_part(report.compute_edges) * compute_scale
+        messages = self._by_part(report.messages) * scale.e_mult
+        per_vertex_bytes = report.resolved_message_bytes().astype(np.float64)
+        direction = getattr(report, "direction", "out")
+        deg, remote_deg = self._comm_degrees(direction)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            remote_ratio = np.where(deg > 0, remote_deg / np.maximum(deg, 1), 0.0)
+        if direction == "none":
+            # Messages not tied to edges: assume the partition-average
+            # cut ratio applies.
+            remote_ratio = np.full(
+                self.graph.num_vertices, self.partition.cut_fraction()
+            )
+        sent_bytes = self._by_part(per_vertex_bytes) * byte_scale
+        remote_sent = self._by_part(per_vertex_bytes * remote_ratio) * byte_scale
+        # Received bytes: exact when provided, else apportion total
+        # traffic by each part's in-degree share.
+        if report.received_bytes is not None:
+            received = self._by_part(report.received_bytes) * byte_scale
+        else:
+            received = float(sent_bytes.sum()) * self.in_share_per_part
+        return WorkerStepCosts(
+            compute_edges=compute,
+            messages=messages,
+            sent_bytes=sent_bytes,
+            remote_sent_bytes=remote_sent,
+            received_bytes=received,
+        )
+
+
+class Platform:
+    """Abstract platform model."""
+
+    #: short code, e.g. "hadoop"
+    name: str = "?"
+    #: display label
+    label: str = "?"
+    #: "generic" or "graph" (paper Table 4 taxonomy)
+    kind: str = "generic"
+    distributed: bool = True
+    #: default simulated-time budget before the harness declares DNF
+    default_timeout: float = 4 * 3600.0
+
+    # -- main entry --------------------------------------------------------------
+    def run(
+        self,
+        algorithm: str | Algorithm,
+        graph: Graph,
+        cluster: ClusterSpec | None = None,
+        *,
+        timeout: float | None = None,
+        **params: object,
+    ) -> JobResult:
+        """Run ``algorithm`` on ``graph`` over ``cluster``.
+
+        Raises :class:`PlatformCrash` or :class:`JobTimeout` on the
+        paper's failure modes; otherwise returns a :class:`JobResult`.
+        """
+        from repro.cluster.spec import das4_cluster
+
+        algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        cluster = cluster or das4_cluster()
+        merged = {**algo.default_params(graph), **params}
+        prog = algo.program(graph, **merged)
+        scale = ScaleModel.for_graph(graph)
+        budget = self.default_timeout if timeout is None else float(timeout)
+        return self._execute(algo, prog, graph, cluster, scale, budget)
+
+    def _execute(
+        self,
+        algo: Algorithm,
+        prog: SuperstepProgram,
+        graph: Graph,
+        cluster: ClusterSpec,
+        scale: ScaleModel,
+        budget: float,
+    ) -> JobResult:
+        raise NotImplementedError
+
+    # -- ingestion (Table 6) -----------------------------------------------------
+    def ingest_seconds(self, graph: Graph, cluster: ClusterSpec | None = None) -> float:
+        """Data ingestion time for this platform (paper Table 6).
+
+        Default: copy the text file into HDFS.
+        """
+        from repro.cluster.hdfs import HDFS
+        from repro.cluster.spec import das4_cluster
+
+        cluster = cluster or das4_cluster()
+        scale = ScaleModel.for_graph(graph)
+        return HDFS(cluster).ingest_seconds(scale.bytes_text(graph))
+
+    # -- helpers -----------------------------------------------------------------
+    def _check_budget(self, simulated: float, budget: float) -> None:
+        if simulated > budget:
+            raise JobTimeout(self.name, simulated, budget)
+
+    def _result(
+        self,
+        algo: Algorithm,
+        prog: SuperstepProgram,
+        graph: Graph,
+        cluster: ClusterSpec,
+        *,
+        breakdown: dict[str, float],
+        computation_time: float,
+        supersteps: int,
+        trace: ResourceTrace,
+    ) -> JobResult:
+        total = float(sum(breakdown.values()))
+        trace.end_time = max(trace.end_time, total)
+        return JobResult(
+            platform=self.name,
+            algorithm=algo.name,
+            graph_name=graph.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            cluster=cluster,
+            execution_time=total,
+            computation_time=float(computation_time),
+            breakdown=dict(breakdown),
+            supersteps=supersteps,
+            output=prog.result(),
+            trace=trace,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.name}>"

@@ -1,0 +1,264 @@
+"""Giraph platform model (Pregel BSP on Hadoop, paper Section 3.1).
+
+Execution structure:
+
+1. **Job submission** — a map-only Hadoop job is launched and the
+   ZooKeeper quorum coordinates worker registration.
+2. **Input superstep** — each worker reads its input split from HDFS in
+   parallel and materializes its partition as Java objects in memory.
+3. **Supersteps** — only *active* vertices compute (Giraph's dynamic
+   computation); messages to remote partitions cross the network and
+   are buffered **in memory** on the receiving worker; a ZooKeeper
+   barrier ends each superstep.
+4. **Output** — workers write results to HDFS.
+
+Crash semantics (the paper's key Giraph finding): when a worker's
+partition footprint plus a superstep's message buffers exceed the JVM
+heap, the job dies.  Memory is charged with Java object overheads, so
+STATS on hub graphs (WikiTalk) and almost everything on Friendster at
+20 workers reproduce the paper's crash matrix mechanistically.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Algorithm, SuperstepProgram
+from repro.cluster.hdfs import HDFS
+from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
+from repro.cluster.spec import GB, ClusterSpec
+from repro.graph.graph import Graph
+from repro.platforms.registry import cached_partition
+from repro.platforms.base import (
+    JobResult,
+    PartitionContext,
+    Platform,
+    PlatformCrash,
+)
+from repro.platforms.scale import ScaleModel
+
+__all__ = ["Giraph"]
+
+
+class Giraph(Platform):
+    """Graph-specific, distributed, in-memory (Pregel model)."""
+
+    name = "giraph"
+    label = "Giraph"
+    kind = "graph"
+
+    # -- cost model (paper-scale constants) -----------------------------------
+    #: job submission + ZooKeeper worker registration
+    startup_seconds = 10.0
+    #: per-superstep ZooKeeper barrier + master coordination
+    barrier_seconds = 0.4
+    #: JVM vertex-program edge-processing rate per core (edges/s)
+    edge_rate = 10e6
+    #: Java heap per worker (paper configuration: 20 GB max heap)
+    heap_bytes = 20 * GB
+    #: Java object overhead per stored half-edge (adjacency entry)
+    bytes_per_half_edge = 40.0
+    #: Java object overhead per vertex (Vertex + id + value objects)
+    bytes_per_vertex = 100.0
+    #: Java object overhead per buffered message
+    bytes_per_message = 80.0
+    #: payload expansion for buffered message bodies (boxing, copies)
+    payload_factor = 2.0
+    #: baseline JVM + OS memory on a worker
+    baseline_bytes = 2 * GB
+
+    def __init__(
+        self,
+        *,
+        use_combiner: bool = False,
+        checkpoint_interval: int = 0,
+        out_of_core: bool = False,
+    ) -> None:
+        #: merge same-destination messages at the sender (ablation
+        #: feature; the paper ran Giraph 0.2 without custom combiners)
+        self.use_combiner = bool(use_combiner)
+        #: write a checkpoint every N supersteps (0 = off; the paper
+        #: notes Giraph "uses periodic checkpoints" for fault tolerance)
+        self.checkpoint_interval = int(checkpoint_interval)
+        #: spill graph partitions and message buffers to disk instead
+        #: of crashing — the Giraph 1.0 feature that later fixed the
+        #: paper's OOM cells, at a steep disk-bandwidth price
+        self.out_of_core = bool(out_of_core)
+
+    def _combined(self, value: float, cap: float) -> float:
+        """Post-combiner volume: at most one message per (destination,
+        sending worker) pair."""
+        return min(value, cap) if self.use_combiner else value
+
+    def _execute(
+        self,
+        algo: Algorithm,
+        prog: SuperstepProgram,
+        graph: Graph,
+        cluster: ClusterSpec,
+        scale: ScaleModel,
+        budget: float,
+    ) -> JobResult:
+        parts = cluster.num_workers
+        ctx = PartitionContext(graph, cached_partition(graph, parts, "hash"), scale)
+        hdfs = HDFS(cluster)
+        trace = ResourceTrace()
+        m = cluster.machine
+        heap = self.heap_bytes / cluster.cores_per_worker
+        rep_worker = worker_node(0)
+
+        # --- phase 1: startup ---------------------------------------------------
+        t = 0.0
+        breakdown: dict[str, float] = {}
+        breakdown["startup"] = self.startup_seconds
+        trace.record(MASTER, t, t + self.startup_seconds, cpu=0.004, net_in=30e3, net_out=30e3)
+        trace.set_memory(MASTER, 0.0, 8 * GB)
+        trace.set_memory(rep_worker, 0.0, self.baseline_bytes)
+        t += self.startup_seconds
+
+        # --- phase 2: load graph into memory -------------------------------------
+        text_bytes = scale.bytes_text(graph)
+        load = hdfs.parallel_read_seconds(text_bytes, parts)
+        # Parsing and object construction dominate raw disk speed.
+        parse = scale.edges(graph.num_half_edges) / (
+            self.edge_rate * cluster.cores_per_worker
+        ) / parts * 2.0
+        load_time = load + parse
+        breakdown["load"] = load_time
+        graph_mem = (
+            scale.edges(float(ctx.half_edges_per_part.max())) * self.bytes_per_half_edge
+            + scale.vertices(float(ctx.vertices_per_part.max())) * self.bytes_per_vertex
+        )
+        load_overflow = self._memory_overflow(graph_mem, 0.0, heap, stage="loading")
+        if load_overflow > 0:
+            # out-of-core loading: stream the overflow through disk
+            load_time += load_overflow / m.disk_write_bps
+            breakdown["load"] = load_time
+        trace.record(
+            rep_worker, t, t + load_time, cpu=cluster.cores_per_worker / m.cores,
+            net_in=0.0,
+        )
+        trace.set_memory(rep_worker, t + load_time, self.baseline_bytes + min(graph_mem, heap))
+        trace.record(MASTER, t, t + load_time, cpu=0.002, net_in=15e3, net_out=15e3)
+        t += load_time
+
+        # --- phase 3: supersteps ----------------------------------------------
+        compute_total = 0.0
+        comm_total = 0.0
+        barrier_total = 0.0
+        checkpoint_total = 0.0
+        supersteps = 0
+        peak_msg_mem = 0.0
+        algo_combinable = getattr(algo, "combinable", False)
+        for report in prog:
+            supersteps += 1
+            costs = ctx.step_costs(report)
+            # Combiner cap: one merged message per (destination vertex,
+            # sending worker); only for combinable algorithms with a
+            # known receiver count.
+            combine_cap = float("inf")
+            if (
+                self.use_combiner
+                and algo_combinable
+                and report.distinct_receivers is not None
+            ):
+                # per-worker post-combine bound: each worker keeps at
+                # most one merged message per distinct destination
+                combine_cap = scale.vertices(float(report.distinct_receivers)) * 16.0
+            # message buffer on the busiest receiver this superstep
+            recv_max = self._combined(float(costs.received_bytes.max()), combine_cap)
+            msg_count_share = float(costs.messages.sum()) / parts
+            if combine_cap != float("inf"):
+                msg_count_share = min(msg_count_share, combine_cap / 16.0)
+            msg_mem = (
+                recv_max * self.payload_factor
+                + msg_count_share * self.bytes_per_message
+            )
+            peak_msg_mem = max(peak_msg_mem, msg_mem)
+            overflow = self._memory_overflow(
+                graph_mem, msg_mem, heap, stage=f"superstep {supersteps}"
+            )
+
+            step_compute = float(costs.compute_edges.max()) / (
+                self.edge_rate * cluster.cores_per_worker
+            )
+            net_bytes = max(
+                self._combined(float(costs.remote_sent_bytes.max()), combine_cap),
+                recv_max,
+            )
+            step_comm = net_bytes / cluster.network_bps
+            step_time = step_compute + step_comm + self.barrier_seconds
+            if overflow > 0:
+                # out-of-core: overflow bytes round-trip the local disk
+                spill = overflow * (1.0 / m.disk_write_bps + 1.0 / m.disk_read_bps)
+                step_comm += spill
+                step_time += spill
+            cpu = min(cluster.cores_per_worker / m.cores, 1.0)
+            frac_active = report.num_active(graph.num_vertices) / max(
+                graph.num_vertices, 1
+            )
+            trace.record(
+                rep_worker, t, t + step_time,
+                cpu=cpu * max(frac_active, 0.05),
+                net_in=(float(costs.received_bytes.mean()) / step_time if step_time else 0),
+                net_out=(float(costs.remote_sent_bytes.mean()) / step_time if step_time else 0),
+            )
+            trace.record(MASTER, t, t + step_time, cpu=0.003, net_in=25e3, net_out=25e3)
+            trace.set_memory(
+                rep_worker, t,
+                self.baseline_bytes + min(graph_mem + msg_mem, heap),
+            )
+            t += step_time
+            compute_total += step_compute
+            comm_total += step_comm
+            barrier_total += self.barrier_seconds
+            # Periodic fault-tolerance checkpoint: dump partition state
+            # and pending messages to HDFS.
+            if (
+                self.checkpoint_interval > 0
+                and supersteps % self.checkpoint_interval == 0
+            ):
+                ckpt_bytes = graph_mem + msg_mem
+                ckpt = ckpt_bytes / m.disk_write_bps
+                trace.record(rep_worker, t, t + ckpt, cpu=0.1, net_out=1e5)
+                t += ckpt
+                checkpoint_total += ckpt
+            self._check_budget(t, budget)
+
+        breakdown["compute"] = compute_total
+        breakdown["communication"] = comm_total
+        breakdown["barrier"] = barrier_total
+        if checkpoint_total:
+            breakdown["checkpoint"] = checkpoint_total
+
+        # --- phase 4: write output ----------------------------------------------
+        out_bytes = scale.vertices(prog.output_bytes())
+        write = hdfs.parallel_write_seconds(out_bytes, parts)
+        breakdown["write"] = write
+        trace.record(rep_worker, t, t + max(write, 1e-9), cpu=0.1)
+        t += write
+        trace.set_memory(rep_worker, t, self.baseline_bytes)
+
+        return self._result(
+            algo, prog, graph, cluster,
+            breakdown=breakdown,
+            computation_time=compute_total,
+            supersteps=supersteps,
+            trace=trace,
+        )
+
+    def _memory_overflow(
+        self, graph_mem: float, msg_mem: float, heap: float, *, stage: str
+    ) -> float:
+        """Bytes beyond the heap.  Crashes unless out-of-core mode is
+        on, in which case the overflow is returned for spill costing."""
+        used = graph_mem + msg_mem
+        if used <= heap:
+            return 0.0
+        if self.out_of_core:
+            return used - heap
+        raise PlatformCrash(
+            self.name,
+            stage,
+            f"worker heap exhausted: needs {used / GB:.1f} GB "
+            f"(partition {graph_mem / GB:.1f} GB + messages "
+            f"{msg_mem / GB:.1f} GB) > {heap / GB:.1f} GB heap",
+        )

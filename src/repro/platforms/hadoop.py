@@ -1,0 +1,19 @@
+"""Hadoop platform model (hadoop-0.20.203.0, paper Table 4).
+
+All behaviour lives in :class:`~repro.platforms.mapreduce.MapReduceEngine`;
+this class pins the classic-JobTracker cost constants.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.mapreduce import MapReduceEngine
+
+__all__ = ["Hadoop"]
+
+
+class Hadoop(MapReduceEngine):
+    """Generic, distributed (MapReduce, classic JobTracker)."""
+
+    name = "hadoop"
+    label = "Hadoop"
+    job_startup_seconds = 45.0

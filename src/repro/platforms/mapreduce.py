@@ -1,0 +1,225 @@
+"""Iterative MapReduce execution (shared by Hadoop and YARN).
+
+The paper's central observation about MapReduce graph processing
+(Sections 3.1 and 4.1.1): every iteration is a separate job that
+
+1. pays job scheduling/startup latency,
+2. reads the **entire graph** from HDFS in the map phase,
+3. shuffles the graph structure *plus* all messages through local
+   disks and the network,
+4. re-applies updates in the reduce phase, and
+5. writes the entire graph state back to HDFS.
+
+So execution time is roughly ``iterations x (startup + 2 x graph I/O +
+shuffle)``, which is what makes the 68-iteration Amazon BFS the
+paper's slowest cell and Hadoop "the worst performer in all cases".
+
+The reducer's in-memory merge (1.5 GB, the paper's configuration) is
+the crash site for STATS on DotaLeague: a single vertex's received
+neighbor lists exceed the sort buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, SuperstepProgram
+from repro.cluster.hdfs import HDFS
+from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
+from repro.cluster.spec import GB, ClusterSpec
+from repro.graph.graph import Graph
+from repro.platforms.registry import cached_partition
+from repro.platforms.base import (
+    JobResult,
+    PartitionContext,
+    Platform,
+    PlatformCrash,
+)
+from repro.platforms.scale import ScaleModel
+
+__all__ = ["MapReduceEngine"]
+
+
+class MapReduceEngine(Platform):
+    """Base class for the Hadoop-family platforms."""
+
+    kind = "generic"
+
+    # -- cost model -------------------------------------------------------------
+    #: per-job scheduling latency: submission, task launch waves,
+    #: completion polling (JobTracker/RM heartbeat granularity)
+    job_startup_seconds = 45.0
+    #: map/reduce record-processing rate per core (adjacency entries/s)
+    edge_rate = 5e6
+    #: in-memory merge budget at the reducers (paper: 1.5 GB)
+    sort_buffer_bytes = 1.5 * GB
+    #: Java expansion factor for a single in-memory record group
+    record_memory_factor = 100.0
+    #: bytes of shuffle per message (key + value + framing, on disk)
+    message_shuffle_bytes = 16.0
+    #: extra jobs per iteration for algorithms needing a distinct
+    #: convergence/creation job (paper: EVO runs two MR jobs/iteration)
+    two_job_algorithms = ("evo",)
+    #: baseline memory of a worker (OS + DataNode + TaskTracker)
+    baseline_bytes = 2 * GB
+    #: paper configuration: input block count pinned to the task-slot
+    #: count, so every map phase completes in one wave (Section 3.1).
+    #: Set False to split inputs at the HDFS block size instead: map
+    #: task count then follows the data, and the map phase is scheduled
+    #: over the slots with the DES kernel (waves + stragglers).
+    pin_blocks_to_slots = True
+
+    @staticmethod
+    def _wave_makespan(durations: list[float], slots: int) -> float:
+        """Makespan of scheduling ``durations`` greedily over ``slots``
+        identical executors — computed with the DES kernel."""
+        from repro.des import Resource, Simulator
+
+        if not durations:
+            return 0.0
+        sim = Simulator()
+        pool = Resource(sim, capacity=max(slots, 1))
+
+        def task(service: float):
+            with pool.request() as req:
+                yield req
+                yield sim.timeout(service)
+
+        procs = [sim.process(task(d)) for d in durations]
+        sim.run(until=sim.all_of(procs))
+        return sim.now
+
+    def _container_check(
+        self, split_bytes: float, heap: float, graph: Graph
+    ) -> None:
+        """Hook for YARN's stricter container enforcement (no-op here)."""
+
+    def _execute(
+        self,
+        algo: Algorithm,
+        prog: SuperstepProgram,
+        graph: Graph,
+        cluster: ClusterSpec,
+        scale: ScaleModel,
+        budget: float,
+    ) -> JobResult:
+        parts = cluster.num_workers * cluster.cores_per_worker  # task slots
+        ctx = PartitionContext(graph, cached_partition(graph, parts, "hash"), scale)
+        hdfs = HDFS(cluster)
+        trace = ResourceTrace()
+        m = cluster.machine
+        rep_worker = worker_node(0)
+        heap = cluster.worker_heap_bytes
+
+        text_bytes = scale.bytes_text(graph)
+        split_bytes = text_bytes / parts
+        self._container_check(split_bytes, heap, graph)
+
+        trace.set_memory(MASTER, 0.0, 8 * GB)
+        trace.set_memory(rep_worker, 0.0, self.baseline_bytes)
+
+        t = 0.0
+        startup_total = 0.0
+        read_total = 0.0
+        map_cpu_total = 0.0
+        shuffle_total = 0.0
+        reduce_cpu_total = 0.0
+        write_total = 0.0
+        supersteps = 0
+        half_edges_scaled = scale.edges(graph.num_half_edges)
+
+        for report in prog:
+            supersteps += 1
+            costs = ctx.step_costs(report)
+            jobs = 2 if algo.name in self.two_job_algorithms else 1
+
+            # Reducer record-group memory check (STATS neighbor lists).
+            if report.received_bytes is not None:
+                biggest = scale.per_vertex_degree2(
+                    float(np.max(report.received_bytes))
+                )
+                if biggest * self.record_memory_factor > self.sort_buffer_bytes:
+                    raise PlatformCrash(
+                        self.name,
+                        f"iteration {supersteps} reduce",
+                        "in-memory merge exhausted: one vertex's grouped "
+                        f"values need {biggest * self.record_memory_factor / GB:.1f} GB "
+                        f"> {self.sort_buffer_bytes / GB:.1f} GB sort buffer",
+                    )
+
+            msg_bytes = float(costs.sent_bytes.sum())
+            map_out_bytes = text_bytes + msg_bytes  # graph state + messages
+            # Disk and network are per-*node* resources: co-located task
+            # slots share them (and contend a little — the paper's
+            # "latency ... due to concurrent accesses to the disk").
+            nodes = cluster.num_workers
+            contention = 1.0 + 0.05 * (cluster.cores_per_worker - 1)
+            per_node_out = map_out_bytes / nodes * contention
+
+            for _job in range(jobs):
+                startup = self.job_startup_seconds
+                if self.pin_blocks_to_slots:
+                    # paper config: one map task per slot, single wave
+                    read = hdfs.parallel_read_seconds(text_bytes, nodes) * contention
+                    map_cpu = half_edges_scaled / parts / self.edge_rate
+                else:
+                    # block-driven task count: waves over the slots
+                    n_tasks = hdfs.num_blocks(text_bytes)
+                    per_task_bytes = text_bytes / n_tasks
+                    per_task_cpu = half_edges_scaled / n_tasks / self.edge_rate
+                    per_task = (
+                        per_task_bytes / m.disk_read_bps * contention
+                        + per_task_cpu
+                    )
+                    makespan = self._wave_makespan([per_task] * n_tasks, parts)
+                    # keep the read/compute split for the breakdown
+                    io_frac = (per_task_bytes / m.disk_read_bps * contention) / per_task
+                    read = makespan * io_frac
+                    map_cpu = makespan * (1 - io_frac)
+                spill = per_node_out / m.disk_write_bps
+                copy = per_node_out / min(cluster.network_bps, m.disk_read_bps)
+                merge = per_node_out / m.disk_read_bps
+                reduce_cpu = half_edges_scaled / parts / self.edge_rate * 0.5
+                write = hdfs.parallel_write_seconds(text_bytes, nodes) * contention
+                job_time = startup + read + map_cpu + spill + copy + merge + reduce_cpu + write
+
+                # resource trace: idle during startup, busy during phases
+                cpu = min(cluster.cores_per_worker / m.cores, 1.0)
+                t0 = t
+                trace.record(MASTER, t0, t0 + job_time, cpu=0.004, net_in=40e3, net_out=40e3)
+                t_map = t0 + startup
+                trace.set_memory(rep_worker, t_map, self.baseline_bytes
+                                 + min(self.sort_buffer_bytes + split_bytes * 2, heap))
+                trace.record(rep_worker, t_map, t_map + read + map_cpu + spill, cpu=cpu,
+                             net_in=5e4)
+                t_shuffle = t_map + read + map_cpu + spill
+                rate_in = per_node_out / max(copy, 1e-9)
+                trace.record(rep_worker, t_shuffle, t_shuffle + copy + merge,
+                             cpu=cpu * 0.3, net_in=rate_in, net_out=rate_in)
+                t_reduce = t_shuffle + copy + merge
+                trace.record(rep_worker, t_reduce, t_reduce + reduce_cpu + write, cpu=cpu)
+                trace.set_memory(rep_worker, t0 + job_time, self.baseline_bytes)
+
+                t += job_time
+                startup_total += startup
+                read_total += read
+                map_cpu_total += map_cpu
+                shuffle_total += spill + copy + merge
+                reduce_cpu_total += reduce_cpu
+                write_total += write
+                self._check_budget(t, budget)
+
+        breakdown = {
+            "scheduling": startup_total,
+            "read": read_total,
+            "compute": map_cpu_total + reduce_cpu_total,
+            "shuffle": shuffle_total,
+            "write": write_total,
+        }
+        return self._result(
+            algo, prog, graph, cluster,
+            breakdown=breakdown,
+            computation_time=map_cpu_total + reduce_cpu_total,
+            supersteps=supersteps,
+            trace=trace,
+        )

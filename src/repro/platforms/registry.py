@@ -1,0 +1,76 @@
+"""Platform lookup and shared partition cache."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.graph.graph import Graph
+from repro.graph.partition import (
+    Partition,
+    greedy_partition,
+    hash_partition,
+    range_partition,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platforms.base import Platform
+
+__all__ = ["PLATFORM_NAMES", "get_platform", "cached_partition"]
+
+#: paper Table 4 order, plus the GraphLab(mp) tuning variant
+PLATFORM_NAMES: tuple[str, ...] = (
+    "hadoop",
+    "yarn",
+    "stratosphere",
+    "giraph",
+    "graphlab",
+    "graphlab_mp",
+    "neo4j",
+)
+
+
+def get_platform(name: str) -> "Platform":
+    """Instantiate a platform model by short code."""
+    from repro.platforms.giraph import Giraph
+    from repro.platforms.graphlab import GraphLab
+    from repro.platforms.hadoop import Hadoop
+    from repro.platforms.neo4j import Neo4j
+    from repro.platforms.stratosphere import Stratosphere
+    from repro.platforms.yarn import Yarn
+
+    name = name.lower()
+    factory: dict[str, _t.Callable[[], Platform]] = {
+        "hadoop": Hadoop,
+        "yarn": Yarn,
+        "stratosphere": Stratosphere,
+        "giraph": Giraph,
+        "graphlab": GraphLab,
+        "graphlab_mp": lambda: GraphLab(pre_split=True),
+        "neo4j": Neo4j,
+    }
+    try:
+        return factory[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; choose from {', '.join(PLATFORM_NAMES)}"
+        ) from None
+
+
+_partition_cache: dict[tuple[int, int, str], Partition] = {}
+
+
+def cached_partition(graph: Graph, num_parts: int, policy: str) -> Partition:
+    """Memoized partitioner front end (partitions are pure functions of
+    graph identity, part count, and policy — and LDG is not free)."""
+    key = (id(graph), num_parts, policy)
+    part = _partition_cache.get(key)
+    if part is not None and part.graph is graph:
+        return part
+    builder = {
+        "hash": hash_partition,
+        "range": range_partition,
+        "greedy": greedy_partition,
+    }[policy]
+    part = builder(graph, num_parts)
+    _partition_cache[key] = part
+    return part

@@ -1,0 +1,51 @@
+"""YARN platform model (hadoop-2.0.3-alpha, paper Table 4).
+
+Identical MapReduce execution structure to Hadoop — the paper keeps
+the configuration "same to that of Hadoop" and finds YARN "only
+slightly better ... it has not been altered to support iterative
+applications".  Two differences are modelled:
+
+* container scheduling through the ResourceManager is somewhat faster
+  than the classic JobTracker's task launch (smaller per-job startup);
+* the alpha-version container monitor enforces memory limits
+  aggressively: a map task whose input split (expanded to Java text
+  records) plus sort buffer exceeds the container allocation is killed.
+  At 20 workers Friendster's splits cross that line — the paper's
+  "both YARN and Giraph crashed on 20 computing machines" — while at
+  25+ workers the smaller splits pass.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import GB
+from repro.graph.graph import Graph
+from repro.platforms.base import PlatformCrash
+from repro.platforms.mapreduce import MapReduceEngine
+
+__all__ = ["Yarn"]
+
+
+class Yarn(MapReduceEngine):
+    """Generic, distributed (MapReduce on YARN)."""
+
+    name = "yarn"
+    label = "YARN"
+    job_startup_seconds = 38.0
+    #: Java in-memory expansion of a text input split (record objects)
+    split_memory_factor = 20.0
+    #: container allocation per task (paper: 20 GB maximum)
+    container_bytes = 20 * GB
+
+    def _container_check(
+        self, split_bytes: float, heap: float, graph: Graph
+    ) -> None:
+        limit = min(self.container_bytes, heap)
+        need = split_bytes * self.split_memory_factor + self.sort_buffer_bytes
+        if need > limit:
+            raise PlatformCrash(
+                self.name,
+                "container launch",
+                f"container memory monitor killed the task: split of "
+                f"{split_bytes / GB:.2f} GB expands to {need / GB:.1f} GB "
+                f"> {limit / GB:.1f} GB allocation",
+            )

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import das4_cluster
+from repro.graph.builder import from_edges
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def tiny_directed() -> Graph:
+    """A 6-vertex directed graph with a known structure.
+
+    Edges: 0->1, 0->2, 1->3, 2->3, 3->4; vertex 5 is isolated.
+    """
+    edges = np.array([[0, 1], [0, 2], [1, 3], [2, 3], [3, 4]])
+    return from_edges(6, edges, directed=True, name="tiny_directed")
+
+
+@pytest.fixture
+def tiny_undirected() -> Graph:
+    """A 6-vertex undirected graph: a triangle 0-1-2, a path 2-3-4,
+    vertex 5 isolated."""
+    edges = np.array([[0, 1], [1, 2], [0, 2], [2, 3], [3, 4]])
+    return from_edges(6, edges, directed=False, name="tiny_undirected")
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """An undirected path 0-1-2-...-9."""
+    edges = np.column_stack([np.arange(9), np.arange(1, 10)])
+    return from_edges(10, edges, directed=False, name="path10")
+
+
+@pytest.fixture
+def random_graph() -> Graph:
+    """A reproducible connected-ish random undirected graph."""
+    from repro.graph.generators.random_graphs import erdos_renyi
+
+    return erdos_renyi(200, 800, seed=7, name="rand200")
+
+
+@pytest.fixture
+def random_digraph() -> Graph:
+    """A reproducible random directed graph."""
+    from repro.graph.generators.random_graphs import erdos_renyi
+
+    return erdos_renyi(150, 600, directed=True, seed=9, name="rand150d")
+
+
+@pytest.fixture
+def cluster20():
+    """The paper's default 20x1 cluster."""
+    return das4_cluster(20, 1)
+
+
+@pytest.fixture
+def small_cluster():
+    """A small cluster for fast platform tests."""
+    return das4_cluster(4, 1)

@@ -1,0 +1,102 @@
+"""Tests for BFS (reference and superstep program)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.bfs import BfsProgram, bfs_levels
+from repro.graph.builder import from_edges
+
+
+class TestReferenceBfs:
+    def test_path_levels(self, path_graph):
+        levels = bfs_levels(path_graph, 0)
+        assert levels.tolist() == list(range(10))
+
+    def test_from_middle(self, path_graph):
+        levels = bfs_levels(path_graph, 5)
+        assert levels[0] == 5 and levels[9] == 4
+
+    def test_unreachable_is_minus_one(self, tiny_undirected):
+        levels = bfs_levels(tiny_undirected, 0)
+        assert levels[5] == -1
+
+    def test_directed_follows_out_edges_only(self, tiny_directed):
+        levels = bfs_levels(tiny_directed, 3)
+        # 3 -> 4 reachable; 0,1,2 are upstream, unreachable
+        assert levels[4] == 1
+        assert levels[0] == levels[1] == levels[2] == -1
+
+    def test_matches_networkx(self, random_graph):
+        levels = bfs_levels(random_graph, 0)
+        truth = nx.single_source_shortest_path_length(
+            random_graph.to_networkx(), 0
+        )
+        for v in range(random_graph.num_vertices):
+            assert levels[v] == truth.get(v, -1)
+
+    def test_matches_networkx_directed(self, random_digraph):
+        levels = bfs_levels(random_digraph, 3)
+        truth = nx.single_source_shortest_path_length(
+            random_digraph.to_networkx(), 3
+        )
+        for v in range(random_digraph.num_vertices):
+            assert levels[v] == truth.get(v, -1)
+
+    def test_bad_source(self, path_graph):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph, 100)
+
+
+class TestBfsProgram:
+    def test_program_matches_reference(self, random_graph):
+        prog = BfsProgram(random_graph, 0)
+        for _ in prog:
+            pass
+        assert np.array_equal(prog.result(), bfs_levels(random_graph, 0))
+
+    def test_iteration_count_is_depth_plus_one(self, path_graph):
+        """Pregel BFS runs one final superstep that discovers nothing."""
+        prog = BfsProgram(path_graph, 0)
+        n = sum(1 for _ in prog)
+        assert n == 10  # depth 9 + final empty superstep
+
+    def test_coverage(self, tiny_undirected):
+        prog = BfsProgram(tiny_undirected, 0)
+        for _ in prog:
+            pass
+        assert prog.coverage() == pytest.approx(5 / 6)
+
+    def test_active_is_frontier(self, path_graph):
+        prog = BfsProgram(path_graph, 0)
+        report = prog.step()
+        assert report.active is not None
+        assert np.flatnonzero(report.active).tolist() == [0]
+
+    def test_messages_equal_frontier_degree(self, path_graph):
+        prog = BfsProgram(path_graph, 0)
+        report = prog.step()
+        assert report.messages.sum() == 1  # vertex 0 has degree 1
+
+    def test_halts_on_isolated_source(self, tiny_undirected):
+        prog = BfsProgram(tiny_undirected, 5)
+        reports = list(prog)
+        assert len(reports) == 1
+        assert reports[0].halted
+
+    def test_run_reference_statistics(self, random_graph):
+        algo = get_algorithm("bfs")
+        res = algo.run_reference(random_graph, source=0)
+        assert res.algorithm == "bfs"
+        assert res.iterations >= 1
+        assert 0.0 < res.coverage <= 1.0
+        assert res.total_messages > 0
+
+    def test_source_default_from_registry(self):
+        from repro.datasets import load_dataset
+
+        g = load_dataset("kgs")
+        algo = get_algorithm("bfs")
+        params = algo.default_params(g)
+        assert 0 <= int(params["source"]) < g.num_vertices

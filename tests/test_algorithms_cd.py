@@ -1,0 +1,113 @@
+"""Tests for CD (Leung et al. weighted label propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.cd import (
+    CdProgram,
+    _segment_argmax_label,
+    community_detection_labels,
+)
+from repro.graph.builder import from_edges
+from repro.graph.generators.community import planted_partition
+
+
+class TestSegmentArgmax:
+    def test_single_receiver(self):
+        best, weight = _segment_argmax_label(
+            np.array([0, 0, 0]), np.array([7, 7, 9]), np.array([1.0, 1.0, 1.5]), 2
+        )
+        assert best[0] == 7  # weight 2.0 beats 1.5
+        assert weight[0] == pytest.approx(2.0)
+
+    def test_tie_breaks_to_smaller_label(self):
+        best, _ = _segment_argmax_label(
+            np.array([0, 0]), np.array([5, 3]), np.array([1.0, 1.0]), 1
+        )
+        assert best[0] == 3
+
+    def test_no_votes_gives_minus_one(self):
+        best, weight = _segment_argmax_label(
+            np.array([], dtype=int), np.array([], dtype=int), np.array([]), 3
+        )
+        assert best.tolist() == [-1, -1, -1]
+        assert weight.tolist() == [0.0, 0.0, 0.0]
+
+    def test_multiple_receivers_independent(self):
+        best, _ = _segment_argmax_label(
+            np.array([0, 1, 1]),
+            np.array([4, 8, 8]),
+            np.array([1.0, 0.5, 0.6]),
+            2,
+        )
+        assert best.tolist() == [4, 8]
+
+
+class TestCdProgram:
+    def test_respects_max_iterations(self, random_graph):
+        prog = CdProgram(random_graph, max_iterations=3)
+        assert sum(1 for _ in prog) <= 3
+
+    def test_paper_defaults(self):
+        from repro.datasets import load_dataset
+
+        algo = get_algorithm("cd")
+        params = algo.default_params(load_dataset("kgs"))
+        assert params["max_iterations"] == 5
+        assert params["hop_attenuation"] == pytest.approx(0.1)
+        assert params["initial_score"] == pytest.approx(1.0)
+
+    def test_labels_valid_vertex_ids(self, random_graph):
+        labels = community_detection_labels(random_graph)
+        assert labels.min() >= 0
+        assert labels.max() < random_graph.num_vertices
+
+    def test_connected_pairs_tend_to_share_labels(self):
+        """On a strongly modular graph CD recovers the communities."""
+        g = planted_partition(300, 6, 25, 0.5, seed=11)
+        labels = community_detection_labels(g)
+        comm = np.arange(300) * 6 // 300
+        # within each planted community, one label should dominate
+        agreement = 0
+        for c in range(6):
+            members = labels[comm == c]
+            _, counts = np.unique(members, return_counts=True)
+            agreement += counts.max() / len(members)
+        assert agreement / 6 > 0.6
+
+    def test_communities_far_fewer_than_vertices(self):
+        g = planted_partition(400, 8, 25, 0.5, seed=12)
+        labels = community_detection_labels(g)
+        assert len(np.unique(labels)) < 100
+
+    def test_scores_stay_nonnegative(self, random_graph):
+        prog = CdProgram(random_graph, max_iterations=5)
+        for _ in prog:
+            assert np.all(prog.scores >= 0)
+
+    def test_all_vertices_active_each_round(self, random_graph):
+        prog = CdProgram(random_graph, max_iterations=2)
+        for report in prog:
+            assert report.active is None
+
+    def test_halts_when_no_change(self):
+        """An edgeless graph converges after the first sweep."""
+        from repro.graph.builder import empty_graph
+
+        g = empty_graph(5, directed=False)
+        prog = CdProgram(g, max_iterations=10)
+        assert sum(1 for _ in prog) == 1
+
+    def test_isolated_vertex_keeps_own_label(self, tiny_undirected):
+        labels = community_detection_labels(tiny_undirected)
+        assert labels[5] == 5
+
+    def test_deterministic(self, random_graph):
+        a = community_detection_labels(random_graph)
+        b = community_detection_labels(random_graph)
+        assert np.array_equal(a, b)
+
+    def test_directed_direction_flag(self, random_digraph):
+        report = CdProgram(random_digraph).step()
+        assert report.direction == "both"

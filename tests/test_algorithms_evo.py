@@ -1,0 +1,90 @@
+"""Tests for EVO (Forest Fire graph evolution)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.evo import EvoProgram
+
+
+class TestEvoProgram:
+    def test_runs_configured_iterations(self, random_graph):
+        prog = EvoProgram(random_graph, iterations=6)
+        assert sum(1 for _ in prog) == 6
+
+    def test_growth_fraction(self, random_graph):
+        prog = EvoProgram(random_graph, growth_fraction=0.05, iterations=5)
+        for _ in prog:
+            pass
+        evolved = prog.result()
+        expected_new = max(int(round(random_graph.num_vertices * 0.05)), 5)
+        assert evolved.num_vertices == random_graph.num_vertices + expected_new
+
+    def test_minimum_one_vertex_per_iteration(self, random_graph):
+        """Tiny growth fractions still add >= iterations vertices."""
+        prog = EvoProgram(random_graph, growth_fraction=1e-9, iterations=6)
+        for _ in prog:
+            pass
+        assert prog.result().num_vertices >= random_graph.num_vertices + 6
+
+    def test_edges_only_added(self, random_graph):
+        prog = EvoProgram(random_graph, growth_fraction=0.02)
+        for _ in prog:
+            pass
+        evolved = prog.result()
+        assert evolved.num_edges >= random_graph.num_edges
+        assert prog.num_new_edges() > 0
+
+    def test_original_edges_preserved(self, path_graph):
+        prog = EvoProgram(path_graph, growth_fraction=0.3, seed=5)
+        for _ in prog:
+            pass
+        evolved = prog.result()
+        for v in range(path_graph.num_vertices):
+            old = set(path_graph.neighbors(v).tolist())
+            new = set(evolved.neighbors(v).tolist())
+            assert old <= new
+
+    def test_new_vertices_are_connected(self, random_graph):
+        prog = EvoProgram(random_graph, growth_fraction=0.02, seed=7)
+        for _ in prog:
+            pass
+        evolved = prog.result()
+        deg = np.asarray(evolved.degree())
+        assert np.all(deg[random_graph.num_vertices:] >= 1)
+
+    def test_directed_evolution(self, random_digraph):
+        prog = EvoProgram(random_digraph, growth_fraction=0.05)
+        for _ in prog:
+            pass
+        assert prog.result().directed
+
+    def test_deterministic_in_seed(self, random_graph):
+        a = EvoProgram(random_graph, seed=3)
+        b = EvoProgram(random_graph, seed=3)
+        for _ in a:
+            pass
+        for _ in b:
+            pass
+        assert a.result() == b.result()
+
+    def test_messages_are_few(self, random_graph):
+        """EVO 'generates relatively few messages' (Section 4.1.2)."""
+        evo_res = get_algorithm("evo").run_reference(random_graph)
+        bfs_res = get_algorithm("bfs").run_reference(random_graph, source=0)
+        assert evo_res.total_messages < bfs_res.total_messages
+
+    def test_direction_none(self, random_graph):
+        report = EvoProgram(random_graph).step()
+        assert report.direction == "none"
+
+    def test_paper_default_params(self, random_graph):
+        params = get_algorithm("evo").default_params(random_graph)
+        assert params["iterations"] == 6
+        assert params["growth_fraction"] == pytest.approx(0.001)
+        assert params["p_forward"] == params["p_backward"] == pytest.approx(0.5)
+
+    def test_output_bytes_scales_with_graph(self, random_graph, path_graph):
+        big = EvoProgram(random_graph)
+        small = EvoProgram(path_graph)
+        assert big.output_bytes() > small.output_bytes()

@@ -1,0 +1,81 @@
+"""Tests for STATS (vertex/edge counts + mean LCC)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.stats import StatsProgram, graph_statistics
+from repro.graph.builder import from_edges
+
+
+class TestStatsResult:
+    def test_counts(self, tiny_undirected):
+        res = graph_statistics(tiny_undirected)
+        assert res.num_vertices == 6
+        assert res.num_edges == 5
+
+    def test_mean_lcc_matches_networkx(self, random_graph):
+        res = graph_statistics(random_graph)
+        assert res.mean_lcc == pytest.approx(
+            nx.average_clustering(random_graph.to_networkx()), abs=1e-12
+        )
+
+    def test_triangle(self):
+        g = from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]), directed=False)
+        assert graph_statistics(g).mean_lcc == pytest.approx(1.0)
+
+
+class TestStatsProgram:
+    def test_two_supersteps(self, random_graph):
+        prog = StatsProgram(random_graph)
+        reports = list(prog)
+        assert len(reports) == 2
+        assert not reports[0].halted and reports[1].halted
+
+    def test_result_before_completion_raises(self, random_graph):
+        prog = StatsProgram(random_graph)
+        with pytest.raises(RuntimeError):
+            prog.result()
+
+    def test_result_matches_reference(self, random_graph):
+        prog = StatsProgram(random_graph)
+        for _ in prog:
+            pass
+        assert prog.result() == graph_statistics(random_graph)
+
+    def test_superstep1_messages_are_degree(self, random_graph):
+        report = StatsProgram(random_graph).step()
+        deg = np.asarray(random_graph.out_degree())
+        assert np.array_equal(report.messages, deg)
+
+    def test_superstep1_bytes_are_quadratic(self, random_graph):
+        report = StatsProgram(random_graph).step()
+        deg = np.asarray(random_graph.out_degree(), dtype=np.int64)
+        assert report.quadratic_in_degree
+        assert np.array_equal(report.message_bytes, deg * deg * 8)
+
+    def test_received_bytes_exact(self, tiny_directed):
+        """received[v] = sum of in-neighbors' out-degrees * 8."""
+        report = StatsProgram(tiny_directed).step()
+        g = tiny_directed
+        expected = np.zeros(6)
+        for v in range(6):
+            expected[v] = sum(g.out_degree(int(u)) for u in g.in_neighbors(v)) * 8
+        assert np.allclose(report.received_bytes, expected)
+
+    def test_total_message_volume_is_sum_deg_squared(self, random_graph):
+        report = StatsProgram(random_graph).step()
+        deg = np.asarray(random_graph.out_degree(), dtype=np.int64)
+        assert report.message_bytes.sum() == (deg * deg).sum() * 8
+
+    def test_run_reference(self, random_graph):
+        res = get_algorithm("stats").run_reference(random_graph)
+        assert res.iterations == 2
+        assert res.coverage == 1.0
+        assert res.output.num_edges == random_graph.num_edges
+
+    def test_output_bytes_tiny(self, random_graph):
+        """STATS outputs three scalars, not per-vertex data."""
+        prog = StatsProgram(random_graph)
+        assert prog.output_bytes() < 1000

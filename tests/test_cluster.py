@@ -1,0 +1,172 @@
+"""Tests for the cluster substrate: specs, HDFS, monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hdfs import HDFS
+from repro.cluster.monitoring import MASTER, ResourceTrace, normalize_series, worker_node
+from repro.cluster.spec import DAS4_MACHINE, GB, MB, ClusterSpec, das4_cluster
+
+
+class TestSpecs:
+    def test_das4_defaults(self):
+        c = das4_cluster()
+        assert c.num_workers == 20
+        assert c.cores_per_worker == 1
+        assert c.machine.cores == 8
+        assert c.machine.memory_bytes == 24 * GB
+
+    def test_total_cores(self):
+        assert das4_cluster(20, 4).total_cores == 80
+
+    def test_heap_divided_among_slots(self):
+        """Paper: 20 GB heap at 1 task/node, ~3 GB at 7 (Section 3.1)."""
+        assert das4_cluster(20, 1).worker_heap_bytes == pytest.approx(20 * GB)
+        assert das4_cluster(20, 7).worker_heap_bytes == pytest.approx(20 * GB / 7)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_workers=0)
+
+    def test_cores_bounded_by_machine(self):
+        """One core is always left to the OS (paper tests 1..7 of 8)."""
+        with pytest.raises(ValueError):
+            das4_cluster(20, 8)
+        with pytest.raises(ValueError):
+            das4_cluster(20, 0)
+
+    def test_with_workers_copy(self):
+        c = das4_cluster(20, 3)
+        c2 = c.with_workers(45)
+        assert c2.num_workers == 45 and c2.cores_per_worker == 3
+        assert c.num_workers == 20  # frozen original
+
+    def test_with_cores_copy(self):
+        c = das4_cluster(20, 1).with_cores(5)
+        assert c.cores_per_worker == 5
+
+
+class TestHDFS:
+    def test_block_count(self):
+        h = HDFS(das4_cluster())
+        assert h.num_blocks(0.5 * h.block_bytes) == 1
+        assert h.num_blocks(2.5 * h.block_bytes) == 3
+
+    def test_ingestion_roughly_linear(self):
+        """Paper Table 6: ~1 second per 100 MB."""
+        h = HDFS(das4_cluster())
+        t1 = h.ingest_seconds(1000 * MB)
+        t2 = h.ingest_seconds(2000 * MB)
+        assert t2 == pytest.approx(2 * t1, rel=0.2)
+
+    def test_ingestion_rate_near_paper(self):
+        """100 MB should take on the order of 1 second."""
+        t = HDFS(das4_cluster()).ingest_seconds(100 * MB)
+        assert 0.5 <= t <= 3.0
+
+    def test_zero_bytes(self):
+        assert HDFS(das4_cluster()).ingest_seconds(0) == 0.0
+
+    def test_parallel_read_scales_with_readers(self):
+        h = HDFS(das4_cluster())
+        assert h.parallel_read_seconds(10 * GB, 20) == pytest.approx(
+            h.parallel_read_seconds(10 * GB, 40) * 2
+        )
+
+    def test_parallel_write_uses_write_bandwidth(self):
+        h = HDFS(das4_cluster())
+        t = h.parallel_write_seconds(1 * GB, 1)
+        assert t == pytest.approx(GB / DAS4_MACHINE.disk_write_bps)
+
+    def test_replication_multiplies_write(self):
+        c = das4_cluster()
+        t1 = HDFS(c, replication=1).parallel_write_seconds(1 * GB, 4)
+        t3 = HDFS(c, replication=3).parallel_write_seconds(1 * GB, 4)
+        assert t3 == pytest.approx(3 * t1)
+
+
+class TestResourceTrace:
+    def test_interval_recording_and_sampling(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 10.0, cpu=0.5)
+        vals = tr.sample("w0", "cpu", np.array([5.0, 15.0]))
+        assert vals.tolist() == [0.5, 0.0]
+
+    def test_overlapping_intervals_accumulate(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 10.0, cpu=0.3)
+        tr.record("w0", 5.0, 15.0, cpu=0.4)
+        assert tr.sample("w0", "cpu", np.array([7.0]))[0] == pytest.approx(0.7)
+
+    def test_memory_step_function(self):
+        tr = ResourceTrace()
+        tr.set_memory("w0", 0.0, 100.0)
+        tr.set_memory("w0", 10.0, 300.0)
+        vals = tr.sample("w0", "memory", np.array([5.0, 10.0, 20.0]))
+        assert vals.tolist() == [100.0, 300.0, 300.0]
+
+    def test_memory_before_first_event_is_zero(self):
+        tr = ResourceTrace()
+        tr.set_memory("w0", 5.0, 100.0)
+        assert tr.sample("w0", "memory", np.array([1.0]))[0] == 0.0
+
+    def test_series_has_num_points(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 50.0, net_in=1e6)
+        assert len(tr.series("w0", "net_in", num_points=100)) == 100
+
+    def test_series_normalizes_over_job_length(self):
+        """Two jobs of different lengths produce comparable series."""
+        a = ResourceTrace()
+        a.record("w0", 0.0, 10.0, cpu=1.0)
+        b = ResourceTrace()
+        b.record("w0", 0.0, 1000.0, cpu=1.0)
+        assert np.allclose(
+            a.series("w0", "cpu"), b.series("w0", "cpu")
+        )
+
+    def test_unknown_metric(self):
+        tr = ResourceTrace()
+        with pytest.raises(ValueError):
+            tr.sample("w0", "entropy", np.array([0.0]))
+
+    def test_invalid_interval(self):
+        tr = ResourceTrace()
+        with pytest.raises(ValueError):
+            tr.record("w0", 5.0, 1.0, cpu=0.1)
+
+    def test_empty_interval_ignored(self):
+        tr = ResourceTrace()
+        tr.record("w0", 5.0, 5.0, cpu=0.1)
+        assert tr.nodes() == []
+
+    def test_nodes_listing(self):
+        tr = ResourceTrace()
+        tr.record(MASTER, 0, 1, cpu=0.1)
+        tr.set_memory(worker_node(0), 0, 1.0)
+        assert tr.nodes() == [MASTER, worker_node(0)]
+
+    def test_peak_and_mean(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 5.0, cpu=1.0)
+        tr.record("w0", 5.0, 10.0, cpu=0.0)
+        assert tr.peak("w0", "cpu") == pytest.approx(1.0)
+        assert tr.mean("w0", "cpu") == pytest.approx(0.5, abs=0.05)
+
+
+class TestNormalizeSeries:
+    def test_length(self):
+        assert len(normalize_series(np.arange(7), 100)) == 100
+
+    def test_endpoints_preserved(self):
+        out = normalize_series(np.array([3.0, 9.0]), 10)
+        assert out[0] == 3.0 and out[-1] == 9.0
+
+    def test_constant_input(self):
+        assert np.allclose(normalize_series(np.full(33, 2.5), 50), 2.5)
+
+    def test_single_sample(self):
+        assert np.allclose(normalize_series(np.array([4.0]), 10), 4.0)
+
+    def test_empty_input(self):
+        assert np.allclose(normalize_series(np.array([]), 10), 0.0)

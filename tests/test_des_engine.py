@@ -1,0 +1,287 @@
+"""Tests for the DES kernel: events, clock, processes."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+from repro.des.engine import SimulationError
+from repro.des.events import EventError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start(self):
+        assert Simulator(start=5.0).now == 5.0
+
+    def test_run_until_time_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator(start=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_peek_empty_is_inf(self):
+        assert Simulator().peek() == float("inf")
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(3.0).add_callback(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_carries_value(self):
+        sim = Simulator()
+        got = []
+        sim.timeout(1.0, value="done").add_callback(lambda ev: got.append(ev.value))
+        sim.run()
+        assert got == ["done"]
+
+    def test_equal_times_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.timeout(1.0, value=i).add_callback(
+                lambda ev: order.append(ev.value)
+            )
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_delay_fires_immediately_on_run(self):
+        sim = Simulator()
+        fired = []
+        sim.timeout(0.0).add_callback(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestEvent:
+    def test_succeed_sets_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(42)
+        sim.run()
+        assert ev.ok and ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(EventError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(EventError):
+            _ = sim.event().value
+
+    def test_callback_after_processed_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_schedule_callable(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self):
+        sim = Simulator()
+        assert sim.run(until=sim.timeout(2.0, value="x")) == "x"
+        assert sim.now == 2.0
+
+    def test_failed_event_reraises(self):
+        sim = Simulator()
+        ev = sim.event()
+        sim.schedule(1.0, lambda: ev.fail(ValueError("boom")))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(until=ev)
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        ev = sim.event()  # nobody will ever fire it
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=ev)
+
+
+class TestProcess:
+    def test_simple_sequence(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+            return "result"
+
+        proc = sim.process(body())
+        assert sim.run(until=proc) == "result"
+
+    def test_fork_join(self):
+        sim = Simulator()
+
+        def child(d):
+            yield sim.timeout(d)
+            return d
+
+        def parent():
+            a = sim.process(child(3.0))
+            b = sim.process(child(1.0))
+            ra = yield a
+            rb = yield b
+            return (ra, rb, sim.now)
+
+        out = sim.run(until=sim.process(parent()))
+        assert out == (3.0, 1.0, 3.0)
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def parent():
+            yield sim.process(bad())
+
+        with pytest.raises(RuntimeError, match="child died"):
+            sim.run(until=sim.process(parent()))
+
+    def test_yielding_non_event_raises_in_process(self):
+        sim = Simulator()
+
+        def body():
+            yield 42  # type: ignore[misc]
+
+        proc = sim.process(body())
+        with pytest.raises(TypeError, match="must yield Event"):
+            sim.run(until=proc)
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_interrupt_caught_by_process(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+            yield sim.timeout(1.0)
+            return "survived"
+
+        proc = sim.process(body())
+        sim.schedule(2.0, lambda: proc.interrupt("stop"))
+        assert sim.run(until=proc) == "survived"
+        assert log == [(2.0, "stop")]
+        assert sim.now == 3.0
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(EventError):
+            proc.interrupt()
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        t1, t2 = sim.timeout(1.0), sim.timeout(5.0)
+        done = []
+        AllOf(sim, [t1, t2]).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [5.0]
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        t1, t2 = sim.timeout(1.0), sim.timeout(5.0)
+        done = []
+        AnyOf(sim, [t1, t2]).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [1.0]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.all_of([])
+        assert ev.triggered
+
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combo = sim.all_of([good, bad])
+        sim.schedule(0.5, lambda: bad.fail(RuntimeError("nope")))
+        with pytest.raises(RuntimeError, match="nope"):
+            sim.run(until=combo)
+
+    def test_cross_simulator_rejected(self):
+        a, b = Simulator(), Simulator()
+        with pytest.raises(ValueError):
+            a.all_of([b.timeout(1.0)])
+
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        result = sim.run(until=sim.all_of([t1, t2]))
+        assert result == {t1: "a", t2: "b"}

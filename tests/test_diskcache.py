@@ -1,0 +1,76 @@
+"""Tests for the on-disk dataset cache."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import diskcache
+from repro.graph.builder import from_edges
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+    return tmp_path
+
+
+@pytest.fixture
+def sample_graph():
+    return from_edges(
+        5, np.array([[0, 1], [1, 2], [3, 4]]), directed=True, name="sample"
+    )
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache_dir, sample_graph):
+        diskcache.store_cached("sample", 1.0, None, sample_graph)
+        loaded = diskcache.load_cached("sample", 1.0, None)
+        assert loaded == sample_graph
+        assert loaded.name == "sample"
+
+    def test_undirected_roundtrip(self, cache_dir):
+        g = from_edges(4, np.array([[0, 1], [2, 3]]), directed=False,
+                       name="und")
+        diskcache.store_cached("und", 0.5, 7, g)
+        assert diskcache.load_cached("und", 0.5, 7) == g
+
+    def test_miss_returns_none(self, cache_dir):
+        assert diskcache.load_cached("nothing", 1.0, None) is None
+
+    def test_keys_distinguish_scale_and_seed(self, cache_dir, sample_graph):
+        diskcache.store_cached("s", 1.0, None, sample_graph)
+        assert diskcache.load_cached("s", 2.0, None) is None
+        assert diskcache.load_cached("s", 1.0, 42) is None
+
+    def test_corrupt_entry_evicted(self, cache_dir, sample_graph):
+        diskcache.store_cached("s", 1.0, None, sample_graph)
+        files = list(cache_dir.glob("*.npz"))
+        assert len(files) == 1
+        files[0].write_bytes(b"not a real npz file")
+        assert diskcache.load_cached("s", 1.0, None) is None
+        assert not files[0].exists()  # evicted
+
+
+class TestToggles:
+    def test_disabled_by_env(self, cache_dir, sample_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", "0")
+        assert not diskcache.cache_enabled()
+        diskcache.store_cached("s", 1.0, None, sample_graph)
+        assert not list(cache_dir.glob("*.npz"))
+        assert diskcache.load_cached("s", 1.0, None) is None
+
+    def test_version_in_filename(self, cache_dir, sample_graph):
+        diskcache.store_cached("s", 1.0, None, sample_graph)
+        (entry,) = cache_dir.glob("*.npz")
+        assert f"-v{diskcache.GENERATOR_VERSION}.npz" in entry.name
+
+
+class TestRegistryIntegration:
+    def test_second_load_hits_disk(self, cache_dir):
+        from repro.datasets.registry import _cache, load_dataset
+
+        g1 = load_dataset("kgs", scale=0.02, seed=321)
+        _cache.pop(("kgs", 0.02, 321))  # drop the in-memory entry
+        g2 = load_dataset("kgs", scale=0.02, seed=321)
+        assert g1 == g2
+        assert g2.name == "kgs"

@@ -1,0 +1,24 @@
+"""Doctests embedded in module documentation must stay runnable."""
+
+import doctest
+
+import pytest
+
+import repro.des as des_pkg
+
+
+@pytest.mark.parametrize("module", [des_pkg])
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0
+
+
+def test_package_quickstart_docstring():
+    """The quickstart in repro's package docstring must execute."""
+    from repro import das4_cluster, get_platform, load_dataset
+
+    g = load_dataset("dotaleague")
+    assert not g.directed
+    result = get_platform("giraph").run("bfs", g, das4_cluster())
+    assert result.execution_time > 0

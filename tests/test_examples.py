@@ -1,0 +1,66 @@
+"""Smoke tests for the example scripts (imported, not subprocessed,
+so they share the session's dataset caches)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES / f"{name}.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "job execution time" in out
+        assert "BFS reached" in out
+
+    def test_custom_algorithm(self, capsys):
+        _load("custom_algorithm").main()
+        out = capsys.readouterr().out
+        assert "PageRank" in out
+        assert "correlation" in out
+
+    def test_resource_monitoring_sparkline(self):
+        import numpy as np
+
+        mod = _load("resource_monitoring")
+        line = mod.sparkline(np.array([0.0, 0.5, 1.0]), width=12)
+        assert len(line) == 12
+        assert line[0] != line[-1]
+
+    def test_sparkline_flat_input(self):
+        import numpy as np
+
+        mod = _load("resource_monitoring")
+        assert set(mod.sparkline(np.zeros(5), width=8)) == {" "}
+        assert mod.sparkline(np.array([]), width=8) == ""
+
+    def test_all_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "platform_comparison.py",
+            "scalability_study.py",
+            "resource_monitoring.py",
+            "custom_algorithm.py",
+            "vertex_programming.py",
+        }
+        assert expected <= {p.name for p in EXAMPLES.glob("*.py")}
+
+    def test_vertex_programming(self, capsys):
+        _load("vertex_programming").main()
+        out = capsys.readouterr().out
+        assert "matches built-in BFS" in out
+        assert "three platforms" in out

@@ -1,0 +1,220 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    citation_dag,
+    configuration_powerlaw,
+    erdos_renyi,
+    forest_fire,
+    graph500_kronecker,
+    hub_graph,
+    planted_partition,
+    preferential_attachment,
+    rmat_edges,
+    watts_strogatz,
+)
+from repro.graph.generators.forest_fire import forest_fire_extend
+
+
+class TestKronecker:
+    def test_vertex_count_power_of_two(self):
+        g = graph500_kronecker(8, 8, seed=1)
+        assert g.num_vertices == 256
+
+    def test_edge_factor_respected_approximately(self):
+        g = graph500_kronecker(10, 16, seed=2)
+        # dedupe and self-loop removal lose some edges
+        assert 0.5 * 16 * 1024 <= g.num_edges <= 16 * 1024
+
+    def test_deterministic(self):
+        a = graph500_kronecker(8, 8, seed=5)
+        b = graph500_kronecker(8, 8, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = graph500_kronecker(8, 8, seed=5)
+        b = graph500_kronecker(8, 8, seed=6)
+        assert a != b
+
+    def test_degree_skew(self):
+        """Kronecker graphs are heavy-tailed: max degree >> mean."""
+        g = graph500_kronecker(11, 16, seed=3)
+        deg = np.asarray(g.degree())
+        assert deg.max() > 8 * deg.mean()
+
+    def test_rmat_raw_shape(self):
+        e = rmat_edges(6, 100, seed=1)
+        assert e.shape == (100, 2)
+        assert e.max() < 64
+
+    def test_rmat_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10, seed=1)
+
+    def test_rmat_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, seed=1, a=0.5, b=0.4, c=0.4)
+
+    def test_directed_variant(self):
+        g = graph500_kronecker(8, 8, seed=1, directed=True)
+        assert g.directed
+
+
+class TestForestFire:
+    def test_sizes(self):
+        g = forest_fire(200, seed=1)
+        assert g.num_vertices == 200
+        assert g.num_edges >= 199  # at least a tree
+
+    def test_deterministic(self):
+        assert forest_fire(100, seed=3) == forest_fire(100, seed=3)
+
+    def test_weakly_connected(self):
+        import networkx as nx
+
+        g = forest_fire(150, seed=2)
+        assert nx.is_weakly_connected(g.to_networkx())
+
+    def test_densification_with_higher_p(self):
+        sparse = forest_fire(200, p_forward=0.1, seed=4)
+        dense = forest_fire(200, p_forward=0.5, seed=4)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_extend_grows_graph(self, random_graph):
+        evolved, new_edges = forest_fire_extend(random_graph, 20, seed=5)
+        assert evolved.num_vertices == random_graph.num_vertices + 20
+        assert new_edges >= 20
+        assert evolved.num_edges >= random_graph.num_edges
+
+    def test_extend_preserves_directivity(self, random_digraph):
+        evolved, _ = forest_fire_extend(random_digraph, 5, seed=6)
+        assert evolved.directed
+
+
+class TestPreferential:
+    def test_sizes(self):
+        g = preferential_attachment(500, 3, seed=1)
+        assert g.num_vertices == 500
+        # each of ~497 new vertices adds up to 3 edges + seed clique
+        assert 400 <= g.num_edges <= 3 * 500 + 10
+
+    def test_rich_get_richer(self):
+        g = preferential_attachment(1000, 2, seed=2)
+        deg = np.asarray(g.degree())
+        assert deg.max() > 10 * deg.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(5, 0)
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 5)
+
+    def test_connected(self):
+        import networkx as nx
+
+        g = preferential_attachment(300, 2, seed=3)
+        assert nx.is_connected(g.to_networkx())
+
+
+class TestRandomGraphs:
+    def test_er_edge_count(self):
+        g = erdos_renyi(100, 300, seed=1)
+        assert g.num_edges == 300
+
+    def test_er_directed(self):
+        g = erdos_renyi(100, 300, directed=True, seed=1)
+        assert g.directed and g.num_edges == 300
+
+    def test_ws_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 6, 0.1)  # k >= n
+
+    def test_ws_zero_rewire_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        deg = np.asarray(g.degree())
+        assert np.all(deg == 4)
+
+    def test_ws_clustering_drops_with_rewiring(self):
+        from repro.graph.properties import mean_local_clustering
+
+        ordered = watts_strogatz(300, 6, 0.0, seed=2)
+        chaotic = watts_strogatz(300, 6, 1.0, seed=2)
+        assert mean_local_clustering(ordered) > mean_local_clustering(chaotic)
+
+
+class TestCommunityAndHubs:
+    def test_planted_partition_sizes(self):
+        g = planted_partition(400, 8, 20, 2, seed=1)
+        assert g.num_vertices == 400
+        assert g.num_edges > 400
+
+    def test_planted_partition_modularity(self):
+        """Intra-community edges dominate."""
+        g = planted_partition(400, 8, 30, 1, seed=2)
+        comm = np.arange(400) * 8 // 400
+        src = np.repeat(np.arange(400), np.diff(g.out_indptr))
+        dst = g.out_indices
+        intra = np.mean(comm[src] == comm[dst])
+        assert intra > 0.8
+
+    def test_planted_validation(self):
+        with pytest.raises(ValueError):
+            planted_partition(10, 0, 1, 1)
+
+    def test_hub_graph_max_degree(self):
+        g = hub_graph(1000, 4, 200, seed=1)
+        deg = np.asarray(g.degree())
+        assert deg.max() >= 150  # hubs dominate
+
+    def test_hub_graph_validation(self):
+        with pytest.raises(ValueError):
+            hub_graph(5, 10, 3)
+
+    def test_configuration_powerlaw(self):
+        g = configuration_powerlaw(500, 2.2, seed=1)
+        deg = np.asarray(g.degree())
+        assert deg.max() > 3 * max(deg.mean(), 1)
+
+    def test_powerlaw_exponent_validation(self):
+        from repro.graph.generators.powerlaw import powerlaw_degree_sequence
+
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 0.5)
+
+
+class TestCitationDag:
+    def test_is_dag(self):
+        g = citation_dag(500, seed=1)
+        src = np.repeat(np.arange(g.num_vertices), np.diff(g.out_indptr))
+        assert np.all(src > g.out_indices)  # all arcs point backward
+
+    def test_directed(self):
+        assert citation_dag(100, seed=1).directed
+
+    def test_out_degree_mean(self):
+        # landmark_spacing=1 disables snapping so citations rarely
+        # collide and the Poisson mean comes through
+        g = citation_dag(3000, citations_per_vertex=4.0, dead_fraction=0.0,
+                         landmark_spacing=1, seed=2)
+        assert 3.0 <= g.num_edges / g.num_vertices <= 5.0
+
+    def test_dead_zone_has_no_citations(self):
+        g = citation_dag(1000, dead_fraction=0.3, seed=3)
+        dead = int(1000 * 0.3)
+        out_deg = np.asarray(g.out_degree())
+        assert np.all(out_deg[:dead] == 0)
+
+    def test_landmark_concentration(self):
+        g = citation_dag(2000, landmark_spacing=64, seed=4)
+        cited = np.unique(g.out_indices)
+        assert np.all(cited % 64 == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            citation_dag(10, recency_window=0.0)
+        with pytest.raises(ValueError):
+            citation_dag(10, dead_fraction=1.0)

@@ -1,0 +1,130 @@
+"""Tests for the paper's vertex-line text format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import empty_graph, from_edges
+from repro.graph.io import (
+    GraphFormatError,
+    graph_from_text,
+    graph_to_text,
+    read_graph,
+    write_graph,
+)
+
+
+class TestRoundTrip:
+    def test_undirected(self, tiny_undirected):
+        assert graph_from_text(graph_to_text(tiny_undirected)) == tiny_undirected
+
+    def test_directed(self, tiny_directed):
+        assert graph_from_text(graph_to_text(tiny_directed)) == tiny_directed
+
+    def test_empty(self):
+        g = empty_graph(4, directed=False)
+        assert graph_from_text(graph_to_text(g)) == g
+
+    def test_zero_vertices(self):
+        g = empty_graph(0, directed=True)
+        assert graph_from_text(graph_to_text(g)) == g
+
+    def test_random(self, random_graph):
+        assert graph_from_text(graph_to_text(random_graph)) == random_graph
+
+    def test_random_directed(self, random_digraph):
+        assert graph_from_text(graph_to_text(random_digraph)) == random_digraph
+
+    def test_file_paths(self, tmp_path, tiny_undirected):
+        path = tmp_path / "g.graph"
+        write_graph(tiny_undirected, path)
+        assert read_graph(path) == tiny_undirected
+
+    def test_name_inferred_from_file(self, tmp_path, tiny_undirected):
+        path = tmp_path / "mygraph.txt"
+        write_graph(tiny_undirected, path)
+        assert read_graph(path).name == "mygraph.txt"
+
+    def test_name_override(self, tmp_path, tiny_undirected):
+        path = tmp_path / "g.txt"
+        write_graph(tiny_undirected, path)
+        assert read_graph(path, name="custom").name == "custom"
+
+
+class TestFormatDetails:
+    def test_header_line(self, tiny_directed):
+        first = graph_to_text(tiny_directed).splitlines()[0]
+        assert first == "# repro-graph directed 6"
+
+    def test_undirected_line_has_two_fields(self, tiny_undirected):
+        lines = graph_to_text(tiny_undirected).splitlines()[1:]
+        assert all(len(line.split("\t")) == 2 for line in lines)
+
+    def test_directed_line_has_three_fields(self, tiny_directed):
+        lines = graph_to_text(tiny_directed).splitlines()[1:]
+        assert all(len(line.split("\t")) == 3 for line in lines)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# repro-graph undirected 2\n"
+            "\n"
+            "# a comment\n"
+            "0\t1\n"
+            "1\t0\n"
+        )
+        g = graph_from_text(text)
+        assert g.num_edges == 1
+
+    def test_directed_in_list_matches_out_lists(self, tiny_directed):
+        """The written in-lists must be consistent with out-lists."""
+        text = graph_to_text(tiny_directed)
+        for line in text.splitlines()[1:]:
+            vid_s, ins, outs = line.split("\t")
+            vid = int(vid_s)
+            ins_list = [int(x) for x in ins.split(",") if x]
+            assert sorted(ins_list) == sorted(
+                tiny_directed.in_neighbors(vid).tolist()
+            )
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(GraphFormatError, match="header"):
+            graph_from_text("0\t1\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_text("# repro-graph sideways 2\n")
+
+    def test_bad_vertex_count(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_text("# repro-graph directed many\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(GraphFormatError, match="fields"):
+            graph_from_text("# repro-graph directed 2\n0\t1\n")
+
+    def test_bad_vertex_id(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_text("# repro-graph undirected 2\nx\t1\n")
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            graph_from_text("# repro-graph undirected 2\n7\t\n")
+
+    def test_duplicate_vertex_line(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            graph_from_text(
+                "# repro-graph undirected 2\n0\t1\n0\t1\n"
+            )
+
+    def test_bad_neighbor_list(self):
+        with pytest.raises(GraphFormatError, match="neighbor"):
+            graph_from_text("# repro-graph undirected 2\n0\t1,x\n")
+
+    def test_stream_write_and_read(self, tiny_undirected):
+        buf = io.StringIO()
+        write_graph(tiny_undirected, buf)
+        buf.seek(0)
+        assert read_graph(buf) == tiny_undirected

@@ -1,0 +1,129 @@
+"""Tests for graph partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.partition import (
+    Partition,
+    greedy_partition,
+    hash_partition,
+    range_partition,
+)
+
+
+@pytest.fixture(params=["hash", "range", "greedy"])
+def partitioner(request):
+    return {
+        "hash": hash_partition,
+        "range": range_partition,
+        "greedy": greedy_partition,
+    }[request.param]
+
+
+class TestInvariants:
+    def test_every_vertex_assigned(self, random_graph, partitioner):
+        p = partitioner(random_graph, 7)
+        assert p.assignment.shape == (random_graph.num_vertices,)
+        assert p.assignment.min() >= 0
+        assert p.assignment.max() < 7
+
+    def test_vertices_per_part_sums(self, random_graph, partitioner):
+        p = partitioner(random_graph, 5)
+        assert p.vertices_per_part().sum() == random_graph.num_vertices
+
+    def test_half_edges_per_part_sums(self, random_graph, partitioner):
+        p = partitioner(random_graph, 5)
+        assert p.half_edges_per_part().sum() == random_graph.num_half_edges
+
+    def test_single_part_no_cut(self, random_graph, partitioner):
+        p = partitioner(random_graph, 1)
+        assert p.cut_edges() == 0
+        assert p.cut_fraction() == 0.0
+
+    def test_cut_fraction_bounds(self, random_graph, partitioner):
+        p = partitioner(random_graph, 4)
+        assert 0.0 <= p.cut_fraction() <= 1.0
+
+    def test_deterministic(self, random_graph, partitioner):
+        a = partitioner(random_graph, 6).assignment
+        b = partitioner(random_graph, 6).assignment
+        assert np.array_equal(a, b)
+
+    def test_directed_graph(self, random_digraph, partitioner):
+        p = partitioner(random_digraph, 4)
+        assert p.vertices_per_part().sum() == random_digraph.num_vertices
+
+
+class TestCutCounting:
+    def test_known_cut_undirected(self):
+        # path 0-1-2-3; split {0,1} vs {2,3} cuts exactly one edge
+        g = from_edges(4, np.array([[0, 1], [1, 2], [2, 3]]), directed=False)
+        p = Partition(g, 2, np.array([0, 0, 1, 1], dtype=np.int32), policy="manual")
+        assert p.cut_edges() == 1
+
+    def test_known_cut_directed(self):
+        g = from_edges(4, np.array([[0, 2], [2, 0], [1, 3]]), directed=True)
+        p = Partition(g, 2, np.array([0, 0, 1, 1], dtype=np.int32), policy="manual")
+        assert p.cut_edges() == 3
+
+    def test_all_separate_cuts_everything(self, path_graph):
+        n = path_graph.num_vertices
+        p = Partition(
+            path_graph, n, np.arange(n, dtype=np.int32), policy="manual"
+        )
+        assert p.cut_edges() == path_graph.num_edges
+
+
+class TestGreedy:
+    def test_beats_hash_on_community_graph(self):
+        from repro.graph.generators.community import planted_partition
+
+        g = planted_partition(600, 12, 20, 1, seed=5)
+        cut_greedy = greedy_partition(g, 6).cut_fraction()
+        cut_hash = hash_partition(g, 6).cut_fraction()
+        assert cut_greedy < cut_hash
+
+    def test_edge_balance(self, random_graph):
+        p = greedy_partition(random_graph, 4)
+        assert p.imbalance() < 2.0
+
+    def test_respects_num_parts(self, random_graph):
+        p = greedy_partition(random_graph, 3)
+        assert set(np.unique(p.assignment)) <= {0, 1, 2}
+
+
+class TestRange:
+    def test_contiguity(self, random_graph):
+        a = range_partition(random_graph, 5).assignment
+        assert np.all(np.diff(a) >= 0)
+
+    def test_near_equal_vertex_counts(self, random_graph):
+        counts = range_partition(random_graph, 8).vertices_per_part()
+        assert counts.max() - counts.min() <= 1
+
+
+class TestValidation:
+    def test_bad_num_parts(self, random_graph):
+        with pytest.raises(ValueError):
+            Partition(
+                random_graph, 0,
+                np.zeros(random_graph.num_vertices, dtype=np.int32),
+                policy="manual",
+            )
+
+    def test_wrong_assignment_length(self, random_graph):
+        with pytest.raises(ValueError):
+            Partition(random_graph, 2, np.zeros(3, dtype=np.int32), policy="x")
+
+    def test_out_of_range_assignment(self, path_graph):
+        bad = np.full(path_graph.num_vertices, 9, dtype=np.int32)
+        with pytest.raises(ValueError):
+            Partition(path_graph, 2, bad, policy="x")
+
+    def test_imbalance_of_empty_graph(self):
+        from repro.graph.builder import empty_graph
+
+        g = empty_graph(4, directed=False)
+        p = hash_partition(g, 2)
+        assert p.imbalance() == 1.0

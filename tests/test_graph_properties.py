@@ -1,0 +1,130 @@
+"""Tests for graph properties: density, degrees, LCC, components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builder import empty_graph, from_edges
+from repro.graph.properties import (
+    average_degree,
+    connected_component_labels,
+    degree_histogram,
+    largest_connected_component,
+    link_density,
+    local_clustering_coefficients,
+    mean_local_clustering,
+    summarize,
+)
+
+
+class TestDensityAndDegree:
+    def test_density_undirected_triangle(self):
+        g = from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]), directed=False)
+        assert link_density(g) == pytest.approx(1.0)
+
+    def test_density_directed_full(self):
+        edges = [(i, j) for i in range(3) for j in range(3) if i != j]
+        g = from_edges(3, np.array(edges), directed=True)
+        assert link_density(g) == pytest.approx(1.0)
+
+    def test_density_empty(self):
+        assert link_density(empty_graph(5, directed=False)) == 0.0
+
+    def test_density_single_vertex(self):
+        assert link_density(empty_graph(1, directed=True)) == 0.0
+
+    def test_average_degree_undirected(self, tiny_undirected):
+        # 5 edges, 6 vertices: D = 2*5/6
+        assert average_degree(tiny_undirected) == pytest.approx(10 / 6)
+
+    def test_average_degree_directed(self, tiny_directed):
+        assert average_degree(tiny_directed) == pytest.approx(5 / 6)
+
+    def test_degree_histogram(self, path_graph):
+        hist = degree_histogram(path_graph)
+        # path of 10: two endpoints deg 1, eight deg 2
+        assert hist.tolist() == [0, 2, 8]
+
+
+class TestLCC:
+    def test_triangle_lcc_is_one(self):
+        g = from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]), directed=False)
+        assert local_clustering_coefficients(g).tolist() == [1.0, 1.0, 1.0]
+
+    def test_path_lcc_is_zero(self, path_graph):
+        assert mean_local_clustering(path_graph) == 0.0
+
+    def test_matches_networkx_undirected(self, random_graph):
+        ours = mean_local_clustering(random_graph)
+        theirs = nx.average_clustering(random_graph.to_networkx())
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_directed_uses_undirected_skeleton(self, random_digraph):
+        ours = mean_local_clustering(random_digraph)
+        theirs = nx.average_clustering(random_digraph.to_networkx().to_undirected())
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_empty_graph(self):
+        assert mean_local_clustering(empty_graph(0, directed=False)) == 0.0
+
+    def test_isolated_vertices_zero(self, tiny_undirected):
+        lcc = local_clustering_coefficients(tiny_undirected)
+        assert lcc[5] == 0.0  # isolated
+        assert lcc[0] == 1.0  # in the triangle
+
+    def test_chunked_computation_matches_unchunked(self):
+        """A hub graph exercises the row-block path."""
+        from repro.graph.generators.powerlaw import hub_graph
+
+        g = hub_graph(500, 3, 100, directed=False, seed=3)
+        ours = local_clustering_coefficients(g)
+        theirs = nx.clustering(g.to_networkx())
+        for v in range(0, 500, 37):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-12)
+
+
+class TestComponents:
+    def test_labels_undirected(self, tiny_undirected):
+        labels = connected_component_labels(tiny_undirected)
+        # {0,1,2,3,4} share min label 0; vertex 5 alone
+        assert labels.tolist() == [0, 0, 0, 0, 0, 5]
+
+    def test_labels_directed_weak(self, tiny_directed):
+        labels = connected_component_labels(tiny_directed)
+        assert labels.tolist() == [0, 0, 0, 0, 0, 5]
+
+    def test_matches_networkx(self, random_graph):
+        ours = connected_component_labels(random_graph)
+        for comp in nx.connected_components(random_graph.to_networkx()):
+            comp_labels = {int(ours[v]) for v in comp}
+            assert comp_labels == {min(comp)}
+
+    def test_largest_component_extraction(self, tiny_undirected):
+        sub = largest_connected_component(tiny_undirected)
+        assert sub.num_vertices == 5
+        assert sub.num_edges == 5
+
+    def test_largest_component_is_connected(self, random_graph):
+        sub = largest_connected_component(random_graph)
+        labels = connected_component_labels(sub)
+        assert len(np.unique(labels)) == 1
+
+    def test_largest_component_preserves_directivity(self, tiny_directed):
+        assert largest_connected_component(tiny_directed).directed
+
+    def test_empty(self):
+        g = empty_graph(0, directed=False)
+        assert largest_connected_component(g) is g
+
+
+class TestSummary:
+    def test_summary_fields(self, tiny_undirected):
+        s = summarize(tiny_undirected)
+        assert s.num_vertices == 6
+        assert s.num_edges == 5
+        assert s.max_degree == 3
+        assert s.directivity == "undirected"
+        assert s.text_size_bytes > 0
+
+    def test_summary_directed(self, tiny_directed):
+        assert summarize(tiny_directed).directivity == "directed"

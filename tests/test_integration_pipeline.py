@@ -1,0 +1,83 @@
+"""End-to-end integration: text format -> registry -> platforms ->
+metrics -> export, in one flow."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import das4_cluster
+from repro.core.export import export_records_json, export_trace_csv
+from repro.core.metrics import job_metrics
+from repro.core.results import ExperimentResult
+from repro.core.runner import Runner
+from repro.datasets import load_dataset
+from repro.graph.io import read_graph, write_graph
+from repro.platforms import get_platform
+
+
+class TestFullPipeline:
+    def test_text_roundtrip_preserves_platform_results(
+        self, tmp_path, small_cluster
+    ):
+        """A dataset written to the paper's text format and re-read
+        produces identical platform results."""
+        original = load_dataset("kgs", scale=0.05)
+        path = tmp_path / "kgs.graph"
+        write_graph(original, path)
+        reloaded = read_graph(path, name="kgs")
+
+        r1 = get_platform("giraph").run("conn", original, small_cluster)
+        r2 = get_platform("giraph").run("conn", reloaded, small_cluster)
+        assert np.array_equal(r1.output, r2.output)
+        assert r1.execution_time == pytest.approx(r2.execution_time)
+
+    def test_grid_to_json_to_analysis(self, tmp_path):
+        """Run a grid, export JSON, and recover the paper's ordering
+        from the exported document alone."""
+        runner = Runner()
+        exp = runner.run_grid(
+            "pipeline",
+            platforms=["hadoop", "giraph"],
+            algorithms=["bfs"],
+            datasets=["kgs", "dotaleague"],
+        )
+        path = tmp_path / "results.json"
+        export_records_json(exp, path)
+        doc = json.loads(path.read_text())
+        times = {
+            (r["platform"], r["dataset"]): r["execution_time"]
+            for r in doc["records"]
+        }
+        for ds in ("kgs", "dotaleague"):
+            assert times[("hadoop", ds)] > times[("giraph", ds)]
+
+    def test_trace_export_covers_master_and_worker(self, tmp_path):
+        runner = Runner()
+        rec = runner.run_cell("stratosphere", "bfs", "kgs", das4_cluster())
+        path = tmp_path / "trace.csv"
+        export_trace_csv(rec.result.trace, path, num_points=20)
+        body = path.read_text()
+        assert "master,cpu" in body
+        assert "worker0,memory" in body
+
+    def test_metrics_survive_the_full_path(self):
+        """job_metrics of a runner record matches a direct platform
+        run (no state leaks through the runner layer)."""
+        g = load_dataset("kgs")
+        c = das4_cluster()
+        direct = get_platform("graphlab").run("bfs", g, c)
+        rec = Runner().run_cell("graphlab", "bfs", "kgs", c)
+        m1, m2 = job_metrics(direct), job_metrics(rec.result)
+        assert m1.execution_time == pytest.approx(m2.execution_time)
+        assert m1.eps == pytest.approx(m2.eps)
+
+    def test_experiment_result_accumulates_mixed_outcomes(self):
+        runner = Runner()
+        exp = ExperimentResult("mixed")
+        exp.add(runner.run_cell("giraph", "bfs", "kgs"))
+        exp.add(runner.run_cell("giraph", "stats", "wikitalk"))  # crash
+        exp.add(runner.run_cell("neo4j", "stats", "dotaleague"))  # DNF
+        assert len(exp.completed()) == 1
+        statuses = {r.status.value for r in exp}
+        assert statuses == {"ok", "crashed", "dnf"}

@@ -1,0 +1,179 @@
+"""Tests for metrics, run records, and the experiment runner."""
+
+import pytest
+
+from repro.cluster.spec import das4_cluster
+from repro.core.metrics import (
+    job_metrics,
+    normalized_eps,
+    normalized_vps,
+    paper_scale_eps,
+    paper_scale_vps,
+)
+from repro.core.results import ExperimentResult, RunRecord, RunStatus
+from repro.core.runner import Runner
+from repro.datasets import PAPER_SPECS_TABLE2, load_dataset
+from repro.platforms import get_platform
+
+
+@pytest.fixture(scope="module")
+def kgs_result():
+    return get_platform("giraph").run("bfs", load_dataset("kgs"), das4_cluster())
+
+
+class TestMetrics:
+    def test_eps_uses_paper_edge_count(self, kgs_result):
+        expected = PAPER_SPECS_TABLE2["kgs"].num_edges / kgs_result.execution_time
+        assert paper_scale_eps(kgs_result) == pytest.approx(expected)
+
+    def test_vps_uses_paper_vertex_count(self, kgs_result):
+        expected = PAPER_SPECS_TABLE2["kgs"].num_vertices / kgs_result.execution_time
+        assert paper_scale_vps(kgs_result) == pytest.approx(expected)
+
+    def test_neps_by_nodes(self, kgs_result):
+        assert normalized_eps(kgs_result) == pytest.approx(
+            paper_scale_eps(kgs_result) / 20
+        )
+
+    def test_neps_by_cores(self):
+        r = get_platform("giraph").run(
+            "bfs", load_dataset("kgs"), das4_cluster(20, 4)
+        )
+        assert normalized_eps(r, per="cores") == pytest.approx(
+            paper_scale_eps(r) / 80
+        )
+
+    def test_nvps(self, kgs_result):
+        assert normalized_vps(kgs_result) == pytest.approx(
+            paper_scale_vps(kgs_result) / 20
+        )
+
+    def test_bad_per(self, kgs_result):
+        with pytest.raises(ValueError):
+            normalized_eps(kgs_result, per="racks")
+
+    def test_unregistered_graph_uses_own_counts(self, random_graph):
+        r = get_platform("giraph").run("bfs", random_graph, das4_cluster(4))
+        assert paper_scale_eps(r) == pytest.approx(
+            random_graph.num_edges / r.execution_time
+        )
+
+    def test_job_metrics_consistency(self, kgs_result):
+        m = job_metrics(kgs_result)
+        assert m.execution_time == kgs_result.execution_time
+        assert m.overhead_time == pytest.approx(
+            m.execution_time - m.computation_time
+        )
+        assert 0 <= m.overhead_fraction <= 1
+        assert m.supersteps == kgs_result.supersteps
+
+
+class TestRunRecord:
+    def test_describe_ok(self):
+        rec = RunRecord("p", "a", "d", das4_cluster(), RunStatus.OK,
+                        execution_time=12.345)
+        assert rec.describe() == "12.3s"
+
+    def test_describe_failures(self):
+        crash = RunRecord("p", "a", "d", das4_cluster(), RunStatus.CRASHED)
+        dnf = RunRecord("p", "a", "d", das4_cluster(), RunStatus.DNF)
+        assert crash.describe() == "CRASH"
+        assert dnf.describe() == "DNF"
+
+    def test_variance_fraction(self):
+        rec = RunRecord("p", "a", "d", das4_cluster(), RunStatus.OK,
+                        execution_time=10.0, repetition_times=(9.0, 11.0, 10.0))
+        assert rec.variance_fraction == pytest.approx(0.1)
+
+    def test_variance_single_rep_is_zero(self):
+        rec = RunRecord("p", "a", "d", das4_cluster(), RunStatus.OK,
+                        execution_time=10.0, repetition_times=(10.0,))
+        assert rec.variance_fraction == 0.0
+
+
+class TestExperimentResult:
+    def _populate(self):
+        exp = ExperimentResult("x")
+        for plat in ("hadoop", "giraph"):
+            for ds in ("kgs", "amazon"):
+                exp.add(RunRecord(plat, "bfs", ds, das4_cluster(),
+                                  RunStatus.OK, execution_time=1.0))
+        exp.add(RunRecord("giraph", "stats", "kgs", das4_cluster(),
+                          RunStatus.CRASHED))
+        return exp
+
+    def test_find_by_keys(self):
+        exp = self._populate()
+        assert len(exp.find(platform="giraph")) == 3
+        assert len(exp.find(platform="giraph", algorithm="bfs")) == 2
+        assert len(exp.find(dataset="kgs", algorithm="bfs")) == 2
+
+    def test_get_unique(self):
+        exp = self._populate()
+        rec = exp.get("hadoop", "bfs", "amazon")
+        assert rec is not None and rec.platform == "hadoop"
+        assert exp.get("neo4j", "bfs", "kgs") is None
+
+    def test_distinct_listings(self):
+        exp = self._populate()
+        assert exp.platforms() == ["hadoop", "giraph"]
+        assert exp.datasets() == ["kgs", "amazon"]
+        assert exp.algorithms() == ["bfs", "stats"]
+
+    def test_completed_filters_failures(self):
+        exp = self._populate()
+        assert len(exp.completed()) == 4
+        assert len(exp) == 5
+
+
+class TestRunner:
+    def test_ok_cell(self):
+        rec = Runner().run_cell("giraph", "bfs", "kgs")
+        assert rec.status is RunStatus.OK
+        assert rec.execution_time and rec.execution_time > 0
+        assert rec.result is not None
+
+    def test_crash_cell(self):
+        rec = Runner().run_cell("giraph", "stats", "wikitalk")
+        assert rec.status is RunStatus.CRASHED
+        assert "heap" in rec.failure_reason
+
+    def test_dnf_cell(self):
+        rec = Runner().run_cell("neo4j", "stats", "dotaleague")
+        assert rec.status is RunStatus.DNF
+        assert "budget" in rec.failure_reason
+
+    def test_repetitions_recorded(self):
+        rec = Runner(repetitions=3).run_cell("giraph", "bfs", "kgs")
+        assert len(rec.repetition_times) == 3
+
+    def test_jitter_gives_variance_below_10_percent(self):
+        """The paper reports 'the largest variance for 10%'."""
+        rec = Runner(repetitions=10, jitter=0.02, seed=5).run_cell(
+            "giraph", "bfs", "kgs"
+        )
+        assert 0 < rec.variance_fraction < 0.10
+
+    def test_deterministic_without_jitter(self):
+        a = Runner().run_cell("giraph", "bfs", "kgs").execution_time
+        b = Runner().run_cell("giraph", "bfs", "kgs").execution_time
+        assert a == b
+
+    def test_graph_object_accepted(self, random_graph):
+        rec = Runner().run_cell("giraph", "bfs", random_graph, das4_cluster(4))
+        assert rec.status is RunStatus.OK
+        assert rec.dataset == random_graph.name
+
+    def test_grid(self):
+        exp = Runner().run_grid(
+            "g", platforms=["giraph", "graphlab"],
+            algorithms=["bfs"], datasets=["kgs", "amazon"],
+        )
+        assert len(exp) == 4
+        assert exp.get("graphlab", "bfs", "amazon") is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Runner(repetitions=0)
+        with pytest.raises(ValueError):
+            Runner(jitter=-0.1)

@@ -1,0 +1,96 @@
+"""Edge-case robustness for the platform models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import das4_cluster
+from repro.graph.builder import empty_graph, from_edges
+from repro.platforms import get_platform
+from repro.platforms.registry import PLATFORM_NAMES
+
+
+@pytest.fixture
+def single_edge_graph():
+    return from_edges(2, np.array([[0, 1]]), directed=False, name="pair")
+
+
+@pytest.mark.parametrize("platform", PLATFORM_NAMES)
+class TestDegenerateGraphs:
+    def test_single_edge(self, platform, single_edge_graph, small_cluster):
+        r = get_platform(platform).run("bfs", single_edge_graph, small_cluster)
+        assert r.execution_time > 0
+        assert np.array_equal(r.output, [0, 1])
+
+    def test_edgeless_graph(self, platform, small_cluster):
+        g = empty_graph(5, directed=False, name="edgeless")
+        r = get_platform(platform).run("conn", g, small_cluster)
+        assert r.output.tolist() == [0, 1, 2, 3, 4]
+
+    def test_single_vertex(self, platform, small_cluster):
+        g = empty_graph(1, directed=True, name="dot")
+        r = get_platform(platform).run("bfs", g, small_cluster, source=0)
+        assert r.output.tolist() == [0]
+
+
+class TestParameterForwarding:
+    def test_bfs_source_forwarded(self, random_graph, small_cluster):
+        r = get_platform("giraph").run(
+            "bfs", random_graph, small_cluster, source=7
+        )
+        assert r.output[7] == 0
+
+    def test_cd_iteration_cap_forwarded(self, random_graph, small_cluster):
+        r = get_platform("giraph").run(
+            "cd", random_graph, small_cluster, max_iterations=2
+        )
+        assert r.supersteps <= 2
+
+    def test_custom_timeout_triggers_dnf(self):
+        from repro.datasets import load_dataset
+        from repro.platforms import JobTimeout
+
+        g = load_dataset("kgs")
+        with pytest.raises(JobTimeout):
+            get_platform("hadoop").run("bfs", g, das4_cluster(), timeout=1.0)
+
+
+class TestClusterVariants:
+    @pytest.mark.parametrize("platform", ["hadoop", "giraph", "graphlab"])
+    def test_single_worker_cluster(self, platform, random_graph):
+        c = das4_cluster(num_workers=1)
+        r = get_platform(platform).run("bfs", random_graph, c)
+        assert r.execution_time > 0
+
+    @pytest.mark.parametrize("platform", ["hadoop", "stratosphere"])
+    def test_many_cores(self, platform, random_graph):
+        c = das4_cluster(num_workers=2, cores_per_worker=7)
+        r = get_platform(platform).run("bfs", random_graph, c)
+        assert r.execution_time > 0
+
+    def test_more_workers_never_changes_output(self, random_graph):
+        a = get_platform("giraph").run("conn", random_graph, das4_cluster(2))
+        b = get_platform("giraph").run("conn", random_graph, das4_cluster(50))
+        assert np.array_equal(a.output, b.output)
+
+
+class TestTraceSanity:
+    @pytest.mark.parametrize("platform", ["hadoop", "stratosphere", "giraph",
+                                          "graphlab"])
+    def test_worker_cpu_within_physical_bounds(self, platform, random_graph,
+                                               small_cluster):
+        r = get_platform(platform).run("bfs", random_graph, small_cluster)
+        from repro.cluster.monitoring import worker_node
+
+        cpu = r.trace.series(worker_node(0), "cpu", num_points=50)
+        assert np.all(cpu >= 0)
+        assert np.all(cpu <= 1.0 + 1e-9)
+
+    @pytest.mark.parametrize("platform", ["hadoop", "stratosphere", "giraph",
+                                          "graphlab"])
+    def test_worker_memory_within_node(self, platform, random_graph,
+                                       small_cluster):
+        r = get_platform(platform).run("bfs", random_graph, small_cluster)
+        from repro.cluster.monitoring import worker_node
+
+        mem = r.trace.series(worker_node(0), "memory", num_points=50)
+        assert np.all(mem <= small_cluster.machine.memory_bytes * 1.01)

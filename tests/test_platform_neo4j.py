@@ -1,0 +1,115 @@
+"""Neo4j model tests: caches, thrashing, lazy reads, ingestion."""
+
+import pytest
+
+from repro.datasets import INGESTION_TABLE6, load_dataset
+from repro.platforms import JobTimeout, get_platform
+from repro.platforms.neo4j import Neo4j
+from repro.platforms.scale import ScaleModel
+
+
+@pytest.fixture
+def neo():
+    return Neo4j()
+
+
+class TestColdHotCache:
+    def test_cold_slower_than_hot(self, neo):
+        g = load_dataset("dotaleague")
+        hot = neo.run("bfs", g, cache="hot").execution_time
+        cold = neo.run("bfs", g, cache="cold").execution_time
+        assert cold > hot
+
+    def test_citation_ratio_much_larger_than_dotaleague(self, neo):
+        """Paper Section 4.1.1: cold/hot is ~45 for Citation and ~5
+        for DotaLeague — sparse graphs seek, dense graphs stream."""
+        ratios = {}
+        for ds in ("citation", "dotaleague"):
+            g = load_dataset(ds)
+            hot = neo.run("bfs", g, cache="hot").execution_time
+            cold = neo.run("bfs", g, cache="cold").execution_time
+            ratios[ds] = cold / hot
+        assert ratios["citation"] > 4 * ratios["dotaleague"]
+        assert ratios["dotaleague"] > 2
+
+    def test_invalid_cache_mode(self, neo, random_graph):
+        with pytest.raises(ValueError):
+            neo.run("bfs", random_graph, cache="lukewarm")
+
+
+class TestLazyReads:
+    def test_low_coverage_bfs_is_fast(self, neo):
+        """Citation BFS touches ~1 % of the graph; 'lazy read ...
+        accelerates traversal' (Section 4.1.1)."""
+        cit = neo.run("bfs", load_dataset("citation")).execution_time
+        kgs = neo.run("bfs", load_dataset("kgs")).execution_time
+        assert cit < kgs
+
+
+class TestThrashing:
+    def test_synth_exceeds_object_cache(self, neo):
+        g = load_dataset("synth")
+        s = ScaleModel.for_graph(g)
+        assert neo.object_cache_bytes(g, s) > neo.heap_bytes
+        assert neo.thrash_probability(g, s) > 0
+
+    def test_dotaleague_fits(self, neo):
+        g = load_dataset("dotaleague")
+        s = ScaleModel.for_graph(g)
+        assert neo.thrash_probability(g, s) == 0.0
+
+    def test_synth_bfs_takes_hours(self, neo):
+        """Paper: 'the hot-cache value of Synth is about 17 hours'."""
+        t = neo.run("bfs", load_dataset("synth")).execution_time
+        assert 8 * 3600 < t < 20 * 3600
+
+    def test_synth_orders_of_magnitude_slower_than_kgs(self, neo):
+        t_synth = neo.run("bfs", load_dataset("synth")).execution_time
+        t_kgs = neo.run("bfs", load_dataset("kgs")).execution_time
+        assert t_synth > 100 * t_kgs
+
+    def test_friendster_never_completes(self, neo):
+        with pytest.raises(JobTimeout):
+            neo.run("bfs", load_dataset("friendster"))
+
+
+class TestIngestion:
+    @pytest.mark.parametrize(
+        "name", ["amazon", "wikitalk", "kgs", "citation", "dotaleague", "synth"]
+    )
+    def test_within_2x_of_paper(self, neo, name):
+        """Table 6's Neo4j column, hours, irregular across datasets."""
+        measured_h = neo.ingest_seconds(load_dataset(name)) / 3600
+        paper_h = INGESTION_TABLE6[name][1]
+        assert paper_h is not None
+        assert paper_h / 2 <= measured_h <= paper_h * 2
+
+    def test_vertex_heavy_graphs_cost_most(self, neo):
+        """WikiTalk (2.4M vertices) ingests far slower than KGS
+        (293k vertices) despite having fewer edges."""
+        t_wiki = neo.ingest_seconds(load_dataset("wikitalk"))
+        t_kgs = neo.ingest_seconds(load_dataset("kgs"))
+        assert t_wiki > 3 * t_kgs
+
+    def test_orders_of_magnitude_slower_than_hdfs(self, neo):
+        """'The data ingestion time of Neo4j is up to several orders of
+        magnitude longer than that of HDFS' (Section 4.4)."""
+        hadoop = get_platform("hadoop")
+        for name in ("amazon", "kgs", "dotaleague"):
+            g = load_dataset(name)
+            assert neo.ingest_seconds(g) > 100 * hadoop.ingest_seconds(g)
+
+
+class TestRates:
+    def test_default_timeout_is_20h(self, neo):
+        assert neo.default_timeout == pytest.approx(20 * 3600)
+
+    def test_not_distributed(self, neo):
+        assert not neo.distributed
+
+    def test_unknown_algorithm_gets_default_rate(self, neo, random_graph):
+        # any registered algorithm missing from op_rates still runs
+        class Fake:
+            pass
+
+        assert neo.op_rates.get("nonexistent", 1e6) == 1e6

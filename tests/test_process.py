@@ -1,0 +1,74 @@
+"""Tests for the three evaluation-process types (paper Section 2.1)."""
+
+import pytest
+
+from repro.cluster.spec import das4_cluster
+from repro.core.process import CapacityTest, ExploratoryTest, LoadTest
+from repro.core.results import RunStatus
+
+
+class TestLoadTest:
+    def test_ok_run_yields_metrics(self):
+        record, metrics = LoadTest("giraph", "bfs", "kgs").run()
+        assert record.status is RunStatus.OK
+        assert metrics is not None
+        assert metrics.execution_time > 0
+        assert metrics.supersteps >= 1
+
+    def test_crash_run_has_no_metrics(self):
+        record, metrics = LoadTest("giraph", "stats", "wikitalk").run()
+        assert record.status is RunStatus.CRASHED
+        assert metrics is None
+
+    def test_custom_cluster(self):
+        record, metrics = LoadTest(
+            "giraph", "bfs", "kgs", cluster=das4_cluster(40)
+        ).run()
+        assert record.cluster.num_workers == 40
+
+
+class TestCapacityTest:
+    def test_one_record_per_scale(self):
+        exp = CapacityTest(
+            "giraph", "bfs", "kgs", scales=(0.25, 0.5, 1.0)
+        ).run()
+        assert len(exp) == 3
+        assert [r.dataset for r in exp] == [
+            "kgs@0.25x", "kgs@0.5x", "kgs@1x"
+        ]
+
+    def test_time_grows_with_scale(self):
+        exp = CapacityTest(
+            "stratosphere", "bfs", "kgs", scales=(0.25, 1.0)
+        ).run()
+        times = [r.execution_time for r in exp if r.ok]
+        assert len(times) == 2
+        assert times[1] > times[0] * 0.9  # larger load is not cheaper
+
+
+class TestExploratoryTest:
+    def test_survivor_reports_largest_scale(self):
+        best, exp = ExploratoryTest(
+            "giraph", "bfs", "kgs", start_scale=0.25, max_scale=1.0
+        ).run()
+        assert best == 1.0
+        assert all(r.ok for r in exp)
+
+    def test_crash_boundary_detected(self):
+        """Giraph on Friendster at 20 workers crashes even at reduced
+        scale once the scaled workload exceeds the heap."""
+        best, exp = ExploratoryTest(
+            "giraph", "bfs", "friendster", start_scale=0.5, max_scale=2.0
+        ).run()
+        # the last record is the failure that ended the exploration
+        # (scaled memory accounting uses paper-scale workloads, so the
+        # crash hits regardless of the mini graph's size)
+        assert exp.records[-1].status is RunStatus.CRASHED
+        assert best is None or best < 2.0
+
+    def test_stops_doubling_at_max_scale(self):
+        best, exp = ExploratoryTest(
+            "graphlab", "bfs", "kgs", start_scale=0.5, max_scale=1.0
+        ).run()
+        assert best == 1.0
+        assert len(exp) == 2  # 0.5x and 1.0x only

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import bfs_levels
+from repro.algorithms.cd import _segment_argmax_label
+from repro.algorithms.conn import ConnProgram
+from repro.des import Simulator
+from repro.graph.builder import from_edges
+from repro.graph.io import graph_from_text, graph_to_text
+from repro.graph.partition import greedy_partition, hash_partition, range_partition
+
+# -- strategies -------------------------------------------------------------
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120, directed=None):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    if directed is None:
+        directed = draw(st.booleans())
+    return n, np.array(edges, dtype=np.int64).reshape(-1, 2), directed
+
+
+def _build(n, edges, directed):
+    return from_edges(n, edges, directed=directed)
+
+
+# -- CSR invariants ------------------------------------------------------------
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_degree_sum_invariant(spec):
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    assert int(np.sum(g.out_degree())) == g.num_half_edges
+    if directed:
+        assert int(np.sum(g.in_degree())) == g.num_half_edges
+    else:
+        assert g.num_half_edges == 2 * g.num_edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_neighbor_lists_sorted_unique(spec):
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    for v in range(n):
+        nbrs = g.neighbors(v)
+        assert np.all(np.diff(nbrs) > 0)
+
+
+@given(edge_lists(directed=True))
+@settings(max_examples=60, deadline=None)
+def test_in_out_adjacency_are_transposes(spec):
+    n, edges, _ = spec
+    g = _build(n, edges, True)
+    a_out = g.to_scipy("out")
+    a_in = g.to_scipy("in")
+    assert (a_out.T != a_in).nnz == 0
+
+
+# -- text format round trip ------------------------------------------------------
+
+
+@given(edge_lists())
+@settings(max_examples=50, deadline=None)
+def test_text_format_roundtrip(spec):
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    assert graph_from_text(graph_to_text(g)) == g
+
+
+# -- BFS vs networkx -----------------------------------------------------------
+
+
+@given(edge_lists(), st.data())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bfs_matches_networkx(spec, data):
+    import networkx as nx
+
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    source = data.draw(st.integers(min_value=0, max_value=n - 1))
+    levels = bfs_levels(g, source)
+    truth = nx.single_source_shortest_path_length(g.to_networkx(), source)
+    for v in range(n):
+        assert levels[v] == truth.get(v, -1)
+
+
+# -- CONN fixed point ------------------------------------------------------------
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_conn_labels_are_weak_component_minima(spec):
+    import networkx as nx
+
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    prog = ConnProgram(g)
+    for _ in prog:
+        pass
+    labels = prog.result()
+    nxg = g.to_networkx()
+    comps = (
+        nx.weakly_connected_components(nxg)
+        if directed
+        else nx.connected_components(nxg)
+    )
+    for comp in comps:
+        assert {int(labels[v]) for v in comp} == {min(comp)}
+
+
+# -- partitioning -----------------------------------------------------------------
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_partitions_cover_all_vertices(spec, k):
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    for part_fn in (hash_partition, range_partition, greedy_partition):
+        p = part_fn(g, k)
+        assert len(p.assignment) == n
+        assert p.vertices_per_part().sum() == n
+        assert 0 <= p.cut_fraction() <= 1.0
+
+
+@given(edge_lists(), st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_cut_edges_counted_once(spec, k):
+    """Manual edge-wise count agrees with Partition.cut_edges."""
+    n, edges, directed = spec
+    g = _build(n, edges, directed)
+    p = hash_partition(g, k)
+    a = p.assignment
+    manual = 0
+    seen = set()
+    for v in range(n):
+        for w in g.neighbors(v):
+            key = (v, int(w)) if directed else (min(v, int(w)), max(v, int(w)))
+            if key in seen:
+                continue
+            seen.add(key)
+            if a[v] != a[w]:
+                manual += 1
+    assert p.cut_edges() == manual
+
+
+# -- CD segment argmax -------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),  # receiver
+            st.integers(min_value=0, max_value=9),  # label
+            st.floats(min_value=0.01, max_value=10.0),  # weight
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_segment_argmax_matches_bruteforce(triples):
+    n = 10
+    if triples:
+        r = np.array([t[0] for t in triples])
+        l = np.array([t[1] for t in triples])
+        w = np.array([t[2] for t in triples])
+    else:
+        r = np.array([], dtype=int)
+        l = np.array([], dtype=int)
+        w = np.array([])
+    best, weight = _segment_argmax_label(r, l, w, n)
+    # brute force
+    for v in range(n):
+        totals = {}
+        for rr, ll, ww in triples:
+            if rr == v:
+                totals[ll] = totals.get(ll, 0.0) + ww
+        if not totals:
+            assert best[v] == -1
+        else:
+            top = max(totals.values())
+            winners = sorted(k for k, val in totals.items()
+                             if abs(val - top) < 1e-9)
+            assert best[v] in winners
+            assert weight[v] == np.float64(totals[best[v]])
+
+
+# -- DES determinism ------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_des_fires_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).add_callback(lambda ev, d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=5.0),
+            st.floats(min_value=0.01, max_value=5.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_serializes_work(tasks):
+    """With capacity 1 the makespan is the sum of all service times."""
+    from repro.des import Resource
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def job(arrival, service):
+        yield sim.timeout(arrival)
+        with res.request() as req:
+            yield req
+            yield sim.timeout(service)
+
+    procs = [sim.process(job(a, s)) for a, s in tasks]
+    sim.run(until=sim.all_of(procs))
+    total_service = sum(s for _, s in tasks)
+    assert sim.now >= total_service - 1e-9
