@@ -1,0 +1,82 @@
+"""Trace-cache micro-benchmark: cold vs. warm multi-platform sweep.
+
+Runs the Figure 1 grid (BFS, all six platforms x all seven datasets)
+twice through one :class:`~repro.core.runner.Runner`:
+
+* **cold** — empty trace cache: every dataset's BFS program is
+  executed and recorded once, then replayed into the other platforms;
+* **warm** — all cells replay cached traces through memoized partition
+  contexts.
+
+Reports both wall times and the cache hit rate, and asserts the warm
+path is at least 2x faster — the regression guard for the record-once/
+replay-everywhere layer.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.report import render_cache_stats, render_table
+from repro.core.runner import Runner
+from repro.core.suite import ALL_PLATFORMS
+from repro.datasets import DATASET_NAMES, load_dataset
+
+
+def _sweep(runner: Runner) -> float:
+    start = time.perf_counter()
+    exp = runner.run_grid(
+        "bench:trace-cache",
+        platforms=list(ALL_PLATFORMS),
+        algorithms=["bfs"],
+        datasets=list(DATASET_NAMES),
+    )
+    wall = time.perf_counter() - start
+    assert len(exp) == len(ALL_PLATFORMS) * len(DATASET_NAMES)
+    return wall
+
+
+def test_trace_cache_cold_vs_warm(benchmark):
+    def experiment():
+        # Pre-build datasets so synthesis cost does not pollute the
+        # cold measurement — the bench targets the trace layer.
+        for name in DATASET_NAMES:
+            load_dataset(name)
+        runner = Runner()
+        cold = _sweep(runner)
+        stats_cold = runner.trace_cache.stats()
+        warm = _sweep(runner)
+        stats_warm = runner.trace_cache.stats()
+        data = {
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "speedup": cold / warm if warm > 0 else float("inf"),
+            "stats_cold": stats_cold,
+            "stats_warm": stats_warm,
+        }
+        text = render_table(
+            ["phase", "wall", "hits", "misses", "hit rate"],
+            [
+                ["cold", f"{cold:.3f}s", stats_cold["hits"],
+                 stats_cold["misses"], f"{stats_cold['hit_rate'] * 100:.0f}%"],
+                ["warm", f"{warm:.3f}s", stats_warm["hits"] - stats_cold["hits"],
+                 stats_warm["misses"] - stats_cold["misses"],
+                 "100%"],
+                ["speedup", f"{data['speedup']:.1f}x", "", "", ""],
+            ],
+            title="Trace cache: cold vs warm Figure-1 sweep (BFS, all platforms)",
+        ) + "\n" + render_cache_stats(stats_warm, title="Final cache counters")
+        return data, text
+
+    data, _ = run_once(benchmark, experiment)
+
+    # One recording per dataset, shared by all six platforms.
+    assert data["stats_cold"]["misses"] == len(DATASET_NAMES)
+    assert data["stats_cold"]["hits"] == (
+        (len(ALL_PLATFORMS) - 1) * len(DATASET_NAMES)
+    )
+    # The warm pass re-simulates nothing but the cost charging.
+    assert data["stats_warm"]["misses"] == data["stats_cold"]["misses"]
+    # Acceptance: warm path at least 2x faster than cold.
+    assert data["speedup"] >= 2.0, (
+        f"warm sweep only {data['speedup']:.2f}x faster than cold"
+    )

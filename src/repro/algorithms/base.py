@@ -25,6 +25,9 @@ from repro.graph.graph import Graph
 __all__ = [
     "SuperstepReport",
     "SuperstepProgram",
+    "SuperstepTrace",
+    "TraceReplay",
+    "record_trace",
     "AlgorithmResult",
     "Algorithm",
     "ALGORITHM_NAMES",
@@ -152,6 +155,142 @@ class SuperstepProgram:
     # -- helpers for subclasses ---------------------------------------------
     def _zeros(self) -> np.ndarray:
         return np.zeros(self.graph.num_vertices, dtype=np.int64)
+
+
+def _frozen_copy(arr: np.ndarray | None) -> np.ndarray | None:
+    """An immutable private copy of a per-vertex report array."""
+    if arr is None:
+        return None
+    out = np.array(arr, copy=True)
+    out.flags.writeable = False
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class SuperstepTrace:
+    """A recorded run of a :class:`SuperstepProgram`.
+
+    The trace captures, once, everything a platform model consumes: the
+    per-step :class:`SuperstepReport` workload arrays, the final output,
+    and the output size.  Platform engines can then *replay* the trace
+    (:meth:`replay`) instead of re-executing the algorithm — the paper's
+    separation between the workload (algorithm) and the cost structure
+    (platform) made concrete.  Replay is side-effect free and reusable:
+    one trace can drive any number of platform runs.
+
+    Reports in a trace are **pinned**: their arrays are immutable copies
+    and the report objects stay alive as long as the trace does, which
+    lets :class:`~repro.platforms.base.PartitionContext` memoize its
+    per-report worker aggregation by object identity.
+    """
+
+    algorithm: str
+    graph_name: str
+    num_vertices: int
+    reports: tuple[SuperstepReport, ...]
+    output: object
+    output_size_bytes: int
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.reports)
+
+    def replay(self, graph: Graph) -> "TraceReplay":
+        """A fresh program-compatible iterator over the recorded steps."""
+        return TraceReplay(self, graph)
+
+    def matches(self, graph: Graph) -> bool:
+        """True when the trace was recorded from ``graph``'s shape."""
+        return self.num_vertices == graph.num_vertices
+
+
+class TraceReplay(SuperstepProgram):
+    """Replays a :class:`SuperstepTrace` through the program contract.
+
+    A :class:`TraceReplay` *is* a :class:`SuperstepProgram` — platform
+    ``_execute`` paths consume it unchanged.  It yields the recorded
+    reports in order, then serves the recorded output and output size.
+    Crash and budget semantics are preserved exactly because they
+    depend only on the charged per-step costs, which are identical.
+    """
+
+    def __init__(self, trace: SuperstepTrace, graph: Graph) -> None:
+        if trace.num_vertices != graph.num_vertices:
+            raise ValueError(
+                f"trace recorded on {trace.num_vertices} vertices cannot "
+                f"replay on a graph with {graph.num_vertices}"
+            )
+        super().__init__(graph)
+        self.trace = trace
+
+    def step(self) -> SuperstepReport:
+        if self.superstep >= len(self.trace.reports):
+            # Defensive: a malformed trace whose last report lacks the
+            # halted flag must not run past the recording.
+            raise StopIteration
+        return self.trace.reports[self.superstep]
+
+    def result(self) -> object:
+        return self.trace.output
+
+    def output_bytes(self) -> int:
+        return self.trace.output_size_bytes
+
+
+def record_trace(
+    program: SuperstepProgram,
+    graph: Graph | None = None,
+    *,
+    algorithm: str = "?",
+) -> SuperstepTrace:
+    """Run ``program`` to completion and record its workload trace.
+
+    Parameters
+    ----------
+    program:
+        A *fresh* superstep program (no steps taken yet).
+    graph:
+        The graph the program runs on; defaults to ``program.graph``
+        and must be the same object when given.
+    algorithm:
+        Short algorithm code stamped on the trace (used for cache
+        validation).
+
+    Each report's arrays are copied and frozen so later mutation by the
+    program (or a caller) cannot corrupt the recording, and each report
+    is marked ``_trace_pinned`` so partition contexts may memoize their
+    aggregation per report object.
+    """
+    if graph is None:
+        graph = program.graph
+    elif graph is not program.graph:
+        raise ValueError("program was built for a different graph")
+    if program.superstep != 0:
+        raise ValueError("cannot record a program that already stepped")
+    reports: list[SuperstepReport] = []
+    for report in program:
+        snap = SuperstepReport(
+            active=_frozen_copy(report.active),
+            compute_edges=_frozen_copy(report.compute_edges),
+            messages=_frozen_copy(report.messages),
+            message_bytes=_frozen_copy(report.message_bytes),
+            halted=bool(report.halted),
+            direction=report.direction,
+            quadratic_in_degree=bool(report.quadratic_in_degree),
+            compute_quadratic=bool(report.compute_quadratic),
+            received_bytes=_frozen_copy(report.received_bytes),
+            distinct_receivers=report.distinct_receivers,
+        )
+        snap._trace_pinned = True  # type: ignore[attr-defined]
+        reports.append(snap)
+    return SuperstepTrace(
+        algorithm=algorithm,
+        graph_name=graph.name,
+        num_vertices=graph.num_vertices,
+        reports=tuple(reports),
+        output=program.result(),
+        output_size_bytes=int(program.output_bytes()),
+    )
 
 
 @dataclasses.dataclass

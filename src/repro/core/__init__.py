@@ -7,6 +7,8 @@ This package implements the empirical method of Section 2:
 * :mod:`repro.core.results` — run records and experiment collections.
 * :mod:`repro.core.runner` — the experiment runner: repetitions,
   averaging, crash/DNF bookkeeping (Section 3.2's process).
+* :mod:`repro.core.trace_cache` — record-once/replay-everywhere cache
+  of superstep traces shared across platform models.
 * :mod:`repro.core.process` — the three test processes: load,
   capacity, and exploratory tests (Section 2.1).
 * :mod:`repro.core.report` — ASCII tables and figure-series rendering,
@@ -35,6 +37,7 @@ from repro.core.results import ExperimentResult, RunRecord, RunStatus
 from repro.core.runner import Runner
 from repro.core.scalability import horizontal_sweep, vertical_sweep
 from repro.core.suite import BenchmarkSuite
+from repro.core.trace_cache import TraceCache
 
 __all__ = [
     "BenchmarkSuite",
@@ -46,6 +49,7 @@ __all__ = [
     "Runner",
     "RunRecord",
     "RunStatus",
+    "TraceCache",
     "horizontal_sweep",
     "job_metrics",
     "normalized_eps",

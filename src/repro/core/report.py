@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import typing as _t
 
-__all__ = ["render_table", "render_series", "render_comparison", "format_seconds"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_comparison",
+    "render_cache_stats",
+    "format_seconds",
+]
 
 
 def format_seconds(t: float | None) -> str:
@@ -74,6 +80,26 @@ def render_series(
             row.append(fmt(vals[i]) if i < len(vals) else "-")
         rows.append(row)
     return render_table(headers, rows, title=title)
+
+
+def render_cache_stats(
+    stats: dict[str, object], *, title: str = "Trace cache"
+) -> str:
+    """Hit/miss counters of a :class:`~repro.core.trace_cache.TraceCache`.
+
+    Accepts the dict produced by ``TraceCache.stats()`` (or any mapping
+    of counter name to value) and renders it as a two-column table so
+    suite runs can report how much algorithm execution was shared.
+    """
+    def _fmt(key: str, value: object) -> str:
+        if key == "hit_rate":
+            return f"{float(value) * 100:.1f}%"  # type: ignore[arg-type]
+        if key.endswith("_seconds"):
+            return format_seconds(float(value))  # type: ignore[arg-type]
+        return str(value)
+
+    rows = [[key, _fmt(key, value)] for key, value in stats.items()]
+    return render_table(["counter", "value"], rows, title=title)
 
 
 def render_comparison(

@@ -7,6 +7,17 @@ average), converts crashes and budget blow-ups into
 a small seeded run-to-run jitter so the averaging machinery is
 exercised the way real measurements would (the paper observed at most
 10 % variance; simulated runs are deterministic by default).
+
+Two layers of redundant work are eliminated here rather than in the
+platform models:
+
+* an in-memory :class:`~repro.core.trace_cache.TraceCache` records each
+  (dataset, algorithm, params) superstep program **once** and replays
+  the trace into every platform — a six-platform sweep executes the
+  algorithm a single time;
+* with ``jitter == 0`` a cell is fully deterministic, so repetitions
+  are served by replicating the first :class:`JobResult` instead of
+  re-simulating it.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ import numpy as np
 
 from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
+from repro.core.trace_cache import TraceCache
 from repro.datasets.registry import load_dataset
 from repro.graph.graph import Graph
 from repro.platforms.base import JobResult, JobTimeout, Platform, PlatformCrash
@@ -43,12 +55,21 @@ class Runner:
         Seed for the jitter stream.
     scale:
         Dataset scale passed to the registry when cells name datasets.
+    use_trace_cache:
+        Record each (dataset, algorithm, params) superstep program once
+        and replay the cached trace into every platform (default on;
+        simulated results are bit-identical either way).
+    trace_cache:
+        The cache instance — pass a shared one to pool recordings
+        across runners.
     """
 
     repetitions: int = 1
     jitter: float = 0.0
     seed: int = 202
     scale: float = 1.0
+    use_trace_cache: bool = True
+    trace_cache: TraceCache = dataclasses.field(default_factory=TraceCache)
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -74,11 +95,28 @@ class Runner:
             else dataset
         )
         cluster = cluster or das4_cluster()
+
+        trace = None
+        record_wall = 0.0
+        if self.use_trace_cache:
+            from repro.algorithms.base import get_algorithm
+
+            trace, record_wall = self.trace_cache.get_or_record(
+                get_algorithm(algorithm),
+                graph,
+                dataset=dataset if isinstance(dataset, str) else None,
+                scale=self.scale,
+                params=params,
+            )
+
+        # Deterministic cells (no jitter) need only one simulation; the
+        # result is replicated over the remaining repetitions.
+        reps = 1 if self.jitter == 0 else self.repetitions
         times: list[float] = []
         last: JobResult | None = None
-        for _rep in range(self.repetitions):
+        for _rep in range(reps):
             try:
-                result = plat.run(algorithm, graph, cluster, **params)
+                result = plat.run(algorithm, graph, cluster, trace=trace, **params)
             except PlatformCrash as crash:
                 return RunRecord(
                     platform=plat.name,
@@ -105,6 +143,10 @@ class Runner:
             times.append(t)
             last = result
         assert last is not None
+        if record_wall > 0:
+            last.wall_breakdown["trace_record"] = record_wall
+            last.wall_time_seconds += record_wall
+        times *= self.repetitions // reps
         return RunRecord(
             platform=plat.name,
             algorithm=algorithm,

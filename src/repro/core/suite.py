@@ -16,7 +16,12 @@ import numpy as np
 from repro.algorithms.base import ALGORITHM_NAMES, get_algorithm
 from repro.cluster.monitoring import MASTER, worker_node
 from repro.core.metrics import normalized_eps, paper_scale_eps, paper_scale_vps
-from repro.core.report import format_seconds, render_series, render_table
+from repro.core.report import (
+    format_seconds,
+    render_cache_stats,
+    render_series,
+    render_table,
+)
 from repro.core.results import ExperimentResult, RunRecord
 from repro.core.runner import Runner
 from repro.core.scalability import (
@@ -68,6 +73,18 @@ class BenchmarkSuite:
         if self.runner is None:
             self.runner = Runner(scale=self.scale)
         self._fig01_cache: ExperimentResult | None = None
+
+    # -------------------------------------------------------------- observability
+    def cache_stats(self) -> tuple[dict, str]:
+        """Trace-cache hit/miss counters for this suite's runner.
+
+        A full multi-platform figure executes each (algorithm, dataset)
+        superstep program once; every further platform replays the
+        recording — the counters make that sharing visible.
+        """
+        assert self.runner is not None
+        stats = self.runner.trace_cache.stats()
+        return stats, render_cache_stats(stats, title="Suite trace cache")
 
     # ------------------------------------------------------------------ tables
     def table2_datasets(self) -> tuple[list[dict], str]:

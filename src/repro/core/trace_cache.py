@@ -1,0 +1,156 @@
+"""In-memory cache of recorded superstep traces (Layer 3.5 storage).
+
+The expensive half of a simulated cell is executing the algorithm's
+superstep program; the platform-specific half — charging costs against
+the recorded workload — is cheap.  A multi-platform sweep therefore
+wants to execute each (algorithm, dataset, params) workload **once**
+and replay the recorded :class:`~repro.algorithms.base.SuperstepTrace`
+into every platform model.
+
+:class:`TraceCache` owns that memoization for the runner layer.  Keys
+capture everything the *program* can observe:
+
+* the dataset identity — registry name + scale + seed for named
+  datasets, object identity (kept alive by the entry) for ad-hoc
+  graphs;
+* the algorithm's short code;
+* the program parameters, normalized to a sorted ``repr`` tuple.
+
+The partitioner and part count are deliberately **not** part of the
+key: traces record per-vertex workload arrays *upstream* of
+partitioning, so one trace serves every partition layout (hash or
+greedy, per-worker or per-slot) — that is what lets six platforms
+share a single recording.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+
+from repro.algorithms.base import Algorithm, SuperstepTrace, record_trace
+from repro.graph.graph import Graph
+
+__all__ = ["TraceCache", "trace_key"]
+
+
+def trace_key(
+    algorithm: str,
+    graph: Graph,
+    *,
+    dataset: str | None = None,
+    scale: float = 1.0,
+    seed: int | None = None,
+    params: dict[str, object] | None = None,
+) -> tuple:
+    """The cache key for one (dataset, algorithm, params) workload."""
+    if dataset is not None:
+        source: tuple = ("dataset", dataset.lower(), float(scale), seed)
+    else:
+        source = ("graph", id(graph), graph.name)
+    norm_params = tuple(
+        sorted((k, repr(v)) for k, v in (params or {}).items())
+    )
+    return (source, algorithm, norm_params)
+
+
+class TraceCache:
+    """Bounded FIFO cache of :class:`SuperstepTrace` recordings.
+
+    Entries keep a strong reference to their graph so identity-based
+    keys for ad-hoc graphs can never alias a recycled ``id()``.
+    Counters (:attr:`hits`, :attr:`misses`) and the accumulated
+    recording wall time make the sharing observable through
+    :mod:`repro.core.report`.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: dict[tuple, tuple[Graph, SuperstepTrace]] = {}
+        self.hits = 0
+        self.misses = 0
+        #: real seconds spent executing programs to record traces
+        self.record_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- core API ----------------------------------------------------------
+    def lookup(self, key: tuple, graph: Graph) -> SuperstepTrace | None:
+        """The cached trace for ``key``, or None (does not count)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        cached_graph, cached_trace = entry
+        if cached_graph is not graph:
+            # A registry reload produced a different object for the same
+            # (name, scale, seed) — drop the stale recording.
+            del self._entries[key]
+            return None
+        return cached_trace
+
+    def store(self, key: tuple, graph: Graph, trace: SuperstepTrace) -> None:
+        """Insert, evicting the oldest entries beyond ``max_entries``."""
+        self._entries[key] = (graph, trace)
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+
+    def get_or_record(
+        self,
+        algo: Algorithm,
+        graph: Graph,
+        *,
+        dataset: str | None = None,
+        scale: float = 1.0,
+        seed: int | None = None,
+        params: dict[str, object] | None = None,
+    ) -> tuple[SuperstepTrace, float]:
+        """The trace for this workload — recorded now on a miss.
+
+        Returns ``(trace, record_wall_seconds)``; the second element is
+        0.0 on a hit.
+        """
+        key = trace_key(
+            algo.name, graph, dataset=dataset, scale=scale, seed=seed,
+            params=params,
+        )
+        trace = self.lookup(key, graph)
+        if trace is not None:
+            self.hits += 1
+            return trace, 0.0
+        self.misses += 1
+        wall0 = time.perf_counter()
+        merged = {**algo.default_params(graph), **(params or {})}
+        prog = algo.program(graph, **merged)
+        trace = record_trace(prog, graph, algorithm=algo.name)
+        wall = time.perf_counter() - wall0
+        self.record_seconds += wall
+        self.store(key, graph, trace)
+        return trace, wall
+
+    # -- observability -----------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, _t.Any]:
+        """Counter snapshot for :func:`repro.core.report.render_cache_stats`."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "record_seconds": self.record_seconds,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.record_seconds = 0.0

@@ -27,9 +27,9 @@ import typing as _t
 
 from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.report import format_seconds, render_table
-from repro.datasets.registry import load_dataset
+from repro.core.runner import Runner
 from repro.graph.graph import Graph
-from repro.platforms.base import JobTimeout, Platform, PlatformCrash
+from repro.platforms.base import Platform
 
 __all__ = ["TunedPair", "tuned_pair", "TuningStudy"]
 
@@ -78,7 +78,13 @@ def tuned_pair(name: str) -> TunedPair:
 
 @dataclasses.dataclass
 class TuningStudy:
-    """Run baseline and peak configurations over one workload."""
+    """Run baseline and peak configurations over one workload.
+
+    Both variants of every platform are driven through one
+    :class:`~repro.core.runner.Runner`, so the workload's superstep
+    program is executed once and replayed from the trace cache into
+    every configuration.
+    """
 
     algorithm: str = "bfs"
     dataset: str = "dotaleague"
@@ -86,25 +92,23 @@ class TuningStudy:
     platforms: _t.Sequence[str] = (
         "hadoop", "yarn", "stratosphere", "giraph", "graphlab", "neo4j"
     )
+    runner: Runner = dataclasses.field(default_factory=Runner)
 
-    def _run(self, platform: Platform, graph: Graph, kwargs: dict) -> float | None:
-        try:
-            return platform.run(
-                self.algorithm, graph, self.cluster, **kwargs
-            ).execution_time
-        except (PlatformCrash, JobTimeout):
-            return None
+    def _run(self, platform: Platform, graph: Graph | str, kwargs: dict) -> float | None:
+        record = self.runner.run_cell(
+            platform, self.algorithm, graph, self.cluster, **kwargs
+        )
+        return record.execution_time if record.ok else None
 
     def run(self) -> tuple[dict[str, tuple[float | None, float | None]], str]:
         """Returns {platform: (baseline_T, peak_T)} and the rendered
         SPEC-style table."""
-        graph = load_dataset(self.dataset)
         out: dict[str, tuple[float | None, float | None]] = {}
         rows = []
         for name in self.platforms:
             pair = tuned_pair(name)
-            base = self._run(pair.baseline, graph, pair.baseline_kwargs)
-            peak = self._run(pair.peak, graph, pair.peak_kwargs)
+            base = self._run(pair.baseline, self.dataset, pair.baseline_kwargs)
+            peak = self._run(pair.peak, self.dataset, pair.peak_kwargs)
             out[name] = (base, peak)
             gain = (
                 f"{base / peak:.2f}x"

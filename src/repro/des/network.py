@@ -100,10 +100,16 @@ class Link:
             return
         rate = self.bandwidth / len(self._active)
         moved = rate * elapsed
+        # A residue worth less than a nanosecond of flow is below the
+        # model's resolution: treat it as done.  An absolute byte
+        # threshold is not enough — for multi-MB transfers one ulp of
+        # `remaining` can exceed it, leaving a residue whose ETA rounds
+        # to zero sim-time and the wakeup loop never advances.
+        threshold = max(rate * 1e-9, 1e-9)
         finished = []
         for tr in self._active:
             tr.remaining -= moved
-            if tr.remaining <= 1e-9:
+            if tr.remaining <= threshold:
                 finished.append(tr)
         for tr in finished:
             self._active.remove(tr)

@@ -26,10 +26,9 @@ from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.graph.graph import Graph
-from repro.platforms.registry import cached_partition
+from repro.platforms.registry import cached_context
 from repro.platforms.base import (
     JobResult,
-    PartitionContext,
     Platform,
     PlatformCrash,
 )
@@ -98,7 +97,7 @@ class Giraph(Platform):
         budget: float,
     ) -> JobResult:
         parts = cluster.num_workers
-        ctx = PartitionContext(graph, cached_partition(graph, parts, "hash"), scale)
+        ctx = cached_context(graph, parts, "hash", scale)
         hdfs = HDFS(cluster)
         trace = ResourceTrace()
         m = cluster.machine

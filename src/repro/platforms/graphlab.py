@@ -31,11 +31,10 @@ from repro.cluster.spec import GB, MB, ClusterSpec
 from repro.graph.graph import Graph
 from repro.platforms.base import (
     JobResult,
-    PartitionContext,
     Platform,
     PlatformCrash,
 )
-from repro.platforms.registry import cached_partition
+from repro.platforms.registry import cached_context
 from repro.platforms.scale import ScaleModel
 
 __all__ = ["GraphLab"]
@@ -91,9 +90,7 @@ class GraphLab(Platform):
         budget: float,
     ) -> JobResult:
         parts = cluster.num_workers
-        ctx = PartitionContext(
-            graph, cached_partition(graph, parts, "greedy"), scale
-        )
+        ctx = cached_context(graph, parts, "greedy", scale)
         trace = ResourceTrace()
         m = cluster.machine
         rep_worker = worker_node(0)

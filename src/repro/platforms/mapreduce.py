@@ -28,10 +28,9 @@ from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.graph.graph import Graph
-from repro.platforms.registry import cached_partition
+from repro.platforms.registry import cached_context
 from repro.platforms.base import (
     JobResult,
-    PartitionContext,
     Platform,
     PlatformCrash,
 )
@@ -104,7 +103,7 @@ class MapReduceEngine(Platform):
         budget: float,
     ) -> JobResult:
         parts = cluster.num_workers * cluster.cores_per_worker  # task slots
-        ctx = PartitionContext(graph, cached_partition(graph, parts, "hash"), scale)
+        ctx = cached_context(graph, parts, "hash", scale)
         hdfs = HDFS(cluster)
         trace = ResourceTrace()
         m = cluster.machine

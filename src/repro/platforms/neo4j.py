@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm, SuperstepProgram
+from repro.algorithms.base import Algorithm, SuperstepProgram, SuperstepTrace
 from repro.cluster.monitoring import ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.graph.graph import Graph
@@ -188,18 +188,27 @@ class Neo4j(Platform):
         cluster: ClusterSpec | None = None,
         *,
         timeout: float | None = None,
+        trace: "SuperstepTrace | None" = None,
         cache: str = "hot",
         **params: object,
     ) -> JobResult:
         """Run on a single machine; ``cache`` selects cold or hot
-        execution (the paper reports hot-cache averages in Figure 1)."""
+        execution (the paper reports hot-cache averages in Figure 1).
+        A recorded ``trace`` replays instead of executing live."""
+        import time
+
         from repro.algorithms.base import get_algorithm
         from repro.cluster.spec import ClusterSpec as _CS
 
         algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
         cluster = cluster or _CS(num_workers=1)
-        merged = {**algo.default_params(graph), **params}
-        prog = algo.program(graph, **merged)
+        wall0 = time.perf_counter()
+        prog = self._prepare_program(algo, graph, trace, params)
         scale = ScaleModel.for_graph(graph)
         budget = self.default_timeout if timeout is None else float(timeout)
-        return self._execute(algo, prog, graph, cluster, scale, budget, cache=cache)
+        wall1 = time.perf_counter()
+        result = self._execute(algo, prog, graph, cluster, scale, budget, cache=cache)
+        wall2 = time.perf_counter()
+        result.wall_breakdown = {"prepare": wall1 - wall0, "charge": wall2 - wall1}
+        result.wall_time_seconds = wall2 - wall0
+        return result

@@ -13,9 +13,10 @@ from repro.graph.partition import (
 )
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.platforms.base import Platform
+    from repro.platforms.base import PartitionContext, Platform
+    from repro.platforms.scale import ScaleModel
 
-__all__ = ["PLATFORM_NAMES", "get_platform", "cached_partition"]
+__all__ = ["PLATFORM_NAMES", "get_platform", "cached_partition", "cached_context"]
 
 #: paper Table 4 order, plus the GraphLab(mp) tuning variant
 PLATFORM_NAMES: tuple[str, ...] = (
@@ -74,3 +75,28 @@ def cached_partition(graph: Graph, num_parts: int, policy: str) -> Partition:
     part = builder(graph, num_parts)
     _partition_cache[key] = part
     return part
+
+
+_context_cache: dict[tuple, "PartitionContext"] = {}
+
+
+def cached_context(
+    graph: Graph, num_parts: int, policy: str, scale: "ScaleModel"
+) -> "PartitionContext":
+    """Memoized :class:`~repro.platforms.base.PartitionContext` front end.
+
+    A context's precomputation (remote-degree arrays, per-part shares)
+    walks every edge; it is a pure function of (graph identity, part
+    count, policy, scale model), so platform ``_execute`` paths share
+    one instance — which also shares the per-report step-cost memo that
+    makes trace replay cheap.
+    """
+    from repro.platforms.base import PartitionContext
+
+    key = (id(graph), num_parts, policy, scale)
+    ctx = _context_cache.get(key)
+    if ctx is not None and ctx.graph is graph:
+        return ctx
+    ctx = PartitionContext(graph, cached_partition(graph, num_parts, policy), scale)
+    _context_cache[key] = ctx
+    return ctx

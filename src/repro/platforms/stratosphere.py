@@ -24,8 +24,8 @@ from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.graph.graph import Graph
-from repro.platforms.registry import cached_partition
-from repro.platforms.base import JobResult, PartitionContext, Platform
+from repro.platforms.registry import cached_context
+from repro.platforms.base import JobResult, Platform
 from repro.platforms.scale import ScaleModel
 
 __all__ = ["Stratosphere"]
@@ -65,7 +65,7 @@ class Stratosphere(Platform):
         budget: float,
     ) -> JobResult:
         parts = cluster.num_workers * cluster.cores_per_worker
-        ctx = PartitionContext(graph, cached_partition(graph, parts, "hash"), scale)
+        ctx = cached_context(graph, parts, "hash", scale)
         hdfs = HDFS(cluster)
         trace = ResourceTrace()
         m = cluster.machine

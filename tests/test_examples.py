@@ -10,6 +10,19 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
+@pytest.fixture(autouse=True)
+def _pristine_algorithm_registry():
+    """Examples register algorithms under built-in names (e.g. the
+    custom-algorithm demo shadows "pagerank"); restore the global
+    registry so later test files see the shipped implementations."""
+    from repro.algorithms import base
+
+    saved = dict(base._REGISTRY)
+    yield
+    base._REGISTRY.clear()
+    base._REGISTRY.update(saved)
+
+
 def _load(name: str):
     spec = importlib.util.spec_from_file_location(
         f"examples_{name}", EXAMPLES / f"{name}.py"

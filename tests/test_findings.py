@@ -10,6 +10,7 @@ def findings():
     return verify_findings()
 
 
+@pytest.mark.slow
 class TestFindings:
     def test_all_hold(self, findings):
         failing = [f.claim for f in findings if not f.holds]

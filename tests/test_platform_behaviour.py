@@ -2,9 +2,14 @@
 
 These are the reproduction contract — each test cites the paper claim
 it checks (section in parentheses).
+
+The whole module is an end-to-end sweep over paper-scale runs, so it is
+tier-2: deselected by default, run with ``pytest -m slow``.
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.cluster.spec import das4_cluster
 from repro.datasets import DATASET_NAMES, load_dataset

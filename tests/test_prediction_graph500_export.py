@@ -44,6 +44,7 @@ class TestWorkloadFeatures:
         assert f.workers == 20
 
 
+@pytest.mark.slow
 class TestBoundaryModel:
     @pytest.fixture(scope="class")
     def hadoop_model(self):
