@@ -1,0 +1,150 @@
+"""Sparse-report benchmark: frontier-proportional vs dense workloads.
+
+Runs a BFS grid (all platforms) at dataset scale 4 twice — once with
+the sparse representation disabled (every report and every trace pin is
+a dense O(|V|) array set, the pre-sparse harness behaviour) and once
+with the default frontier-indexed form — and compares harness wall time
+and pinned trace memory.
+
+The two workloads stress different wins:
+
+* **amazon** — 60+ BFS levels whose frontiers each hold ~1-2 % of the
+  vertices: per-superstep dense passes dominate, so wall time is the
+  headline (asserted >= 3x).
+* **citation** — BFS reaches 0.1 % of the graph (the paper's directed
+  coverage effect): nearly all dense trace memory is zeros, so the
+  pinned-bytes ratio is the headline (asserted >= 5x, measured in the
+  hundreds).
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.algorithms.base import set_sparse_active_fraction
+from repro.core.report import render_table
+from repro.core.runner import Runner
+from repro.core.suite import ALL_PLATFORMS
+from repro.datasets import load_dataset
+
+SCALE = 4.0
+DATASETS = ("citation", "amazon")
+#: the dataset whose per-superstep frontiers stay sparse for the whole
+#: run — the wall-time acceptance target
+WALL_TARGET = "amazon"
+
+
+def _sweep(dataset: str, scale: float) -> tuple[float, int]:
+    """One fresh-cache BFS sweep; (wall seconds, pinned trace bytes)."""
+    runner = Runner(scale=scale)
+    start = time.perf_counter()
+    exp = runner.run_grid(
+        "bench:sparse-reports",
+        platforms=list(ALL_PLATFORMS),
+        algorithms=["bfs"],
+        datasets=[dataset],
+    )
+    wall = time.perf_counter() - start
+    assert len(exp) == len(ALL_PLATFORMS)
+    return wall, runner.trace_cache.stats()["trace_bytes"]
+
+
+def measure_sparse_vs_dense(
+    *, scale: float = SCALE, datasets: tuple[str, ...] = DATASETS,
+    repeats: int = 2,
+) -> dict:
+    """Dense-vs-sparse walls and trace memory per dataset (+ totals).
+
+    Walls are the best of ``repeats`` sweeps per mode so scheduler
+    noise cannot masquerade as a regression; each sweep uses a fresh
+    trace cache (partition contexts stay shared, as in real use).
+    """
+    per_dataset: dict[str, dict[str, float]] = {}
+    for name in datasets:
+        load_dataset(name, scale=scale)  # synthesis out of the timing
+        _sweep(name, scale)  # prewarm partitions/contexts
+        prev = set_sparse_active_fraction(-1.0)
+        try:
+            dense_runs = [_sweep(name, scale) for _ in range(repeats)]
+        finally:
+            set_sparse_active_fraction(prev)
+        sparse_runs = [_sweep(name, scale) for _ in range(repeats)]
+        dense_wall = min(w for w, _ in dense_runs)
+        sparse_wall = min(w for w, _ in sparse_runs)
+        dense_bytes = dense_runs[0][1]
+        sparse_bytes = sparse_runs[0][1]
+        per_dataset[name] = {
+            "dense_wall": dense_wall,
+            "sparse_wall": sparse_wall,
+            "wall_ratio": dense_wall / sparse_wall,
+            "dense_trace_bytes": dense_bytes,
+            "sparse_trace_bytes": sparse_bytes,
+            "memory_ratio": dense_bytes / sparse_bytes,
+        }
+    total = {
+        key: sum(row[key] for row in per_dataset.values())
+        for key in (
+            "dense_wall", "sparse_wall",
+            "dense_trace_bytes", "sparse_trace_bytes",
+        )
+    }
+    return {
+        "scale": scale,
+        "datasets": per_dataset,
+        **total,
+        "wall_ratio": total["dense_wall"] / total["sparse_wall"],
+        "memory_ratio": (
+            total["dense_trace_bytes"] / total["sparse_trace_bytes"]
+        ),
+    }
+
+
+def render_sparse_vs_dense(data: dict) -> str:
+    rows = []
+    for name, row in data["datasets"].items():
+        rows.append([
+            name,
+            f"{row['dense_wall']:.3f}s",
+            f"{row['sparse_wall']:.3f}s",
+            f"{row['wall_ratio']:.1f}x",
+            f"{row['dense_trace_bytes'] / 1e6:.1f} MB",
+            f"{row['sparse_trace_bytes'] / 1e6:.2f} MB",
+            f"{row['memory_ratio']:.0f}x",
+        ])
+    rows.append([
+        "total",
+        f"{data['dense_wall']:.3f}s",
+        f"{data['sparse_wall']:.3f}s",
+        f"{data['wall_ratio']:.1f}x",
+        f"{data['dense_trace_bytes'] / 1e6:.1f} MB",
+        f"{data['sparse_trace_bytes'] / 1e6:.2f} MB",
+        f"{data['memory_ratio']:.0f}x",
+    ])
+    return render_table(
+        ["dataset", "dense", "sparse", "wall", "dense mem",
+         "sparse mem", "mem"],
+        rows,
+        title=(
+            f"Sparse vs dense reports: BFS grid, all platforms, "
+            f"scale {data['scale']:g}"
+        ),
+    )
+
+
+def test_sparse_reports_speedup(benchmark):
+    def experiment():
+        data = measure_sparse_vs_dense()
+        return data, render_sparse_vs_dense(data)
+
+    data, _ = run_once(benchmark, experiment)
+
+    # Acceptance: frontier-proportional wall time on the sparse-frontier
+    # workload, and at least 5x less pinned trace memory everywhere.
+    target = data["datasets"][WALL_TARGET]
+    assert target["wall_ratio"] >= 3.0, (
+        f"{WALL_TARGET} sweep only {target['wall_ratio']:.2f}x faster sparse"
+    )
+    for name, row in data["datasets"].items():
+        assert row["memory_ratio"] >= 5.0, (
+            f"{name} trace memory only {row['memory_ratio']:.1f}x smaller"
+        )
+    assert data["memory_ratio"] >= 5.0

@@ -35,39 +35,41 @@ def _sweep(runner: Runner) -> float:
     return wall
 
 
-def test_trace_cache_cold_vs_warm(benchmark):
-    def experiment():
-        # Pre-build datasets so synthesis cost does not pollute the
-        # cold measurement — the bench targets the trace layer.
-        for name in DATASET_NAMES:
-            load_dataset(name)
-        runner = Runner()
-        cold = _sweep(runner)
-        stats_cold = runner.trace_cache.stats()
-        warm = _sweep(runner)
-        stats_warm = runner.trace_cache.stats()
-        data = {
-            "cold_seconds": cold,
-            "warm_seconds": warm,
-            "speedup": cold / warm if warm > 0 else float("inf"),
-            "stats_cold": stats_cold,
-            "stats_warm": stats_warm,
-        }
-        text = render_table(
-            ["phase", "wall", "hits", "misses", "hit rate"],
-            [
-                ["cold", f"{cold:.3f}s", stats_cold["hits"],
-                 stats_cold["misses"], f"{stats_cold['hit_rate'] * 100:.0f}%"],
-                ["warm", f"{warm:.3f}s", stats_warm["hits"] - stats_cold["hits"],
-                 stats_warm["misses"] - stats_cold["misses"],
-                 "100%"],
-                ["speedup", f"{data['speedup']:.1f}x", "", "", ""],
-            ],
-            title="Trace cache: cold vs warm Figure-1 sweep (BFS, all platforms)",
-        ) + "\n" + render_cache_stats(stats_warm, title="Final cache counters")
-        return data, text
+def measure_cold_vs_warm() -> tuple[dict, str]:
+    """Cold-vs-warm Figure-1 sweep data (shared with bench_snapshot)."""
+    # Pre-build datasets so synthesis cost does not pollute the
+    # cold measurement — the bench targets the trace layer.
+    for name in DATASET_NAMES:
+        load_dataset(name)
+    runner = Runner()
+    cold = _sweep(runner)
+    stats_cold = runner.trace_cache.stats()
+    warm = _sweep(runner)
+    stats_warm = runner.trace_cache.stats()
+    data = {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "stats_cold": stats_cold,
+        "stats_warm": stats_warm,
+    }
+    text = render_table(
+        ["phase", "wall", "hits", "misses", "hit rate"],
+        [
+            ["cold", f"{cold:.3f}s", stats_cold["hits"],
+             stats_cold["misses"], f"{stats_cold['hit_rate'] * 100:.0f}%"],
+            ["warm", f"{warm:.3f}s", stats_warm["hits"] - stats_cold["hits"],
+             stats_warm["misses"] - stats_cold["misses"],
+             "100%"],
+            ["speedup", f"{data['speedup']:.1f}x", "", "", ""],
+        ],
+        title="Trace cache: cold vs warm Figure-1 sweep (BFS, all platforms)",
+    ) + "\n" + render_cache_stats(stats_warm, title="Final cache counters")
+    return data, text
 
-    data, _ = run_once(benchmark, experiment)
+
+def test_trace_cache_cold_vs_warm(benchmark):
+    data, _ = run_once(benchmark, measure_cold_vs_warm)
 
     # One recording per dataset, shared by all six platforms.
     assert data["stats_cold"]["misses"] == len(DATASET_NAMES)

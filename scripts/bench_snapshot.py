@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Record a harness performance snapshot into ``BENCH_harness.json``.
+
+Runs the two harness micro-benchmarks — the cold-vs-warm trace-cache
+sweep and the sparse-vs-dense report sweep — and writes their wall
+times and trace-memory numbers as one JSON document.  CI uploads the
+file as a build artifact, so every PR leaves a perf data point the next
+one can be compared against.
+
+Run:  python scripts/bench_snapshot.py [output_path]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform as _platform
+import sys
+
+
+def _ensure_benchmarks_importable() -> None:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+
+
+def collect_snapshot() -> dict:
+    """Run both benches and return the combined snapshot document."""
+    _ensure_benchmarks_importable()
+    from benchmarks.bench_sparse_reports import (
+        measure_sparse_vs_dense,
+        render_sparse_vs_dense,
+    )
+    from benchmarks.bench_trace_cache import measure_cold_vs_warm
+
+    trace_data, trace_text = measure_cold_vs_warm()
+    sparse_data = measure_sparse_vs_dense()
+    print(trace_text)
+    print(render_sparse_vs_dense(sparse_data))
+    return {
+        "schema": 1,
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "trace_cache": trace_data,
+        "sparse_reports": sparse_data,
+    }
+
+
+def main(out_path: str = "BENCH_harness.json") -> None:
+    snapshot = collect_snapshot()
+    target = pathlib.Path(out_path)
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -3,10 +3,26 @@
 The central abstraction is the **superstep program**: an iterator that
 advances the real computation one global superstep at a time and, after
 each step, reports *who was active, how much they computed, and how
-much they said* — as dense per-vertex numpy arrays.  Platform engines
-aggregate those arrays per partition (one ``np.bincount`` each) to
-obtain exact per-worker workloads, then charge platform-specific costs
-(disk, network, barrier, job scheduling) against them.
+much they said*.  Platform engines aggregate those per-vertex
+quantities per partition (one ``np.bincount`` each) to obtain exact
+per-worker workloads, then charge platform-specific costs (disk,
+network, barrier, job scheduling) against them.
+
+Reports come in two interchangeable forms:
+
+* **dense** — per-vertex arrays of length ``|V|`` plus an ``active``
+  mask, the original representation;
+* **sparse** — a sorted ``active_ids`` frontier plus arrays defined
+  only on those vertices (everyone else implicitly zero).
+
+The paper's central performance effects are frontier-proportional
+(BFS touches 0.1 % of Citation; Amazon BFS runs 68 near-empty
+frontiers), so algorithms emit the sparse form whenever the active
+fraction drops below :func:`sparse_active_fraction` — harness cost then
+scales with actual work instead of ``|V| x supersteps``.  The two forms
+charge **bit-identical** costs: sparse aggregation adds the same
+nonzero terms in the same (vertex-id) order the dense ``bincount``
+would, and adding an exact ``0.0`` never changes a float64 sum.
 
 This is what lets six very different platform models execute the *same*
 program while reproducing the paper's performance gaps: the program is
@@ -28,6 +44,10 @@ __all__ = [
     "SuperstepTrace",
     "TraceReplay",
     "record_trace",
+    "frontier_report",
+    "sparse_active_fraction",
+    "set_sparse_active_fraction",
+    "DEFAULT_SPARSE_ACTIVE_FRACTION",
     "AlgorithmResult",
     "Algorithm",
     "ALGORITHM_NAMES",
@@ -39,24 +59,53 @@ __all__ = [
 #: (vertex id + value + framing, roughly what a Giraph message costs).
 MESSAGE_BYTES = 16
 
+#: Default active-fraction threshold below which :func:`frontier_report`
+#: and :func:`record_trace` pick the sparse representation.  Above it the
+#: dense form is cheaper (no id array) and equally exact.
+DEFAULT_SPARSE_ACTIVE_FRACTION = 0.5
+
+_sparse_active_fraction = DEFAULT_SPARSE_ACTIVE_FRACTION
+
+
+def sparse_active_fraction() -> float:
+    """The process-wide sparse/dense switchover threshold."""
+    return _sparse_active_fraction
+
+
+def set_sparse_active_fraction(fraction: float) -> float:
+    """Set the switchover threshold; returns the previous value.
+
+    ``0.0`` (or any negative value) forces every report dense — the
+    benchmark baseline; ``1.0`` forces sparse whenever an active set is
+    known.  Results are bit-identical at any setting; only harness wall
+    time and trace memory change.
+    """
+    global _sparse_active_fraction
+    previous = _sparse_active_fraction
+    _sparse_active_fraction = float(fraction)
+    return previous
+
 
 @dataclasses.dataclass
 class SuperstepReport:
-    """Workload of one global superstep.
+    """Workload of one global superstep (dense or sparse form).
 
     Attributes
     ----------
     active:
-        Boolean mask (or ``None`` for "all vertices active").
+        Boolean mask (or ``None`` for "all vertices active").  Must be
+        ``None`` in the sparse form — ``active_ids`` *is* the activity.
     compute_edges:
-        Per-vertex count of adjacency entries scanned this step
-        (int64 array).  The universal unit of compute work.
+        Count of adjacency entries scanned this step (int64 array).
+        The universal unit of compute work.  Dense form: one entry per
+        vertex.  Sparse form: one entry per ``active_ids`` slot.
     messages:
-        Per-vertex count of messages *sent* this step (int64 array).
+        Count of messages *sent* this step (int64 array, indexed like
+        ``compute_edges``).
     message_bytes:
-        Per-vertex bytes sent.  Defaults to ``messages *
-        MESSAGE_BYTES`` when omitted; STATS overrides it because its
-        messages carry whole neighbor lists.
+        Bytes sent (indexed like ``compute_edges``).  Defaults to
+        ``messages * MESSAGE_BYTES`` when omitted; STATS overrides it
+        because its messages carry whole neighbor lists.
     halted:
         True when this was the final superstep.
     direction:
@@ -73,12 +122,19 @@ class SuperstepReport:
         neighborhood intersection); scale models then apply the
         degree-quadratic multiplier to compute_edges.
     received_bytes:
-        Optional exact per-vertex received bytes; when omitted,
-        platform models apportion traffic by in-degree share.
+        Optional exact received bytes (indexed like ``compute_edges``);
+        when omitted, platform models apportion traffic by in-degree
+        share.
     distinct_receivers:
         Optional count of distinct destination vertices this
         superstep; lets combiner-aware engines bound the post-combine
         message volume.  ``None`` = unknown.
+    active_ids:
+        ``None`` for the dense form.  Otherwise a sorted, duplicate-free
+        int64 array of the active vertex ids; every per-vertex quantity
+        above is then defined *positionally on this frontier* and every
+        unlisted vertex carries exactly zero.  Build sparse reports with
+        :func:`frontier_report` rather than by hand.
     """
 
     active: np.ndarray | None
@@ -91,18 +147,235 @@ class SuperstepReport:
     compute_quadratic: bool = False
     received_bytes: np.ndarray | None = None
     distinct_receivers: int | None = None
+    active_ids: np.ndarray | None = None
 
+    def __post_init__(self) -> None:
+        if self.active_ids is None:
+            return
+        if self.active is not None:
+            raise ValueError(
+                "sparse reports must not carry an active mask — "
+                "active_ids is the activity"
+            )
+        k = len(self.active_ids)
+        for name in ("compute_edges", "messages", "message_bytes", "received_bytes"):
+            arr = getattr(self, name)
+            if arr is not None and len(arr) != k:
+                raise ValueError(
+                    f"sparse report: {name} has length {len(arr)}, "
+                    f"expected one entry per active id ({k})"
+                )
+
+    # -- representation ------------------------------------------------------
+    @property
+    def is_sparse(self) -> bool:
+        """True when quantities are frontier-indexed (``active_ids``)."""
+        return self.active_ids is not None
+
+    def to_dense(self, num_vertices: int) -> "SuperstepReport":
+        """The equivalent dense-form report (self when already dense)."""
+        ids = self.active_ids
+        if ids is None:
+            return self
+
+        def scatter(values: np.ndarray | None) -> np.ndarray | None:
+            if values is None:
+                return None
+            out = np.zeros(num_vertices, dtype=values.dtype)
+            out[ids] = values
+            return out
+
+        active = np.zeros(num_vertices, dtype=bool)
+        active[ids] = True
+        return SuperstepReport(
+            active=active,
+            compute_edges=scatter(self.compute_edges),
+            messages=scatter(self.messages),
+            message_bytes=scatter(self.message_bytes),
+            halted=self.halted,
+            direction=self.direction,
+            quadratic_in_degree=self.quadratic_in_degree,
+            compute_quadratic=self.compute_quadratic,
+            received_bytes=scatter(self.received_bytes),
+            distinct_receivers=self.distinct_receivers,
+        )
+
+    def compacted(
+        self, num_vertices: int, threshold: float | None = None
+    ) -> "SuperstepReport":
+        """The sparse form when it is lossless and worth it, else self.
+
+        A dense report compacts only when it has an explicit active
+        mask, the active fraction is below ``threshold`` (default: the
+        process-wide :func:`sparse_active_fraction`), and no quantity
+        carries workload outside the active set — the compact form must
+        charge bit-identical costs.
+        """
+        if self.active_ids is not None or self.active is None:
+            return self
+        thr = sparse_active_fraction() if threshold is None else threshold
+        ids = np.flatnonzero(self.active)
+        if len(ids) > thr * num_vertices:
+            return self
+        inactive = ~self.active
+        quantities = (
+            self.compute_edges, self.messages,
+            self.message_bytes, self.received_bytes,
+        )
+        for arr in quantities:
+            if arr is None:
+                continue
+            if len(arr) != num_vertices or arr[inactive].any():
+                return self
+        return SuperstepReport(
+            active=None,
+            compute_edges=self.compute_edges[ids],
+            messages=self.messages[ids],
+            message_bytes=(
+                None if self.message_bytes is None else self.message_bytes[ids]
+            ),
+            halted=self.halted,
+            direction=self.direction,
+            quadratic_in_degree=self.quadratic_in_degree,
+            compute_quadratic=self.compute_quadratic,
+            received_bytes=(
+                None if self.received_bytes is None else self.received_bytes[ids]
+            ),
+            distinct_receivers=self.distinct_receivers,
+            active_ids=ids.astype(np.int64),
+        )
+
+    # -- uniform accessors (valid for both forms) ---------------------------
     def resolved_message_bytes(self) -> np.ndarray:
-        """Per-vertex bytes, applying the default framing if unset."""
+        """Bytes sent, applying the default framing if unset (indexed
+        like ``compute_edges``)."""
         if self.message_bytes is not None:
             return self.message_bytes
         return self.messages * MESSAGE_BYTES
 
     def num_active(self, num_vertices: int) -> int:
         """Count of active vertices this superstep."""
+        if self.active_ids is not None:
+            return len(self.active_ids)
         if self.active is None:
             return num_vertices
         return int(np.count_nonzero(self.active))
+
+    def active_vertex_ids(self, num_vertices: int) -> np.ndarray:
+        """Sorted ids of the active vertices, whatever the form."""
+        if self.active_ids is not None:
+            return self.active_ids
+        if self.active is None:
+            return np.arange(num_vertices, dtype=np.int64)
+        return np.flatnonzero(self.active)
+
+    def touch(self, touched: np.ndarray) -> None:
+        """OR this superstep's activity into a boolean accumulator."""
+        if self.active_ids is not None:
+            touched[self.active_ids] = True
+        elif self.active is None:
+            touched[:] = True
+        else:
+            touched |= self.active
+
+    def total_compute_edges(self) -> int:
+        """Sum of compute work over all vertices."""
+        return int(self.compute_edges.sum())
+
+    def total_messages(self) -> int:
+        """Sum of messages sent over all vertices."""
+        return int(self.messages.sum())
+
+    def total_message_bytes(self) -> int:
+        """Sum of bytes sent over all vertices."""
+        return int(self.resolved_message_bytes().sum())
+
+    def max_received_bytes(self, num_vertices: int) -> float:
+        """Largest per-vertex received volume (0.0 when unreported).
+
+        Sparse reports with fewer slots than vertices include the
+        implicit zero of the unlisted vertices, matching the dense max.
+        """
+        if self.received_bytes is None:
+            return 0.0
+        top = float(self.received_bytes.max()) if len(self.received_bytes) else 0.0
+        if self.active_ids is not None and len(self.active_ids) < num_vertices:
+            return max(top, 0.0)
+        return top
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of this report's arrays."""
+        total = 0
+        for arr in (
+            self.active, self.active_ids, self.compute_edges,
+            self.messages, self.message_bytes, self.received_bytes,
+        ):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+
+def frontier_report(
+    num_vertices: int,
+    active_ids: np.ndarray,
+    *,
+    compute_edges: np.ndarray,
+    messages: np.ndarray,
+    message_bytes: np.ndarray | None = None,
+    received_bytes: np.ndarray | None = None,
+    halted: bool = False,
+    direction: str = "out",
+    quadratic_in_degree: bool = False,
+    compute_quadratic: bool = False,
+    distinct_receivers: int | None = None,
+    sparse_threshold: float | None = None,
+) -> SuperstepReport:
+    """Build a report from frontier-aligned workload arrays.
+
+    ``active_ids`` holds the active vertices (duplicate-free); every
+    quantity array carries one value per id.  The representation is
+    auto-selected: sparse when the active fraction is below
+    ``sparse_threshold`` (default: :func:`sparse_active_fraction`),
+    dense otherwise — both charge bit-identical costs, so the choice is
+    purely a wall-time/memory trade.
+
+    Ids are normalized to ascending order (values reordered with them)
+    so sparse aggregation adds float terms in the same order as a dense
+    ``bincount`` pass.
+    """
+    ids = np.asarray(active_ids, dtype=np.int64)
+    if len(ids) > 1:
+        gaps = np.diff(ids)
+        if np.any(gaps < 0):
+            order = np.argsort(ids, kind="stable")
+            ids = ids[order]
+            compute_edges = compute_edges[order]
+            messages = messages[order]
+            if message_bytes is not None:
+                message_bytes = message_bytes[order]
+            if received_bytes is not None:
+                received_bytes = received_bytes[order]
+            gaps = np.diff(ids)
+        if np.any(gaps == 0):
+            raise ValueError("active_ids must be duplicate-free")
+    thr = sparse_active_fraction() if sparse_threshold is None else sparse_threshold
+    report = SuperstepReport(
+        active=None,
+        compute_edges=compute_edges,
+        messages=messages,
+        message_bytes=message_bytes,
+        halted=halted,
+        direction=direction,
+        quadratic_in_degree=quadratic_in_degree,
+        compute_quadratic=compute_quadratic,
+        received_bytes=received_bytes,
+        distinct_receivers=distinct_receivers,
+        active_ids=ids,
+    )
+    if len(ids) <= thr * num_vertices:
+        return report
+    return report.to_dense(num_vertices)
 
 
 class SuperstepProgram:
@@ -181,7 +454,15 @@ class SuperstepTrace:
     Reports in a trace are **pinned**: their arrays are immutable copies
     and the report objects stay alive as long as the trace does, which
     lets :class:`~repro.platforms.base.PartitionContext` memoize its
-    per-report worker aggregation by object identity.
+    per-report worker aggregation by object identity.  Pinned reports
+    use the compact (sparse) form whenever it is lossless and the
+    active fraction is low, so a trace costs O(sum of frontier sizes)
+    memory instead of O(supersteps x |V|).
+
+    The recording pass also accumulates the whole-run statistics the
+    paper tabulates (coverage, total work/messages/bytes) so that
+    :meth:`Algorithm.run_reference` and the trace share one
+    implementation of that logic.
     """
 
     algorithm: str
@@ -190,10 +471,23 @@ class SuperstepTrace:
     reports: tuple[SuperstepReport, ...]
     output: object
     output_size_bytes: int
+    #: fraction of vertices active at least once (Table 5's coverage)
+    coverage: float = 0.0
+    #: total adjacency entries scanned over all supersteps
+    total_compute_edges: int = 0
+    #: total messages over all supersteps
+    total_messages: int = 0
+    #: total message bytes over all supersteps
+    total_message_bytes: int = 0
 
     @property
     def num_supersteps(self) -> int:
         return len(self.reports)
+
+    @property
+    def nbytes(self) -> int:
+        """Pinned memory held by the recorded report arrays."""
+        return sum(report.nbytes for report in self.reports)
 
     def replay(self, graph: Graph) -> "TraceReplay":
         """A fresh program-compatible iterator over the recorded steps."""
@@ -259,7 +553,10 @@ def record_trace(
     Each report's arrays are copied and frozen so later mutation by the
     program (or a caller) cannot corrupt the recording, and each report
     is marked ``_trace_pinned`` so partition contexts may memoize their
-    aggregation per report object.
+    aggregation per report object.  Dense reports whose workload lives
+    entirely on a small active set are pinned in the compact sparse
+    form (see :meth:`SuperstepReport.compacted`); costs charged from
+    the trace are bit-identical either way.
     """
     if graph is None:
         graph = program.graph
@@ -267,29 +564,44 @@ def record_trace(
         raise ValueError("program was built for a different graph")
     if program.superstep != 0:
         raise ValueError("cannot record a program that already stepped")
+    n = graph.num_vertices
+    touched = np.zeros(n, dtype=bool)
+    total_ce = 0
+    total_msg = 0
+    total_bytes = 0
     reports: list[SuperstepReport] = []
     for report in program:
+        compact = report.compacted(n)
         snap = SuperstepReport(
-            active=_frozen_copy(report.active),
-            compute_edges=_frozen_copy(report.compute_edges),
-            messages=_frozen_copy(report.messages),
-            message_bytes=_frozen_copy(report.message_bytes),
-            halted=bool(report.halted),
-            direction=report.direction,
-            quadratic_in_degree=bool(report.quadratic_in_degree),
-            compute_quadratic=bool(report.compute_quadratic),
-            received_bytes=_frozen_copy(report.received_bytes),
-            distinct_receivers=report.distinct_receivers,
+            active=_frozen_copy(compact.active),
+            compute_edges=_frozen_copy(compact.compute_edges),
+            messages=_frozen_copy(compact.messages),
+            message_bytes=_frozen_copy(compact.message_bytes),
+            halted=bool(compact.halted),
+            direction=compact.direction,
+            quadratic_in_degree=bool(compact.quadratic_in_degree),
+            compute_quadratic=bool(compact.compute_quadratic),
+            received_bytes=_frozen_copy(compact.received_bytes),
+            distinct_receivers=compact.distinct_receivers,
+            active_ids=_frozen_copy(compact.active_ids),
         )
         snap._trace_pinned = True  # type: ignore[attr-defined]
         reports.append(snap)
+        snap.touch(touched)
+        total_ce += snap.total_compute_edges()
+        total_msg += snap.total_messages()
+        total_bytes += snap.total_message_bytes()
     return SuperstepTrace(
         algorithm=algorithm,
         graph_name=graph.name,
-        num_vertices=graph.num_vertices,
+        num_vertices=n,
         reports=tuple(reports),
         output=program.result(),
         output_size_bytes=int(program.output_bytes()),
+        coverage=float(np.count_nonzero(touched)) / max(n, 1),
+        total_compute_edges=total_ce,
+        total_messages=total_msg,
+        total_message_bytes=total_bytes,
     )
 
 
@@ -331,32 +643,24 @@ class Algorithm:
         return {}
 
     def run_reference(self, graph: Graph, **params: object) -> AlgorithmResult:
-        """Run the program to completion without any platform model."""
+        """Run the program to completion without any platform model.
+
+        Runs through :func:`record_trace` so the totals/coverage
+        accumulation exists in exactly one place; the recording is
+        discarded (callers wanting to keep it should record via
+        :class:`~repro.core.trace_cache.TraceCache`).
+        """
         merged = {**self.default_params(graph), **params}
         prog = self.program(graph, **merged)
-        touched = np.zeros(graph.num_vertices, dtype=bool)
-        total_ce = 0
-        total_msg = 0
-        total_bytes = 0
-        iterations = 0
-        for report in prog:
-            iterations += 1
-            if report.active is None:
-                touched[:] = True
-            else:
-                touched |= report.active
-            total_ce += int(report.compute_edges.sum())
-            total_msg += int(report.messages.sum())
-            total_bytes += int(report.resolved_message_bytes().sum())
-        coverage = float(np.count_nonzero(touched)) / max(graph.num_vertices, 1)
+        trace = record_trace(prog, graph, algorithm=self.name)
         return AlgorithmResult(
             algorithm=self.name,
-            output=prog.result(),
-            iterations=iterations,
-            coverage=coverage,
-            total_compute_edges=total_ce,
-            total_messages=total_msg,
-            total_message_bytes=total_bytes,
+            output=trace.output,
+            iterations=trace.num_supersteps,
+            coverage=trace.coverage,
+            total_compute_edges=trace.total_compute_edges,
+            total_messages=trace.total_messages,
+            total_message_bytes=trace.total_message_bytes,
         )
 
     def __repr__(self) -> str:

@@ -18,6 +18,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
     register_algorithm,
 )
 from repro.graph.graph import Graph
@@ -70,16 +71,12 @@ class BfsProgram(SuperstepProgram):
         self.levels[source] = 0
         self._frontier = np.array([source], dtype=np.int64)
         self._level = 0  # level of the current frontier
+        self._deg = np.asarray(graph.out_degree(), dtype=np.int64)
 
     def step(self) -> SuperstepReport:
         g = self.graph
         frontier = self._frontier
-        active = np.zeros(g.num_vertices, dtype=bool)
-        active[frontier] = True
-        deg = np.asarray(g.out_degree())
-        compute = self._zeros()
-        compute[frontier] = deg[frontier]
-        messages = compute.copy()
+        deg = self._deg[frontier].astype(np.float64)
 
         nbrs = gather_neighbors(g.out_indptr, g.out_indices, frontier)
         if len(nbrs):
@@ -91,10 +88,11 @@ class BfsProgram(SuperstepProgram):
         self._level += 1
         self.levels[fresh] = self._level
         self._frontier = fresh.astype(np.int64)
-        return SuperstepReport(
-            active=active,
-            compute_edges=compute,
-            messages=messages,
+        return frontier_report(
+            g.num_vertices,
+            frontier,
+            compute_edges=deg,
+            messages=deg.copy(),
             halted=len(fresh) == 0,
             distinct_receivers=len(distinct),
         )

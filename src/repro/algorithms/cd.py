@@ -89,27 +89,32 @@ class CdProgram(SuperstepProgram):
         self.m = float(degree_exponent)
         self.labels = np.arange(n, dtype=np.int64)
         self.scores = np.full(n, float(initial_score), dtype=np.float64)
-        deg = np.asarray(graph.degree(), dtype=np.float64)
-        self._deg_weight = np.power(np.maximum(deg, 1.0), self.m)
+        self._deg = np.asarray(graph.degree(), dtype=np.int64)
+        self._deg_weight = np.power(np.maximum(self._deg.astype(np.float64), 1.0), self.m)
         self._changed_any = True
+        self._triples: tuple[np.ndarray, np.ndarray] | None = None
 
     def _neighbor_triples(self) -> tuple[np.ndarray, np.ndarray]:
-        """(sender, receiver) pairs along every communication arc."""
-        g = self.graph
-        all_v = np.arange(g.num_vertices, dtype=np.int64)
-        src, dst = gather_with_sources(g.out_indptr, g.out_indices, all_v)
-        if g.directed:
-            src2, dst2 = gather_with_sources(g.in_indptr, g.in_indices, all_v)
-            src = np.concatenate([src, src2])
-            dst = np.concatenate([dst, dst2])
-        return src, dst
+        """(sender, receiver) pairs along every communication arc.
+
+        Pure structure — materialized once and reused every superstep.
+        """
+        if self._triples is None:
+            g = self.graph
+            all_v = np.arange(g.num_vertices, dtype=np.int64)
+            src, dst = gather_with_sources(g.out_indptr, g.out_indices, all_v)
+            if g.directed:
+                src2, dst2 = gather_with_sources(g.in_indptr, g.in_indices, all_v)
+                src = np.concatenate([src, src2])
+                dst = np.concatenate([dst, dst2])
+            self._triples = (src, dst)
+        return self._triples
 
     def step(self) -> SuperstepReport:
         g = self.graph
         n = g.num_vertices
-        deg = np.asarray(g.degree(), dtype=np.int64)
-        compute = deg.copy()
-        messages = deg.copy()
+        compute = self._deg.copy()
+        messages = self._deg.copy()
 
         senders, receivers = self._neighbor_triples()
         weights = self.scores[senders] * self._deg_weight[senders]

@@ -20,6 +20,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
     register_algorithm,
 )
 from repro.graph.graph import Graph
@@ -48,22 +49,15 @@ class ConnProgram(SuperstepProgram):
         n = graph.num_vertices
         self.labels = np.arange(n, dtype=np.int64)
         self._changed = np.ones(n, dtype=bool)
-
-    def _both_degrees(self) -> np.ndarray:
-        g = self.graph
-        if g.directed:
-            return np.asarray(g.out_degree()) + np.asarray(g.in_degree())
-        return np.asarray(g.out_degree())
+        self._deg = np.asarray(
+            graph.degree() if graph.directed else graph.out_degree(),
+            dtype=np.int64,
+        )
 
     def step(self) -> SuperstepReport:
         g = self.graph
-        n = g.num_vertices
         senders = np.flatnonzero(self._changed)
-        active = self._changed.copy()
-        deg = self._both_degrees()
-        compute = self._zeros()
-        compute[senders] = deg[senders]
-        messages = compute.copy()
+        deg = self._deg[senders].astype(np.float64)
 
         # Deliver: for each arc from a changed sender, propose its label.
         new_labels = self.labels.copy()
@@ -75,10 +69,11 @@ class ConnProgram(SuperstepProgram):
         changed = new_labels < self.labels
         self.labels = new_labels
         self._changed = changed
-        return SuperstepReport(
-            active=active,
-            compute_edges=compute,
-            messages=messages,
+        return frontier_report(
+            g.num_vertices,
+            senders,
+            compute_edges=deg,
+            messages=deg.copy(),
             halted=not bool(changed.any()),
             direction="both" if g.directed else "out",
         )

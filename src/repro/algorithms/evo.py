@@ -20,6 +20,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
     register_algorithm,
 )
 from repro.graph.generators.forest_fire import burn
@@ -69,8 +70,7 @@ class EvoProgram(SuperstepProgram):
     def step(self) -> SuperstepReport:
         g = self.graph
         to_add = self._new_per_step[self.superstep]
-        compute = self._zeros()
-        messages = self._zeros()
+        anchor_load: dict[int, float] = {}
         for _ in range(to_add):
             v = self._next_id
             self._next_id += 1
@@ -98,16 +98,24 @@ class EvoProgram(SuperstepProgram):
             # the link-request messages to the ambassador's partition
             # (index clipped to the base graph for accounting).
             anchor = min(ambassador, g.num_vertices - 1)
-            compute[anchor] += len(burned)
-            messages[anchor] += len(burned)
-        active = np.zeros(g.num_vertices, dtype=bool)
-        # Sampling ambassadors touches a uniform slice of the graph.
+            anchor_load[anchor] = anchor_load.get(anchor, 0.0) + len(burned)
+        # Sampling ambassadors touches a uniform slice of the graph; the
+        # anchors carrying the burn workload are active too.
         touched = self._rng.integers(0, g.num_vertices, size=max(to_add, 1))
-        active[touched] = True
-        return SuperstepReport(
-            active=active,
+        anchor_ids = np.fromiter(
+            anchor_load.keys(), dtype=np.int64, count=len(anchor_load)
+        )
+        ids = np.union1d(touched.astype(np.int64), anchor_ids)
+        compute = np.zeros(len(ids), dtype=np.float64)
+        if len(anchor_ids):
+            compute[np.searchsorted(ids, anchor_ids)] = np.fromiter(
+                anchor_load.values(), dtype=np.float64, count=len(anchor_load)
+            )
+        return frontier_report(
+            g.num_vertices,
+            ids,
             compute_edges=compute,
-            messages=messages,
+            messages=compute.copy(),
             halted=self.superstep + 1 >= self.iterations,
             direction="none",
         )

@@ -8,6 +8,8 @@ superstep sequence, so the program is two chained BFS programs.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.algorithms.base import (
@@ -45,13 +47,13 @@ class DiameterProgram(SuperstepProgram):
         self._estimate = 0
 
     def step(self) -> SuperstepReport:
+        # Re-stamp the halt flag (and drop the sweep's receiver count,
+        # which is not meaningful across chained sweeps) while keeping
+        # the report's representation — sparse frontiers stay sparse.
         report = self._sweep.step()
         if not report.halted:
-            return SuperstepReport(
-                active=report.active,
-                compute_edges=report.compute_edges,
-                messages=report.messages,
-                halted=False,
+            return dataclasses.replace(
+                report, halted=False, distinct_receivers=None
             )
         if self._phase == 1:
             levels = self._sweep.result()
@@ -59,19 +61,11 @@ class DiameterProgram(SuperstepProgram):
             far = int(np.argmax(np.where(reached, levels, -1)))
             self._phase = 2
             self._sweep = BfsProgram(self.graph, far)
-            return SuperstepReport(
-                active=report.active,
-                compute_edges=report.compute_edges,
-                messages=report.messages,
-                halted=False,
+            return dataclasses.replace(
+                report, halted=False, distinct_receivers=None
             )
         self._estimate = int(self._sweep.result().max())
-        return SuperstepReport(
-            active=report.active,
-            compute_edges=report.compute_edges,
-            messages=report.messages,
-            halted=True,
-        )
+        return dataclasses.replace(report, halted=True, distinct_receivers=None)
 
     def result(self) -> int:
         return self._estimate

@@ -16,6 +16,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
     register_algorithm,
 )
 from repro.graph.graph import Graph
@@ -42,20 +43,17 @@ class MisProgram(SuperstepProgram):
         self._und = graph.as_undirected() if graph.directed else graph
         self.seed = int(seed)
         self.state = np.full(graph.num_vertices, _UNDECIDED, dtype=np.int8)
+        self._deg = np.asarray(self._und.out_degree(), dtype=np.int64)
 
     def step(self) -> SuperstepReport:
         und = self._und
         n = und.num_vertices
         undecided = np.flatnonzero(self.state == _UNDECIDED)
-        active = self.state == _UNDECIDED
-        deg = np.asarray(und.out_degree(), dtype=np.int64)
-        compute = self._zeros()
-        compute[undecided] = deg[undecided]
-        messages = compute.copy()
+        deg = self._deg[undecided].astype(np.float64)
 
         if len(undecided) == 0:
-            return SuperstepReport(
-                active=active, compute_edges=compute, messages=messages,
+            return frontier_report(
+                n, undecided, compute_edges=deg, messages=deg.copy(),
                 halted=True,
             )
         prio = np.full(n, -1, dtype=np.int64)
@@ -80,8 +78,8 @@ class MisProgram(SuperstepProgram):
             out = nbrs[self.state[nbrs] == _UNDECIDED]
             self.state[out] = _OUT
         done = not bool((self.state == _UNDECIDED).any())
-        return SuperstepReport(
-            active=active, compute_edges=compute, messages=messages,
+        return frontier_report(
+            n, undecided, compute_edges=deg, messages=deg.copy(),
             halted=done,
         )
 

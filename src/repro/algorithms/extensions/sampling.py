@@ -14,6 +14,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
     register_algorithm,
 )
 from repro.graph.graph import Graph
@@ -48,12 +49,8 @@ class SamplingProgram(SuperstepProgram):
     def step(self) -> SuperstepReport:
         g = self.graph
         n = g.num_vertices
-        active = np.zeros(n, dtype=bool)
-        active[self._walkers] = True
-        deg = np.asarray(g.out_degree(), dtype=np.int64)
-        compute = self._zeros()
-        np.add.at(compute, self._walkers, 1)
-        messages = compute.copy()
+        occupied, counts = np.unique(self._walkers, return_counts=True)
+        counts = counts.astype(np.float64)
 
         nxt = self._walkers.copy()
         restart = self._rng.random(len(nxt)) < self.restart_probability
@@ -68,10 +65,11 @@ class SamplingProgram(SuperstepProgram):
                 nxt[i] = nbrs[self._rng.integers(0, len(nbrs))]
         self._walkers = nxt
         self.visited[nxt] = True
-        return SuperstepReport(
-            active=active,
-            compute_edges=compute,
-            messages=messages,
+        return frontier_report(
+            n,
+            occupied,
+            compute_edges=counts,
+            messages=counts.copy(),
             direction="none",
             halted=self.superstep + 1 >= self.steps,
         )

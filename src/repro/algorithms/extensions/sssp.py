@@ -16,6 +16,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
     register_algorithm,
 )
 from repro.graph.graph import Graph
@@ -65,16 +66,12 @@ class SsspProgram(SuperstepProgram):
         self.dist[source] = 0.0
         self._changed = np.zeros(n, dtype=bool)
         self._changed[source] = True
+        self._deg = np.asarray(graph.out_degree(), dtype=np.int64)
 
     def step(self) -> SuperstepReport:
         g = self.graph
-        n = g.num_vertices
         senders = np.flatnonzero(self._changed)
-        active = self._changed.copy()
-        deg = np.asarray(g.out_degree(), dtype=np.int64)
-        compute = self._zeros()
-        compute[senders] = deg[senders]
-        messages = compute.copy()
+        deg = self._deg[senders].astype(np.float64)
 
         src, dst = gather_with_sources(g.out_indptr, g.out_indices, senders)
         new_dist = self.dist.copy()
@@ -85,10 +82,11 @@ class SsspProgram(SuperstepProgram):
         changed = new_dist < self.dist
         self.dist = new_dist
         self._changed = changed
-        return SuperstepReport(
-            active=active,
-            compute_edges=compute,
-            messages=messages,
+        return frontier_report(
+            g.num_vertices,
+            senders,
+            compute_edges=deg,
+            messages=deg.copy(),
             halted=not bool(changed.any()),
         )
 

@@ -38,6 +38,7 @@ from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
     SuperstepReport,
+    frontier_report,
 )
 from repro.graph.graph import Graph
 
@@ -137,11 +138,11 @@ class _Engine(SuperstepProgram):
             (len(m) > 0 for m in self.inbox), dtype=bool, count=n
         )
         self.halted &= ~has_mail  # messages wake halted vertices
-        active = ~self.halted
+        active_ids = np.flatnonzero(~self.halted)
         self.sent[:] = 0
         compute = self._zeros()
 
-        for v in np.flatnonzero(active):
+        for v in active_ids:
             ctx = VertexContext(self, int(v), self.superstep)
             self.program.compute(ctx, self.inbox[v])
             compute[v] = max(g.out_degree(int(v)), 1)
@@ -151,11 +152,13 @@ class _Engine(SuperstepProgram):
         done = (not any_mail and bool(self.halted.all())) or (
             self.superstep + 1 >= self.max_supersteps
         )
-        return SuperstepReport(
-            active=active,
-            compute_edges=compute,
-            messages=self.sent.copy(),
-            message_bytes=self.sent * self.program.message_bytes,
+        sent = self.sent[active_ids].astype(np.float64)
+        return frontier_report(
+            g.num_vertices,
+            active_ids,
+            compute_edges=compute[active_ids],
+            messages=sent,
+            message_bytes=sent * self.program.message_bytes,
             halted=done,
         )
 

@@ -96,6 +96,8 @@ def render_cache_stats(
             return f"{float(value) * 100:.1f}%"  # type: ignore[arg-type]
         if key.endswith("_seconds"):
             return format_seconds(float(value))  # type: ignore[arg-type]
+        if key.endswith("_bytes"):
+            return f"{float(value) / 1e6:.2f} MB"  # type: ignore[arg-type]
         return str(value)
 
     rows = [[key, _fmt(key, value)] for key, value in stats.items()]

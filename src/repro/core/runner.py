@@ -158,6 +158,16 @@ class Runner:
             result=last,
         )
 
+    # -- observability ---------------------------------------------------------
+    def cache_stats(self) -> dict[str, _t.Any]:
+        """Trace-cache counters merged with the shared step-cost memo
+        counters of the process-wide partition-context cache."""
+        from repro.platforms.registry import context_memo_stats
+
+        stats = self.trace_cache.stats()
+        stats.update(context_memo_stats())
+        return stats
+
     # -- grids ----------------------------------------------------------------
     def run_grid(
         self,

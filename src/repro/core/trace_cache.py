@@ -138,6 +138,11 @@ class TraceCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def trace_bytes(self) -> int:
+        """Total memory pinned by the cached traces' report arrays."""
+        return sum(trace.nbytes for _, trace in self._entries.values())
+
     def stats(self) -> dict[str, _t.Any]:
         """Counter snapshot for :func:`repro.core.report.render_cache_stats`."""
         return {
@@ -146,6 +151,7 @@ class TraceCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "record_seconds": self.record_seconds,
+            "trace_bytes": self.trace_bytes,
         }
 
     def clear(self) -> None:

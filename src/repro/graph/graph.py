@@ -50,6 +50,7 @@ class Graph:
         "in_indptr",
         "in_indices",
         "_num_edges",
+        "_degree_cache",
     )
 
     def __init__(
@@ -116,6 +117,29 @@ class Graph:
             self.in_indices = out_indices
             self._num_edges = int(len(out_indices) // 2)
 
+        # Degree arrays are pure CSR structure; algorithms ask for them
+        # every superstep, so compute each once and hand out a frozen
+        # (non-writeable) array instead of re-diffing indptr.
+        self._degree_cache: dict[str, np.ndarray] = {}
+
+    def _cached_degree(self, kind: str) -> np.ndarray:
+        arr = self._degree_cache.get(kind)
+        if arr is None:
+            if kind == "out":
+                arr = np.diff(self.out_indptr)
+            elif kind == "in":
+                arr = np.diff(self.in_indptr)
+            else:  # total
+                arr = (
+                    self._cached_degree("out") + self._cached_degree("in")
+                    if self.directed
+                    else self._cached_degree("out")
+                )
+            arr = np.ascontiguousarray(arr)
+            arr.setflags(write=False)
+            self._degree_cache[kind] = arr
+        return arr
+
     # -- basic accessors ------------------------------------------------------
     @property
     def num_edges(self) -> int:
@@ -128,22 +152,22 @@ class Graph:
         return int(len(self.out_indices))
 
     def out_degree(self, v: int | None = None) -> np.ndarray | int:
-        """Out-degree of ``v``, or the full out-degree array."""
+        """Out-degree of ``v``, or the full (cached, read-only) array."""
         if v is None:
-            return np.diff(self.out_indptr)
+            return self._cached_degree("out")
         return int(self.out_indptr[v + 1] - self.out_indptr[v])
 
     def in_degree(self, v: int | None = None) -> np.ndarray | int:
-        """In-degree of ``v``, or the full in-degree array."""
+        """In-degree of ``v``, or the full (cached, read-only) array."""
         if v is None:
-            return np.diff(self.in_indptr)
+            return self._cached_degree("in")
         return int(self.in_indptr[v + 1] - self.in_indptr[v])
 
     def degree(self, v: int | None = None) -> np.ndarray | int:
         """Total degree (undirected: neighbor count; directed: in+out)."""
+        if v is None:
+            return self._cached_degree("total")
         if self.directed:
-            if v is None:
-                return self.out_degree() + self.in_degree()
             return self.out_degree(v) + self.in_degree(v)
         return self.out_degree(v)
 

@@ -8,9 +8,15 @@ computation time ``Tc`` (the paper's Section 2.1 split: overhead
 output.
 
 :class:`PartitionContext` is the shared workload aggregator: it turns a
-superstep report's per-vertex arrays into per-worker totals (compute,
-messages sent, bytes crossing the network) with one ``bincount`` per
-quantity.
+superstep report's per-vertex quantities into per-worker totals
+(compute, messages sent, bytes crossing the network) with one
+``bincount`` per quantity.  Sparse (frontier-indexed) reports use
+active-set kernels — ``bincount`` over ``assign[active_ids]`` with
+per-quantity weights — so aggregation cost follows the frontier, not
+``|V|``; dense and sparse forms charge bit-identical costs.  The
+structural arrays both paths share (degrees, remote degrees, the
+per-direction remote-traffic ratios) are built once per context from a
+single edge-list pass and cached.
 """
 
 from __future__ import annotations
@@ -161,21 +167,19 @@ class PartitionContext:
 
         out_deg = np.asarray(graph.out_degree(), dtype=np.int64)
         self.out_deg = out_deg
-        # Remote out-degree: out-neighbors living on another part.
+        # One edge-list pass serves both directions: an arc (u, v) whose
+        # endpoints live on different parts is simultaneously a remote
+        # *out*-neighbor of u and a remote *in*-neighbor of v, so the
+        # out- and in-remote-degree arrays are two bincounts over the
+        # same cut mask — the in-CSR is never re-expanded.
         src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.out_indptr))
         dst = graph.out_indices.astype(np.int64)
         remote = self.assign[src] != self.assign[dst]
         self.remote_out = np.bincount(src[remote], minlength=n).astype(np.int64)
         if graph.directed:
-            in_deg = np.asarray(graph.in_degree(), dtype=np.int64)
-            isrc = np.repeat(
-                np.arange(n, dtype=np.int64), np.diff(graph.in_indptr)
-            )
-            idst = graph.in_indices.astype(np.int64)
-            iremote = self.assign[isrc] != self.assign[idst]
-            self.in_deg = in_deg
-            self.remote_in = np.bincount(isrc[iremote], minlength=n).astype(np.int64)
-            self.both_deg = out_deg + in_deg
+            self.in_deg = np.asarray(graph.in_degree(), dtype=np.int64)
+            self.remote_in = np.bincount(dst[remote], minlength=n).astype(np.int64)
+            self.both_deg = out_deg + self.in_deg
             self.remote_both = self.remote_out + self.remote_in
         else:
             self.in_deg = out_deg
@@ -188,8 +192,14 @@ class PartitionContext:
         # Per-report aggregation memo for trace-pinned reports; entries
         # hold a strong reference to the report so an id() can never be
         # recycled while its entry lives (checked with ``is`` on hit).
+        # LRU: hits refresh recency, overflow evicts the oldest entry.
         self._step_memo: dict[int, tuple[SuperstepReport, WorkerStepCosts]] = {}
         self._step_memo_limit = 4096
+        self.step_memo_hits = 0
+        self.step_memo_misses = 0
+        # Per-direction remote-traffic ratio, built on first use; pure
+        # structure, shared by every report of that direction.
+        self._remote_ratio_cache: dict[str, np.ndarray] = {}
         total_in = float(self.in_deg.sum())
         self.in_share_per_part = (
             np.bincount(self.assign, weights=self.in_deg, minlength=self.num_parts)
@@ -214,6 +224,23 @@ class PartitionContext:
             return np.maximum(self.out_deg, 1), z
         raise ValueError(f"unknown message direction {direction!r}")
 
+    def _remote_ratio(self, direction: str) -> np.ndarray:
+        """Per-vertex fraction of sent traffic that crosses parts."""
+        ratio = self._remote_ratio_cache.get(direction)
+        if ratio is None:
+            if direction == "none":
+                # Messages not tied to edges: assume the partition-
+                # average cut ratio applies.
+                ratio = np.full(
+                    self.graph.num_vertices, self.partition.cut_fraction()
+                )
+            else:
+                deg, remote_deg = self._comm_degrees(direction)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratio = np.where(deg > 0, remote_deg / np.maximum(deg, 1), 0.0)
+            self._remote_ratio_cache[direction] = ratio
+        return ratio
+
     def step_costs(self, report: SuperstepReport) -> WorkerStepCosts:
         """Aggregate a superstep report into paper-scale worker totals.
 
@@ -225,14 +252,30 @@ class PartitionContext:
         if getattr(report, "_trace_pinned", False):
             entry = self._step_memo.get(id(report))
             if entry is not None and entry[0] is report:
+                self.step_memo_hits += 1
+                # Refresh recency so hot traces outlive one-off sweeps.
+                del self._step_memo[id(report)]
+                self._step_memo[id(report)] = entry
                 return entry[1]
+            self.step_memo_misses += 1
             costs = self._compute_step_costs(report)
-            if len(self._step_memo) < self._step_memo_limit:
-                self._step_memo[id(report)] = (report, costs)
+            if len(self._step_memo) >= self._step_memo_limit:
+                self._step_memo.pop(next(iter(self._step_memo)))
+            self._step_memo[id(report)] = (report, costs)
             return costs
         return self._compute_step_costs(report)
 
+    def memo_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the per-report aggregation memo."""
+        return {
+            "step_memo_entries": len(self._step_memo),
+            "step_memo_hits": self.step_memo_hits,
+            "step_memo_misses": self.step_memo_misses,
+        }
+
     def _compute_step_costs(self, report: SuperstepReport) -> WorkerStepCosts:
+        if report.active_ids is not None:
+            return self._sparse_step_costs(report)
         scale = self.scale
         byte_scale = (
             scale.quadratic_mult
@@ -248,21 +291,54 @@ class PartitionContext:
         messages = self._by_part(report.messages) * scale.e_mult
         per_vertex_bytes = report.resolved_message_bytes().astype(np.float64)
         direction = getattr(report, "direction", "out")
-        deg, remote_deg = self._comm_degrees(direction)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            remote_ratio = np.where(deg > 0, remote_deg / np.maximum(deg, 1), 0.0)
-        if direction == "none":
-            # Messages not tied to edges: assume the partition-average
-            # cut ratio applies.
-            remote_ratio = np.full(
-                self.graph.num_vertices, self.partition.cut_fraction()
-            )
+        remote_ratio = self._remote_ratio(direction)
         sent_bytes = self._by_part(per_vertex_bytes) * byte_scale
         remote_sent = self._by_part(per_vertex_bytes * remote_ratio) * byte_scale
         # Received bytes: exact when provided, else apportion total
         # traffic by each part's in-degree share.
         if report.received_bytes is not None:
             received = self._by_part(report.received_bytes) * byte_scale
+        else:
+            received = float(sent_bytes.sum()) * self.in_share_per_part
+        return WorkerStepCosts(
+            compute_edges=compute,
+            messages=messages,
+            sent_bytes=sent_bytes,
+            remote_sent_bytes=remote_sent,
+            received_bytes=received,
+        )
+
+    def _sparse_step_costs(self, report: SuperstepReport) -> WorkerStepCosts:
+        """Active-set kernels: every pass is O(frontier), not O(|V|).
+
+        Bit-identical to the dense path: ``active_ids`` is sorted, so
+        the weighted bincount adds the same nonzero float64 terms in
+        the same order the full-length pass would, and the skipped
+        terms are exact zeros.
+        """
+        scale = self.scale
+        byte_scale = (
+            scale.quadratic_mult if report.quadratic_in_degree else scale.e_mult
+        )
+        compute_scale = (
+            scale.quadratic_mult if report.compute_quadratic else scale.e_mult
+        )
+        ids = report.active_ids
+        parts = self.assign[ids]
+
+        def agg(values: np.ndarray) -> np.ndarray:
+            return np.bincount(
+                parts, weights=values.astype(np.float64), minlength=self.num_parts
+            )
+
+        compute = agg(report.compute_edges) * compute_scale
+        messages = agg(report.messages) * scale.e_mult
+        per_vertex_bytes = report.resolved_message_bytes().astype(np.float64)
+        remote_ratio = self._remote_ratio(report.direction)[ids]
+        sent_bytes = agg(per_vertex_bytes) * byte_scale
+        remote_sent = agg(per_vertex_bytes * remote_ratio) * byte_scale
+        if report.received_bytes is not None:
+            received = agg(report.received_bytes) * byte_scale
         else:
             received = float(sent_bytes.sum()) * self.in_share_per_part
         return WorkerStepCosts(

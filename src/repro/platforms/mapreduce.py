@@ -21,7 +21,6 @@ neighbor lists exceed the sort buffer.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms.base import Algorithm, SuperstepProgram
 from repro.cluster.hdfs import HDFS
@@ -135,7 +134,7 @@ class MapReduceEngine(Platform):
             # Reducer record-group memory check (STATS neighbor lists).
             if report.received_bytes is not None:
                 biggest = scale.per_vertex_degree2(
-                    float(np.max(report.received_bytes))
+                    report.max_received_bytes(graph.num_vertices)
                 )
                 if biggest * self.record_memory_factor > self.sort_buffer_bytes:
                     raise PlatformCrash(

@@ -129,12 +129,9 @@ class Neo4j(Platform):
                 if report.compute_quadratic
                 else scale.e_mult
             )
-            step_ops = float(report.compute_edges.sum()) * ops_scale
+            step_ops = float(report.total_compute_edges()) * ops_scale
             touched_ops_scaled += step_ops
-            if report.active is None:
-                touched[:] = True
-            else:
-                touched |= report.active
+            report.touch(touched)
             step_time = step_ops / rate + step_ops * p_miss * self.miss_penalty_seconds
             trace.record(node, t, t + max(step_time, 1e-9), cpu=1.0 / m.cores)
             t += step_time

@@ -16,7 +16,13 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.platforms.base import PartitionContext, Platform
     from repro.platforms.scale import ScaleModel
 
-__all__ = ["PLATFORM_NAMES", "get_platform", "cached_partition", "cached_context"]
+__all__ = [
+    "PLATFORM_NAMES",
+    "get_platform",
+    "cached_partition",
+    "cached_context",
+    "context_memo_stats",
+]
 
 #: paper Table 4 order, plus the GraphLab(mp) tuning variant
 PLATFORM_NAMES: tuple[str, ...] = (
@@ -100,3 +106,17 @@ def cached_context(
     ctx = PartitionContext(graph, cached_partition(graph, num_parts, policy), scale)
     _context_cache[key] = ctx
     return ctx
+
+
+def context_memo_stats() -> dict[str, int]:
+    """Aggregated step-cost memo counters over all cached contexts."""
+    totals = {
+        "contexts": len(_context_cache),
+        "step_memo_entries": 0,
+        "step_memo_hits": 0,
+        "step_memo_misses": 0,
+    }
+    for ctx in _context_cache.values():
+        for key, value in ctx.memo_stats().items():
+            totals[key] += value
+    return totals

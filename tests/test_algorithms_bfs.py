@@ -71,8 +71,9 @@ class TestBfsProgram:
     def test_active_is_frontier(self, path_graph):
         prog = BfsProgram(path_graph, 0)
         report = prog.step()
-        assert report.active is not None
-        assert np.flatnonzero(report.active).tolist() == [0]
+        n = path_graph.num_vertices
+        assert report.num_active(n) == 1
+        assert report.active_vertex_ids(n).tolist() == [0]
 
     def test_messages_equal_frontier_degree(self, path_graph):
         prog = BfsProgram(path_graph, 0)

@@ -48,6 +48,29 @@ class TestMakeExperiments:
         assert "simulated seconds" in mod.HEADER
 
 
+class TestBenchSnapshot:
+    def test_helpers_import(self):
+        mod = _load("bench_snapshot")
+        assert callable(mod.main)
+        assert callable(mod.collect_snapshot)
+
+    def test_bench_measure_functions_exist(self):
+        # The script reuses the benches' measure functions — keep the
+        # contract visible here so a bench refactor cannot silently
+        # break the CI snapshot.
+        mod = _load("bench_snapshot")
+        mod._ensure_benchmarks_importable()
+        from benchmarks.bench_sparse_reports import (
+            measure_sparse_vs_dense,
+            render_sparse_vs_dense,
+        )
+        from benchmarks.bench_trace_cache import measure_cold_vs_warm
+
+        assert callable(measure_sparse_vs_dense)
+        assert callable(render_sparse_vs_dense)
+        assert callable(measure_cold_vs_warm)
+
+
 class TestExportFigures:
     def test_helpers_import(self):
         mod = _load("export_figures")

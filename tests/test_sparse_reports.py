@@ -1,0 +1,279 @@
+"""Sparse (frontier-indexed) vs dense report equivalence.
+
+The contract of the sparse workload representation is *bit identity*:
+whichever form an algorithm emits, every platform must charge exactly
+the same ``WorkerStepCosts`` and produce exactly the same
+``JobResult``.  The property tests here force the dense path (via the
+process-wide threshold), re-run the same program sparsely, and compare
+both levels on random graphs for every platform x algorithm pair.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import (
+    SuperstepReport,
+    frontier_report,
+    get_algorithm,
+    record_trace,
+    set_sparse_active_fraction,
+    sparse_active_fraction,
+)
+from repro.cluster.spec import das4_cluster
+from repro.graph.builder import from_edges
+from repro.graph.partition import hash_partition
+from repro.platforms.base import PartitionContext
+from repro.platforms.registry import PLATFORM_NAMES, get_platform
+from repro.platforms.scale import ScaleModel
+
+ALGORITHMS = (
+    "bfs", "stats", "conn", "cd", "evo",
+    "sssp", "mis", "sampling", "diameter", "pagerank",
+)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=90):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    directed = draw(st.booleans())
+    return n, np.array(edges, dtype=np.int64).reshape(-1, 2), directed
+
+
+def _force_dense(fn):
+    """Run ``fn`` with the sparse representation disabled."""
+    prev = set_sparse_active_fraction(-1.0)
+    try:
+        return fn()
+    finally:
+        set_sparse_active_fraction(prev)
+
+
+def _outputs_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray):
+        return isinstance(b, np.ndarray) and np.array_equal(a, b)
+    if isinstance(a, list):
+        return a == b
+    return a == b
+
+
+# -- the tentpole property: platform x algorithm equivalence ------------------
+
+
+@pytest.mark.parametrize("algo_name", ALGORITHMS)
+@given(spec=edge_lists())
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_sparse_dense_equivalence(algo_name, spec):
+    n, edges, directed = spec
+    g = from_edges(n, edges, directed=directed, name="hyp")
+    algo = get_algorithm(algo_name)
+    params = algo.default_params(g)
+
+    dense_trace = _force_dense(
+        lambda: record_trace(algo.program(g, **params), g, algorithm=algo_name)
+    )
+    sparse_trace = record_trace(
+        algo.program(g, **params), g, algorithm=algo_name
+    )
+
+    # Identical step-by-step WorkerStepCosts through one context.
+    ctx = PartitionContext(g, hash_partition(g, 4), ScaleModel())
+    assert dense_trace.num_supersteps == sparse_trace.num_supersteps
+    for d_rep, s_rep in zip(dense_trace.reports, sparse_trace.reports):
+        dc = ctx.step_costs(d_rep)
+        sc = ctx.step_costs(s_rep)
+        assert np.array_equal(dc.compute_edges, sc.compute_edges)
+        assert np.array_equal(dc.messages, sc.messages)
+        assert np.array_equal(dc.sent_bytes, sc.sent_bytes)
+        assert np.array_equal(dc.remote_sent_bytes, sc.remote_sent_bytes)
+        assert np.array_equal(dc.received_bytes, sc.received_bytes)
+
+    # Identical trace-level aggregates and algorithm outputs.
+    assert dense_trace.coverage == sparse_trace.coverage
+    assert dense_trace.total_compute_edges == sparse_trace.total_compute_edges
+    assert dense_trace.total_messages == sparse_trace.total_messages
+    assert dense_trace.total_message_bytes == sparse_trace.total_message_bytes
+    assert _outputs_equal(dense_trace.output, sparse_trace.output)
+
+    # Identical JobResults from every platform model.
+    cluster = das4_cluster()
+    for name in PLATFORM_NAMES:
+        dense = _force_dense(
+            lambda: get_platform(name).run(algo_name, g, cluster, **params)
+        )
+        sparse = get_platform(name).run(algo_name, g, cluster, **params)
+        assert dense.execution_time == sparse.execution_time, name
+        assert dense.breakdown == sparse.breakdown, name
+        assert dense.supersteps == sparse.supersteps, name
+
+
+# -- report-form mechanics ----------------------------------------------------
+
+
+class TestFrontierReport:
+    def test_small_frontier_stays_sparse(self):
+        rep = frontier_report(
+            100, np.array([3, 7]), compute_edges=np.array([2.0, 5.0]),
+            messages=np.array([2.0, 5.0]),
+        )
+        assert rep.is_sparse
+        assert rep.num_active(100) == 2
+        assert rep.active_vertex_ids(100).tolist() == [3, 7]
+        assert rep.total_compute_edges() == 7
+
+    def test_large_frontier_densifies(self):
+        ids = np.arange(90)
+        vals = np.ones(90)
+        rep = frontier_report(100, ids, compute_edges=vals, messages=vals)
+        assert not rep.is_sparse
+        assert rep.active is not None
+        assert rep.num_active(100) == 90
+
+    def test_unsorted_ids_are_normalized(self):
+        rep = frontier_report(
+            100, np.array([7, 3]), compute_edges=np.array([70.0, 30.0]),
+            messages=np.array([7.0, 3.0]),
+        )
+        assert rep.active_ids.tolist() == [3, 7]
+        assert rep.compute_edges.tolist() == [30.0, 70.0]
+        assert rep.messages.tolist() == [3.0, 7.0]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            frontier_report(
+                100, np.array([3, 3]), compute_edges=np.zeros(2),
+                messages=np.zeros(2),
+            )
+
+    def test_to_dense_roundtrip(self):
+        rep = frontier_report(
+            10, np.array([1, 4]), compute_edges=np.array([2.0, 3.0]),
+            messages=np.array([1.0, 1.0]),
+        )
+        dense = rep.to_dense(10)
+        assert not dense.is_sparse
+        assert dense.compute_edges.tolist() == [
+            0, 2.0, 0, 0, 3.0, 0, 0, 0, 0, 0,
+        ]
+        back = dense.compacted(10)
+        assert back.is_sparse
+        assert back.active_ids.tolist() == [1, 4]
+
+    def test_compacted_refuses_off_frontier_workload(self):
+        # Workload outside the active mask cannot be represented
+        # sparsely without changing charges -> must stay dense.
+        active = np.zeros(10, dtype=bool)
+        active[2] = True
+        compute = np.zeros(10)
+        compute[5] = 4.0  # charged to an inactive vertex
+        rep = SuperstepReport(
+            active=active, compute_edges=compute, messages=np.zeros(10)
+        )
+        assert rep.compacted(10) is rep
+
+    def test_threshold_toggle_is_scoped(self):
+        prev = set_sparse_active_fraction(-1.0)
+        try:
+            rep = frontier_report(
+                100, np.array([3]), compute_edges=np.ones(1),
+                messages=np.ones(1),
+            )
+            assert not rep.is_sparse
+        finally:
+            set_sparse_active_fraction(prev)
+        assert sparse_active_fraction() == prev
+
+
+# -- partition-context kernels ------------------------------------------------
+
+
+class TestStepMemoLru:
+    def _context(self, limit=4):
+        g = from_edges(
+            8, np.array([[i, (i + 1) % 8] for i in range(8)]), directed=False
+        )
+        ctx = PartitionContext(g, hash_partition(g, 2), ScaleModel())
+        ctx._step_memo_limit = limit
+        return g, ctx
+
+    def _pinned(self, g, i):
+        rep = frontier_report(
+            g.num_vertices, np.array([i]), compute_edges=np.ones(1),
+            messages=np.ones(1),
+        )
+        object.__setattr__(rep, "_trace_pinned", True)
+        return rep
+
+    def test_eviction_keeps_memoizing_past_cap(self):
+        g, ctx = self._context(limit=4)
+        reports = [self._pinned(g, i) for i in range(8)]
+        for rep in reports:
+            ctx.step_costs(rep)
+        stats = ctx.memo_stats()
+        assert stats["step_memo_entries"] == 4  # capped, not unbounded
+        assert stats["step_memo_misses"] == 8
+        # Newest entries survive; re-charging them hits.
+        for rep in reports[4:]:
+            ctx.step_costs(rep)
+        assert ctx.memo_stats()["step_memo_hits"] == 4
+
+    def test_lru_hit_refreshes_recency(self):
+        g, ctx = self._context(limit=2)
+        a, b, c = (self._pinned(g, i) for i in range(3))
+        ctx.step_costs(a)
+        ctx.step_costs(b)
+        ctx.step_costs(a)  # refresh a -> b is now the oldest
+        ctx.step_costs(c)  # evicts b
+        hits0 = ctx.memo_stats()["step_memo_hits"]
+        ctx.step_costs(a)
+        assert ctx.memo_stats()["step_memo_hits"] == hits0 + 1
+        ctx.step_costs(b)  # miss: was evicted
+        assert ctx.memo_stats()["step_memo_hits"] == hits0 + 1
+
+
+def test_context_memo_stats_aggregates():
+    from repro.platforms.registry import context_memo_stats
+
+    stats = context_memo_stats()
+    assert set(stats) == {
+        "contexts", "step_memo_entries", "step_memo_hits", "step_memo_misses",
+    }
+
+
+def test_trace_cache_reports_pinned_bytes():
+    from repro.core.runner import Runner
+
+    runner = Runner()
+    runner.run_cell("giraph", "bfs", "kgs")
+    stats = runner.cache_stats()
+    assert stats["trace_bytes"] > 0
+    assert stats["entries"] == 1
+    assert "step_memo_hits" in stats
+
+
+def test_degree_arrays_are_cached_and_frozen():
+    g = from_edges(
+        6, np.array([[0, 1], [1, 2], [2, 3]]), directed=True
+    )
+    out1 = g.out_degree()
+    assert g.out_degree() is out1  # same object, computed once
+    assert not out1.flags.writeable
+    assert g.degree() is g.degree()
+    with pytest.raises(ValueError):
+        out1[0] = 99
