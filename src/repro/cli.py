@@ -184,6 +184,124 @@ def _cmd_tuning(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_span(span, tele, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    if span.is_cost:
+        comp = span.attrs.get("component", "")
+        tc = " Tc" if span.attrs.get("computation") else ""
+        lines.append(
+            f"{pad}- {span.name:<18s} {format_seconds(span.seconds):>10s}"
+            f"  [{comp}]{tc}"
+        )
+        return
+    lines.append(
+        f"{pad}{span.kind} {span.name}  "
+        f"[{span.t0:.2f}s .. {span.t1:.2f}s]  {format_seconds(span.seconds)}"
+    )
+    for child in tele.children(span.span_id):
+        _render_span(child, tele, depth + 1, lines)
+
+
+def _render_span_tree(tele, *, max_steps: int) -> str:
+    """The provenance tree as text, collapsing long superstep runs."""
+    lines: list[str] = []
+    job = tele.span(0)
+    lines.append(
+        f"job {job.name}  [{job.t0:.2f}s .. {job.t1:.2f}s]  "
+        f"{format_seconds(job.seconds)}"
+    )
+    for phase in tele.children(0):
+        if phase.is_cost:
+            _render_span(phase, tele, 1, lines)
+            continue
+        lines.append(
+            f"  {phase.kind} {phase.name}  "
+            f"[{phase.t0:.2f}s .. {phase.t1:.2f}s]  "
+            f"{format_seconds(phase.seconds)}"
+        )
+        steps = tele.children(phase.span_id)
+        shown = steps
+        skipped = 0
+        if len(steps) > max_steps:
+            head = max(max_steps - 1, 1)
+            shown = steps[:head] + steps[-1:]
+            skipped = len(steps) - len(shown)
+        for i, child in enumerate(shown):
+            if skipped and i == len(shown) - 1:
+                lines.append(f"    ... {skipped} more supersteps ...")
+            _render_span(child, tele, 2, lines)
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cluster.monitoring import worker_node
+    from repro.core import telemetry
+    from repro.core.export import export_telemetry_jsonl
+
+    cluster = das4_cluster(args.workers, args.cores)
+    runner = Runner(scale=args.scale)
+    with telemetry.enabled():
+        record = runner.run_cell(
+            args.platform, args.algorithm, args.dataset, cluster
+        )
+    if not record.ok:
+        print(f"  status: {record.status}")
+        print(f"  reason: {record.failure_reason}")
+        return 1
+    assert record.result is not None
+    result = record.result
+    tele = result.telemetry
+    assert tele is not None
+
+    print(_render_span_tree(tele, max_steps=args.max_steps))
+
+    bd = result.cost_breakdown()
+    assert bd is not None
+    print()
+    print(f"charged total    : {format_seconds(bd.total)}")
+    print(f"computation (Tc) : {format_seconds(bd.computation)}")
+    print(f"overhead (To)    : {format_seconds(bd.overhead)}")
+
+    print()
+    print(f"top {args.top} cost rules:")
+    for rule, seconds in tele.top_rules(args.top):
+        share = seconds / bd.total if bd.total else 0.0
+        print(f"  {rule:<20s} {format_seconds(seconds):>10s}  "
+              f"{share * 100:5.1f}%")
+
+    counters = dict(tele.counters)
+    counters.update(
+        (k, v)
+        for k, v in runner.cache_stats().items()
+        if isinstance(v, (int, float))
+    )
+    print()
+    print("counters:")
+    for name, value in sorted(counters.items()):
+        print(f"  {name:<24s} {value:g}")
+
+    node = worker_node(0)
+    peak = result.trace.peak_attribution(node, "net_in")
+    if peak["contributors"]:
+        print()
+        print(f"peak worker net_in: {peak['value'] * 8 / 1e6:.1f} Mbit/s "
+              f"at t={peak['time']:.2f}s, charged by:")
+        for value, t0, t1, span_id in peak["contributors"][:3]:
+            rule = (
+                tele.span(span_id).name if span_id is not None else "untracked"
+            )
+            print(f"  {rule:<20s} {value * 8 / 1e6:8.1f} Mbit/s  "
+                  f"[{t0:.2f}s .. {t1:.2f}s]")
+
+    if args.json:
+        n = export_telemetry_jsonl(
+            tele, args.json, extra_counters=runner.cache_stats()
+        )
+        print()
+        print(f"wrote {n} JSONL records to {args.json}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     suite = BenchmarkSuite(scale=args.scale)
     if args.mode == "horizontal":
@@ -213,6 +331,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cores", type=int, default=1)
     run.add_argument("--repetitions", type=int, default=1)
     run.set_defaults(func=_cmd_run)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run one cell with cost-provenance telemetry and show "
+        "the span tree",
+    )
+    tr.add_argument("--platform", required=True, choices=PLATFORM_NAMES)
+    tr.add_argument("--algorithm", required=True, choices=CLI_ALGORITHMS)
+    tr.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    tr.add_argument("--workers", type=int, default=20)
+    tr.add_argument("--cores", type=int, default=1)
+    tr.add_argument("--top", type=int, default=8,
+                    help="number of cost rules to list")
+    tr.add_argument("--max-steps", type=int, default=6,
+                    help="supersteps to show per phase before collapsing")
+    tr.add_argument("--json", metavar="PATH",
+                    help="also export the session as JSON Lines")
+    tr.set_defaults(func=_cmd_trace)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("number", help="figure number, 1-16")

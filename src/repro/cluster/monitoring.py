@@ -6,11 +6,16 @@ they build their execution timeline.  The monitor then reproduces the
 paper's post-processing (Section 4.2): sample the traces and linearly
 interpolate onto **100 normalized points** over the job's lifetime, so
 traces from jobs of different lengths are comparable (Figures 5–10).
+
+Every record may carry the **telemetry span id** of the cost rule that
+emitted it (see :mod:`repro.core.telemetry`), so a peak or mean
+anomaly in a sampled series is traceable back to the exact charging
+site — :meth:`ResourceTrace.peak_attribution` walks a metric's peak
+sample back to its contributing intervals and their spans.
 """
 
 from __future__ import annotations
 
-import bisect
 import dataclasses
 from collections import defaultdict
 
@@ -32,6 +37,8 @@ class _Interval:
     t0: float
     t1: float
     value: float
+    #: telemetry span id of the emitting cost rule (None = untracked)
+    span: int | None = None
 
 
 class ResourceTrace:
@@ -49,7 +56,9 @@ class ResourceTrace:
 
     def __init__(self) -> None:
         self._intervals: dict[tuple[str, str], list[_Interval]] = defaultdict(list)
-        self._memory: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self._memory: dict[str, list[tuple[float, float, int | None]]] = defaultdict(
+            list
+        )
         self.end_time: float = 0.0
 
     # -- recording -------------------------------------------------------------
@@ -62,11 +71,13 @@ class ResourceTrace:
         cpu: float = 0.0,
         net_in: float = 0.0,
         net_out: float = 0.0,
+        span: int | None = None,
     ) -> None:
         """Add resource use on ``node`` over [t0, t1).
 
         Overlapping intervals accumulate (e.g. compute and transfer at
-        once).
+        once).  ``span`` attributes the record to a telemetry cost
+        span.
         """
         if t1 < t0:
             raise ValueError(f"interval ends before it starts: {t0}..{t1}")
@@ -74,12 +85,14 @@ class ResourceTrace:
             return
         for metric, value in (("cpu", cpu), ("net_in", net_in), ("net_out", net_out)):
             if value:
-                self._intervals[(node, metric)].append(_Interval(t0, t1, value))
+                self._intervals[(node, metric)].append(_Interval(t0, t1, value, span))
         self.end_time = max(self.end_time, t1)
 
-    def set_memory(self, node: str, t: float, nbytes: float) -> None:
+    def set_memory(
+        self, node: str, t: float, nbytes: float, *, span: int | None = None
+    ) -> None:
         """Record that ``node`` uses ``nbytes`` from time ``t`` on."""
-        self._memory[node].append((t, float(nbytes)))
+        self._memory[node].append((t, float(nbytes), span))
         self.end_time = max(self.end_time, t)
 
     def nodes(self) -> list[str]:
@@ -88,19 +101,24 @@ class ResourceTrace:
         return sorted(seen)
 
     # -- sampling ----------------------------------------------------------------
+    def _memory_events(self, node: str) -> list[tuple[float, float, int | None]]:
+        """Memory events of ``node`` in (time, value) order — the last
+        event at or before a sample time defines the sampled value."""
+        return sorted(self._memory.get(node, []), key=lambda e: (e[0], e[1]))
+
     def sample(self, node: str, metric: str, times: np.ndarray) -> np.ndarray:
         """Value of ``metric`` on ``node`` at each time in ``times``."""
         times = np.asarray(times, dtype=np.float64)
         if metric == "memory":
-            events = sorted(self._memory.get(node, []))
+            events = self._memory_events(node)
             out = np.zeros(len(times))
             if not events:
                 return out
-            ts = [e[0] for e in events]
-            vals = [e[1] for e in events]
-            for i, t in enumerate(times):
-                k = bisect.bisect_right(ts, t) - 1
-                out[i] = vals[k] if k >= 0 else 0.0
+            ts = np.asarray([e[0] for e in events], dtype=np.float64)
+            vals = np.asarray([e[1] for e in events], dtype=np.float64)
+            idx = np.searchsorted(ts, times, side="right") - 1
+            valid = idx >= 0
+            out[valid] = vals[idx[valid]]
             return out
         if metric not in self.INTERVAL_METRICS:
             raise ValueError(f"unknown metric {metric!r}")
@@ -129,6 +147,57 @@ class ResourceTrace:
     def mean(self, node: str, metric: str) -> float:
         """Time-average over the job's lifetime."""
         return float(self.series(node, metric, num_points=400).mean())
+
+    # -- attribution -------------------------------------------------------------
+    def attribution(
+        self, node: str, metric: str, t: float
+    ) -> list[tuple[float, float, float, int | None]]:
+        """The records contributing to ``metric`` on ``node`` at time
+        ``t``, as ``(value, t0, t1, span_id)`` tuples.
+
+        For interval metrics these are the overlapping intervals; for
+        memory it is the single defining event (``t1`` equals ``t0``).
+        """
+        if metric == "memory":
+            events = self._memory_events(node)
+            last = None
+            for t0, value, span in events:
+                if t0 <= t:
+                    last = (value, t0, t0, span)
+            return [last] if last is not None else []
+        if metric not in self.INTERVAL_METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        return [
+            (iv.value, iv.t0, iv.t1, iv.span)
+            for iv in self._intervals.get((node, metric), [])
+            if iv.t0 <= t < iv.t1
+        ]
+
+    def peak_attribution(self, node: str, metric: str) -> dict:
+        """Trace the peak sample of ``metric`` on ``node`` back to the
+        records (and telemetry spans) that produced it.
+
+        Returns ``{"time", "value", "contributors"}`` where
+        ``contributors`` is the :meth:`attribution` list at the peak
+        sample time, largest contribution first.
+        """
+        num_points = 400
+        horizon = self.end_time if self.end_time > 0 else 1.0
+        step = horizon / num_points
+        times = np.linspace(0.0, horizon, num_points, endpoint=False) + step / 2
+        values = self.sample(node, metric, times)
+        i = int(np.argmax(values))
+        t_peak = float(times[i])
+        contributors = sorted(
+            self.attribution(node, metric, t_peak),
+            key=lambda c: c[0],
+            reverse=True,
+        )
+        return {
+            "time": t_peak,
+            "value": float(values[i]),
+            "contributors": contributors,
+        }
 
 
 def normalize_series(values: np.ndarray, num_points: int = 100) -> np.ndarray:

@@ -22,6 +22,7 @@ import typing as _t
 
 
 from repro.cluster.monitoring import ResourceTrace
+from repro.core import telemetry
 from repro.core.results import ExperimentResult, RunRecord
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "export_records_json",
     "export_trace_csv",
     "export_series_dat",
+    "export_telemetry_jsonl",
 ]
 
 
@@ -87,6 +89,37 @@ def export_trace_csv(
                 for i, v in enumerate(series):
                     t = (i + 0.5) / num_points
                     fh.write(f"{node},{metric},{t:.4f},{v:.6g}\n")
+
+
+def export_telemetry_jsonl(
+    session: "telemetry.Telemetry",
+    path: str | os.PathLike,
+    *,
+    extra_counters: dict[str, float] | None = None,
+) -> int:
+    """Write a telemetry session as JSON Lines.
+
+    One record per line: a ``meta`` line, every span of the provenance
+    tree (``job -> phase -> superstep -> cost``), then counters and
+    gauges.  ``extra_counters`` (e.g. :meth:`Runner.cache_stats
+    <repro.core.runner.Runner.cache_stats>`) are appended as additional
+    counter lines.  Returns the number of lines written.
+    """
+    n = 0
+    with open(path, "w") as fh:
+        for rec in session.to_jsonl_dicts():
+            fh.write(json.dumps(rec) + "\n")
+            n += 1
+        for name, value in sorted((extra_counters or {}).items()):
+            if isinstance(value, (int, float)):
+                fh.write(
+                    json.dumps(
+                        {"type": "counter", "name": name, "value": value}
+                    )
+                    + "\n"
+                )
+                n += 1
+    return n
 
 
 def export_series_dat(

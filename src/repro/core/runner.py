@@ -98,9 +98,11 @@ class Runner:
 
         trace = None
         record_wall = 0.0
+        recorded = False
         if self.use_trace_cache:
             from repro.algorithms.base import get_algorithm
 
+            misses_before = self.trace_cache.misses
             trace, record_wall = self.trace_cache.get_or_record(
                 get_algorithm(algorithm),
                 graph,
@@ -108,6 +110,7 @@ class Runner:
                 scale=self.scale,
                 params=params,
             )
+            recorded = self.trace_cache.misses > misses_before
 
         # Deterministic cells (no jitter) need only one simulation; the
         # result is replicated over the remaining repetitions.
@@ -143,7 +146,11 @@ class Runner:
             times.append(t)
             last = result
         assert last is not None
-        if record_wall > 0:
+        # Charge the recording wall time only when the trace was
+        # actually recorded by *this* call — a cache hit replays a
+        # recording some earlier cell already paid for, and replicated
+        # repetitions must not re-bill it.
+        if recorded and record_wall > 0:
             last.wall_breakdown["trace_record"] = record_wall
             last.wall_time_seconds += record_wall
         times *= self.repetitions // reps

@@ -117,11 +117,18 @@ class TraceCache:
             algo.name, graph, dataset=dataset, scale=scale, seed=seed,
             params=params,
         )
+        from repro.core import telemetry
+
+        tele = telemetry.active()
         trace = self.lookup(key, graph)
         if trace is not None:
             self.hits += 1
+            if tele is not None:
+                tele.count("trace_cache.hits")
             return trace, 0.0
         self.misses += 1
+        if tele is not None:
+            tele.count("trace_cache.misses")
         wall0 = time.perf_counter()
         merged = {**algo.default_params(graph), **(params or {})}
         prog = algo.program(graph, **merged)

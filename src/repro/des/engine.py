@@ -35,6 +35,12 @@ class Simulator:
         self._now = float(start)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = count()
+        # Function-level import: the telemetry module is dependency-free
+        # but `repro.core` as a package is not, and a Simulator can be
+        # built while `repro.cluster` is still half-initialised.
+        from repro.core.telemetry import active
+
+        self._telemetry = active()
 
     # -- clock -----------------------------------------------------------
     @property
@@ -88,6 +94,8 @@ class Simulator:
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        if self._telemetry is not None:
+            self._telemetry.count("des.events")
         event._process_callbacks()
         return self._now
 

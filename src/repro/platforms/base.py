@@ -35,6 +35,7 @@ from repro.algorithms.base import (
 )
 from repro.cluster.monitoring import ResourceTrace
 from repro.cluster.spec import ClusterSpec
+from repro.core import telemetry
 from repro.graph.graph import Graph
 from repro.graph.partition import Partition
 from repro.platforms.scale import ScaleModel
@@ -100,8 +101,32 @@ class JobResult:
     wall_time_seconds: float = 0.0
     #: real seconds per harness phase ("prepare" = program/trace setup,
     #: "charge" = driving the cost model; the runner adds
-    #: "trace_record" on cache misses)
+    #: "trace_record" on the call that records the trace)
     wall_breakdown: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: the telemetry session recorded for this run, or ``None`` when
+    #: the layer was disabled (see :mod:`repro.core.telemetry`)
+    telemetry: telemetry.Telemetry | None = None
+
+    def cost_breakdown(self) -> telemetry.CostBreakdown | None:
+        """Structured provenance view of the charged costs, rebuilt
+        from telemetry spans (``None`` without a recorded session).
+
+        ``computation``/``overhead`` reproduce the paper's Tc/To split
+        (Figures 15-16) bit-for-bit: computation-flagged rule totals
+        accumulate in the same order as the platform models' own
+        running sums, and overhead is the same ``T - Tc`` expression
+        as :attr:`overhead_time`.
+        """
+        if self.telemetry is None:
+            return None
+        computation = self.telemetry.computation_seconds()
+        return telemetry.CostBreakdown(
+            total=self.telemetry.leaf_total(),
+            computation=computation,
+            overhead=self.execution_time - computation,
+            components=self.telemetry.component_totals(),
+            rules=self.telemetry.rule_totals(),
+        )
 
     @property
     def overhead_time(self) -> float:
@@ -142,6 +167,11 @@ class WorkerStepCosts:
     sent_bytes: np.ndarray
     remote_sent_bytes: np.ndarray
     received_bytes: np.ndarray
+    #: the slice of ``received_bytes`` that actually crossed the
+    #: network (remote-origin traffic only); ``received_bytes`` itself
+    #: includes locally-delivered messages, which occupy receive
+    #: buffers but never touch the NIC
+    remote_received_bytes: np.ndarray
 
     @property
     def total_messages(self) -> float:
@@ -306,7 +336,26 @@ class PartitionContext:
             sent_bytes=sent_bytes,
             remote_sent_bytes=remote_sent,
             received_bytes=received,
+            remote_received_bytes=self._remote_received(
+                received, sent_bytes, remote_sent
+            ),
         )
+
+    def _remote_received(
+        self,
+        received: np.ndarray,
+        sent_bytes: np.ndarray,
+        remote_sent: np.ndarray,
+    ) -> np.ndarray:
+        """Per-part bytes received *over the network*: conservation says
+        total remote-received equals total remote-sent, apportioned like
+        ``received`` (in-degree share, scaled to the remote fraction
+        when the report provided exact receive totals)."""
+        total_remote = float(remote_sent.sum())
+        total_sent = float(sent_bytes.sum())
+        if total_sent <= 0.0:
+            return np.zeros_like(received)
+        return received * (total_remote / total_sent)
 
     def _sparse_step_costs(self, report: SuperstepReport) -> WorkerStepCosts:
         """Active-set kernels: every pass is O(frontier), not O(|V|).
@@ -347,6 +396,9 @@ class PartitionContext:
             sent_bytes=sent_bytes,
             remote_sent_bytes=remote_sent,
             received_bytes=received,
+            remote_received_bytes=self._remote_received(
+                received, sent_bytes, remote_sent
+            ),
         )
 
 
@@ -383,20 +435,42 @@ class Platform:
         :class:`JobTimeout` on the paper's failure modes; otherwise
         returns a :class:`JobResult`.
         """
-        from repro.cluster.spec import das4_cluster
-
         algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
-        cluster = cluster or das4_cluster()
+        cluster = cluster or self._default_cluster()
+        exec_kwargs = self._pop_exec_params(params)
         wall0 = time.perf_counter()
         prog = self._prepare_program(algo, graph, trace, params)
         scale = ScaleModel.for_graph(graph)
         budget = self.default_timeout if timeout is None else float(timeout)
         wall1 = time.perf_counter()
-        result = self._execute(algo, prog, graph, cluster, scale, budget)
+        tele = telemetry.begin_job(
+            platform=self.name, algorithm=algo.name, graph=graph.name
+        )
+        try:
+            result = self._execute(
+                algo, prog, graph, cluster, scale, budget, **exec_kwargs
+            )
+        except BaseException:
+            telemetry.abandon(tele)
+            raise
         wall2 = time.perf_counter()
+        if tele is not None:
+            telemetry.end_job(tele, result.execution_time)
+            result.telemetry = tele
         result.wall_breakdown = {"prepare": wall1 - wall0, "charge": wall2 - wall1}
         result.wall_time_seconds = wall2 - wall0
         return result
+
+    def _default_cluster(self) -> ClusterSpec:
+        """The cluster used when the caller passes none."""
+        from repro.cluster.spec import das4_cluster
+
+        return das4_cluster()
+
+    def _pop_exec_params(self, params: dict[str, object]) -> dict[str, object]:
+        """Split platform-execution keywords (consumed by ``_execute``)
+        out of ``params`` (algorithm parameters).  Default: none."""
+        return {}
 
     def _prepare_program(
         self,

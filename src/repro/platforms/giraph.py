@@ -25,6 +25,7 @@ from repro.algorithms.base import Algorithm, SuperstepProgram
 from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
+from repro.core import telemetry
 from repro.graph.graph import Graph
 from repro.platforms.registry import cached_context
 from repro.platforms.base import (
@@ -99,6 +100,7 @@ class Giraph(Platform):
         parts = cluster.num_workers
         ctx = cached_context(graph, parts, "hash", scale)
         hdfs = HDFS(cluster)
+        tele = telemetry.active()
         trace = ResourceTrace()
         m = cluster.machine
         heap = self.heap_bytes / cluster.cores_per_worker
@@ -108,6 +110,10 @@ class Giraph(Platform):
         t = 0.0
         breakdown: dict[str, float] = {}
         breakdown["startup"] = self.startup_seconds
+        if tele is not None:
+            tele.begin_span("phase", "startup", t)
+            tele.cost("job_submit", t, self.startup_seconds, component="startup")
+            tele.end_span(t + self.startup_seconds)
         trace.record(MASTER, t, t + self.startup_seconds, cpu=0.004, net_in=30e3, net_out=30e3)
         trace.set_memory(MASTER, 0.0, 8 * GB)
         trace.set_memory(rep_worker, 0.0, self.baseline_bytes)
@@ -131,11 +137,19 @@ class Giraph(Platform):
             # out-of-core loading: stream the overflow through disk
             load_time += load_overflow / m.disk_write_bps
             breakdown["load"] = load_time
+        load_span = None
+        if tele is not None:
+            tele.begin_span("phase", "load", t)
+            load_span = tele.cost("input_superstep", t, load_time,
+                                  component="load")
+            tele.end_span(t + load_time)
         trace.record(
             rep_worker, t, t + load_time, cpu=cluster.cores_per_worker / m.cores,
-            net_in=0.0,
+            net_in=0.0, span=load_span,
         )
-        trace.set_memory(rep_worker, t + load_time, self.baseline_bytes + min(graph_mem, heap))
+        trace.set_memory(rep_worker, t + load_time,
+                         self.baseline_bytes + min(graph_mem, heap),
+                         span=load_span)
         trace.record(MASTER, t, t + load_time, cpu=0.002, net_in=15e3, net_out=15e3)
         t += load_time
 
@@ -147,6 +161,8 @@ class Giraph(Platform):
         supersteps = 0
         peak_msg_mem = 0.0
         algo_combinable = getattr(algo, "combinable", False)
+        if tele is not None:
+            tele.begin_span("phase", "supersteps", t)
         for report in prog:
             supersteps += 1
             costs = ctx.step_costs(report)
@@ -194,16 +210,39 @@ class Giraph(Platform):
             frac_active = report.num_active(graph.num_vertices) / max(
                 graph.num_vertices, 1
             )
+            comm_span = None
+            if tele is not None:
+                tele.begin_span("superstep", f"superstep {supersteps}", t,
+                                superstep=supersteps)
+                tele.cost("vertex_compute", t, step_compute,
+                          component="compute", computation=True,
+                          superstep=supersteps)
+                comm_span = tele.cost("message_flush", t + step_compute,
+                                      step_comm, component="communication",
+                                      superstep=supersteps,
+                                      net_bytes=net_bytes)
+                tele.cost("zk_barrier", t + step_compute + step_comm,
+                          self.barrier_seconds, component="barrier",
+                          superstep=supersteps)
+                tele.end_span(t + step_time)
+            # NIC view: only remote-origin messages cross the network
+            # (received_bytes also counts locally-delivered messages,
+            # which fill buffers but never leave the node), streamed
+            # over the whole superstep window.
             trace.record(
                 rep_worker, t, t + step_time,
                 cpu=cpu * max(frac_active, 0.05),
-                net_in=(float(costs.received_bytes.mean()) / step_time if step_time else 0),
-                net_out=(float(costs.remote_sent_bytes.mean()) / step_time if step_time else 0),
+                net_in=(float(costs.remote_received_bytes.mean()) / step_time
+                        if step_time else 0),
+                net_out=(float(costs.remote_sent_bytes.mean()) / step_time
+                         if step_time else 0),
+                span=comm_span,
             )
             trace.record(MASTER, t, t + step_time, cpu=0.003, net_in=25e3, net_out=25e3)
             trace.set_memory(
                 rep_worker, t,
                 self.baseline_bytes + min(graph_mem + msg_mem, heap),
+                span=comm_span,
             )
             t += step_time
             compute_total += step_compute
@@ -217,11 +256,19 @@ class Giraph(Platform):
             ):
                 ckpt_bytes = graph_mem + msg_mem
                 ckpt = ckpt_bytes / m.disk_write_bps
-                trace.record(rep_worker, t, t + ckpt, cpu=0.1, net_out=1e5)
+                ckpt_span = None
+                if tele is not None:
+                    ckpt_span = tele.cost("checkpoint", t, ckpt,
+                                          component="checkpoint",
+                                          superstep=supersteps)
+                trace.record(rep_worker, t, t + ckpt, cpu=0.1, net_out=1e5,
+                             span=ckpt_span)
                 t += ckpt
                 checkpoint_total += ckpt
             self._check_budget(t, budget)
 
+        if tele is not None:
+            tele.end_span(t)
         breakdown["compute"] = compute_total
         breakdown["communication"] = comm_total
         breakdown["barrier"] = barrier_total
@@ -232,7 +279,13 @@ class Giraph(Platform):
         out_bytes = scale.vertices(prog.output_bytes())
         write = hdfs.parallel_write_seconds(out_bytes, parts)
         breakdown["write"] = write
-        trace.record(rep_worker, t, t + max(write, 1e-9), cpu=0.1)
+        write_span = None
+        if tele is not None:
+            tele.begin_span("phase", "write", t)
+            write_span = tele.cost("hdfs_write", t, write, component="write")
+            tele.end_span(t + write)
+        trace.record(rep_worker, t, t + max(write, 1e-9), cpu=0.1,
+                     span=write_span)
         t += write
         trace.set_memory(rep_worker, t, self.baseline_bytes)
 

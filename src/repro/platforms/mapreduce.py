@@ -26,6 +26,7 @@ from repro.algorithms.base import Algorithm, SuperstepProgram
 from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
+from repro.core import telemetry
 from repro.graph.graph import Graph
 from repro.platforms.registry import cached_context
 from repro.platforms.base import (
@@ -104,6 +105,7 @@ class MapReduceEngine(Platform):
         parts = cluster.num_workers * cluster.cores_per_worker  # task slots
         ctx = cached_context(graph, parts, "hash", scale)
         hdfs = HDFS(cluster)
+        tele = telemetry.active()
         trace = ResourceTrace()
         m = cluster.machine
         rep_worker = worker_node(0)
@@ -125,11 +127,16 @@ class MapReduceEngine(Platform):
         write_total = 0.0
         supersteps = 0
         half_edges_scaled = scale.edges(graph.num_half_edges)
+        if tele is not None:
+            tele.begin_span("phase", "iterations", t)
 
         for report in prog:
             supersteps += 1
             costs = ctx.step_costs(report)
             jobs = 2 if algo.name in self.two_job_algorithms else 1
+            if tele is not None:
+                tele.begin_span("superstep", f"superstep {supersteps}", t,
+                                superstep=supersteps)
 
             # Reducer record-group memory check (STATS neighbor lists).
             if report.received_bytes is not None:
@@ -181,9 +188,37 @@ class MapReduceEngine(Platform):
                 write = hdfs.parallel_write_seconds(text_bytes, nodes) * contention
                 job_time = startup + read + map_cpu + spill + copy + merge + reduce_cpu + write
 
+                t0 = t
+                copy_span = None
+                if tele is not None:
+                    ss = supersteps
+                    tc = t0
+                    tele.cost("startup", tc, startup,
+                              component="scheduling", superstep=ss)
+                    tc += startup
+                    tele.cost("hdfs_read", tc, read,
+                              component="read", superstep=ss)
+                    tc += read
+                    tele.cost("map_cpu", tc, map_cpu, component="compute",
+                              computation=True, superstep=ss)
+                    tc += map_cpu
+                    tele.cost("spill", tc, spill,
+                              component="shuffle", superstep=ss)
+                    tc += spill
+                    copy_span = tele.cost("copy", tc, copy,
+                                          component="shuffle", superstep=ss)
+                    tc += copy
+                    tele.cost("merge", tc, merge,
+                              component="shuffle", superstep=ss)
+                    tc += merge
+                    tele.cost("reduce_cpu", tc, reduce_cpu, component="compute",
+                              computation=True, superstep=ss)
+                    tc += reduce_cpu
+                    tele.cost("hdfs_write", tc, write,
+                              component="write", superstep=ss)
+
                 # resource trace: idle during startup, busy during phases
                 cpu = min(cluster.cores_per_worker / m.cores, 1.0)
-                t0 = t
                 trace.record(MASTER, t0, t0 + job_time, cpu=0.004, net_in=40e3, net_out=40e3)
                 t_map = t0 + startup
                 trace.set_memory(rep_worker, t_map, self.baseline_bytes
@@ -191,10 +226,26 @@ class MapReduceEngine(Platform):
                 trace.record(rep_worker, t_map, t_map + read + map_cpu + spill, cpu=cpu,
                              net_in=5e4)
                 t_shuffle = t_map + read + map_cpu + spill
-                rate_in = per_node_out / max(copy, 1e-9)
                 trace.record(rep_worker, t_shuffle, t_shuffle + copy + merge,
-                             cpu=cpu * 0.3, net_in=rate_in, net_out=rate_in)
+                             cpu=cpu * 0.3, span=copy_span)
                 t_reduce = t_shuffle + copy + merge
+                # NIC view of the shuffle: only the *remote* slice of the
+                # repartition crosses the network — messages by the hash
+                # cut, graph state by the (nodes-1)/nodes reducer share —
+                # and the fetchers stream it over the whole map-to-merge
+                # window (shuffle overlaps the map phase), not in a
+                # line-rate burst during the copy sub-phase alone.  The
+                # local remainder of per_node_out is disk traffic and is
+                # already charged to spill/copy/merge above.
+                remote_msg = float(costs.remote_sent_bytes.sum())
+                per_node_remote = (
+                    (text_bytes * (nodes - 1) / nodes + remote_msg)
+                    / nodes * contention
+                )
+                shuffle_window = read + map_cpu + spill + copy + merge
+                rate_net = per_node_remote / max(shuffle_window, 1e-9)
+                trace.record(rep_worker, t_map, t_reduce,
+                             net_in=rate_net, net_out=rate_net, span=copy_span)
                 trace.record(rep_worker, t_reduce, t_reduce + reduce_cpu + write, cpu=cpu)
                 trace.set_memory(rep_worker, t0 + job_time, self.baseline_bytes)
 
@@ -206,7 +257,11 @@ class MapReduceEngine(Platform):
                 reduce_cpu_total += reduce_cpu
                 write_total += write
                 self._check_budget(t, budget)
+            if tele is not None:
+                tele.end_span(t)
 
+        if tele is not None:
+            tele.end_span(t)
         breakdown = {
             "scheduling": startup_total,
             "read": read_total,

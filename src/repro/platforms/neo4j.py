@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm, SuperstepProgram, SuperstepTrace
+from repro.algorithms.base import Algorithm, SuperstepProgram
 from repro.cluster.monitoring import ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
+from repro.core import telemetry
 from repro.graph.graph import Graph
 from repro.platforms.base import JobResult, Platform
 from repro.platforms.scale import ScaleModel
@@ -110,6 +111,7 @@ class Neo4j(Platform):
     ) -> JobResult:
         if cache not in ("hot", "cold"):
             raise ValueError(f"cache must be 'hot' or 'cold', got {cache!r}")
+        tele = telemetry.active()
         trace = ResourceTrace()
         node = worker_node(0)
         m = cluster.machine
@@ -118,6 +120,12 @@ class Neo4j(Platform):
 
         t = self.query_start_seconds
         trace.set_memory(node, 0.0, 2 * GB)
+        if tele is not None:
+            tele.begin_span("phase", "startup", 0.0)
+            tele.cost("query_start", 0.0, self.query_start_seconds,
+                      component="startup")
+            tele.end_span(self.query_start_seconds)
+            tele.begin_span("phase", "traversal", t)
         supersteps = 0
         compute_total = 0.0
         touched = np.zeros(graph.num_vertices, dtype=bool)
@@ -133,10 +141,24 @@ class Neo4j(Platform):
             touched_ops_scaled += step_ops
             report.touch(touched)
             step_time = step_ops / rate + step_ops * p_miss * self.miss_penalty_seconds
-            trace.record(node, t, t + max(step_time, 1e-9), cpu=1.0 / m.cores)
+            span = None
+            if tele is not None:
+                tele.begin_span("superstep", f"superstep {supersteps}", t,
+                                superstep=supersteps)
+                span = tele.cost("traversal_ops", t, step_ops / rate,
+                                 component="compute", computation=True,
+                                 superstep=supersteps)
+                tele.cost("cache_thrash", t + step_ops / rate,
+                          step_ops * p_miss * self.miss_penalty_seconds,
+                          component="thrash", superstep=supersteps)
+                tele.end_span(t + step_time)
+            trace.record(node, t, t + max(step_time, 1e-9), cpu=1.0 / m.cores,
+                         span=span)
             t += step_time
             compute_total += step_ops / rate
             self._check_budget(t, budget)
+        if tele is not None:
+            tele.end_span(t)
 
         cold_time = 0.0
         if cache == "cold":
@@ -153,8 +175,15 @@ class Neo4j(Platform):
                 touched_bytes / m.disk_read_bps
                 + touched_vertices * m.disk_seek_seconds * locality
             )
+            span = None
+            if tele is not None:
+                tele.begin_span("phase", "cold_read", t)
+                span = tele.cost("store_read", t, cold_time,
+                                 component="cold_read")
+                tele.end_span(t + cold_time)
             trace.record(node, self.query_start_seconds,
-                         self.query_start_seconds + cold_time, cpu=0.02)
+                         self.query_start_seconds + cold_time, cpu=0.02,
+                         span=span)
             t += cold_time
             self._check_budget(t, budget)
 
@@ -178,34 +207,12 @@ class Neo4j(Platform):
             trace=trace,
         )
 
-    def run(
-        self,
-        algorithm,
-        graph: Graph,
-        cluster: ClusterSpec | None = None,
-        *,
-        timeout: float | None = None,
-        trace: "SuperstepTrace | None" = None,
-        cache: str = "hot",
-        **params: object,
-    ) -> JobResult:
-        """Run on a single machine; ``cache`` selects cold or hot
-        execution (the paper reports hot-cache averages in Figure 1).
-        A recorded ``trace`` replays instead of executing live."""
-        import time
+    def _default_cluster(self) -> ClusterSpec:
+        """Single machine (the paper runs Neo4j on one node)."""
+        return ClusterSpec(num_workers=1)
 
-        from repro.algorithms.base import get_algorithm
-        from repro.cluster.spec import ClusterSpec as _CS
-
-        algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
-        cluster = cluster or _CS(num_workers=1)
-        wall0 = time.perf_counter()
-        prog = self._prepare_program(algo, graph, trace, params)
-        scale = ScaleModel.for_graph(graph)
-        budget = self.default_timeout if timeout is None else float(timeout)
-        wall1 = time.perf_counter()
-        result = self._execute(algo, prog, graph, cluster, scale, budget, cache=cache)
-        wall2 = time.perf_counter()
-        result.wall_breakdown = {"prepare": wall1 - wall0, "charge": wall2 - wall1}
-        result.wall_time_seconds = wall2 - wall0
-        return result
+    def _pop_exec_params(self, params: dict[str, object]) -> dict[str, object]:
+        """``cache`` selects cold or hot execution (the paper reports
+        hot-cache averages in Figure 1); it parameterizes the cost
+        model, not the algorithm."""
+        return {"cache": params.pop("cache", "hot")}

@@ -1,0 +1,106 @@
+"""Runner cache/memo counters across repeated cells and shared caches.
+
+Pins the observability contract of `Runner.cache_stats()` (trace-cache
+hits/misses/bytes merged with the process-wide partition-context step
+memo) and the recording-wall accounting fix: `trace_record` wall time
+is charged to a cell's result only when that call actually recorded
+the trace — never on a cache hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import Runner
+from repro.core.trace_cache import TraceCache
+
+
+@pytest.fixture
+def runner():
+    return Runner()
+
+
+class TestCacheStatsCounters:
+    def test_repeated_run_cell_hits_after_first_miss(self, runner):
+        runner.run_cell("giraph", "bfs", "amazon")
+        s1 = runner.cache_stats()
+        assert (s1["misses"], s1["hits"], s1["entries"]) == (1, 0, 1)
+
+        runner.run_cell("giraph", "bfs", "amazon")
+        s2 = runner.cache_stats()
+        assert (s2["misses"], s2["hits"], s2["entries"]) == (1, 1, 1)
+        assert s2["hit_rate"] == 0.5
+
+    def test_platform_sweep_shares_one_recording(self, runner):
+        for plat in ("hadoop", "stratosphere", "giraph", "graphlab"):
+            runner.run_cell(plat, "bfs", "amazon")
+        stats = runner.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+        assert stats["trace_bytes"] > 0
+
+    def test_distinct_cells_record_separately(self, runner):
+        runner.run_cell("giraph", "bfs", "amazon")
+        runner.run_cell("giraph", "conn", "amazon")
+        stats = runner.cache_stats()
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+
+    def test_shared_trace_cache_across_runners(self):
+        shared = TraceCache()
+        a = Runner(trace_cache=shared)
+        b = Runner(trace_cache=shared)
+        a.run_cell("giraph", "bfs", "amazon")
+        b.run_cell("graphlab", "bfs", "amazon")
+        assert shared.misses == 1
+        assert shared.hits == 1
+        assert b.cache_stats()["hits"] == 1
+
+    def test_step_memo_counters_flow_through(self, runner):
+        from repro.platforms.registry import context_memo_stats
+
+        before = context_memo_stats()["step_memo_hits"]
+        # Same graph, same (parts, partitioner) -> shared context; the
+        # replayed trace's pinned reports hit the per-report step memo.
+        runner.run_cell("giraph", "bfs", "amazon")
+        runner.run_cell("hadoop", "bfs", "amazon")
+        stats = runner.cache_stats()
+        assert stats["step_memo_hits"] > before
+        assert "contexts" in stats
+        assert "step_memo_entries" in stats
+
+    def test_cache_disabled_runner_counts_nothing(self):
+        runner = Runner(use_trace_cache=False)
+        rec = runner.run_cell("giraph", "bfs", "amazon")
+        assert rec.ok
+        stats = runner.cache_stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["entries"] == 0
+
+
+class TestRecordWallAccounting:
+    def test_recording_cell_is_charged_once(self, runner):
+        first = runner.run_cell("giraph", "bfs", "amazon")
+        assert first.ok and first.result is not None
+        assert first.result.wall_breakdown.get("trace_record", 0.0) > 0.0
+
+    def test_cache_hit_cell_is_not_charged(self, runner):
+        runner.run_cell("giraph", "bfs", "amazon")
+        hit = runner.run_cell("hadoop", "bfs", "amazon")
+        assert hit.ok and hit.result is not None
+        assert "trace_record" not in hit.result.wall_breakdown
+        wall_parts = sum(hit.result.wall_breakdown.values())
+        assert hit.result.wall_time_seconds == pytest.approx(
+            wall_parts, rel=1e-6, abs=1e-6
+        )
+
+    def test_replicated_repetitions_bill_recording_once(self):
+        runner = Runner(repetitions=5)
+        rec = runner.run_cell("giraph", "bfs", "amazon")
+        assert rec.ok and rec.result is not None
+        assert len(rec.repetition_times) == 5
+        wall = rec.result.wall_breakdown["trace_record"]
+        assert wall == pytest.approx(
+            runner.trace_cache.record_seconds, rel=1e-6
+        )

@@ -153,6 +153,66 @@ class TestResourceTrace:
         assert tr.peak("w0", "cpu") == pytest.approx(1.0)
         assert tr.mean("w0", "cpu") == pytest.approx(0.5, abs=0.05)
 
+    def test_memory_sampling_matches_scalar_semantics(self):
+        """The vectorized searchsorted path reproduces 'last event at
+        or before t defines the value' for many events and samples."""
+        tr = ResourceTrace()
+        rng = np.random.default_rng(7)
+        events = sorted(
+            (float(t), float(v))
+            for t, v in zip(rng.uniform(0, 100, 50), rng.uniform(0, 1e9, 50))
+        )
+        for t, v in events:
+            tr.set_memory("w0", t, v)
+        times = np.sort(rng.uniform(-5, 105, 200))
+        got = tr.sample("w0", "memory", times)
+        for t, g in zip(times, got):
+            expected = 0.0
+            for et, ev in events:
+                if et <= t:
+                    expected = ev
+            assert g == expected
+
+    def test_memory_same_time_events_take_larger_value(self):
+        # Ties sort by (t, value): the larger value wins — the ordering
+        # the pre-vectorization sorted() tuples produced.
+        tr = ResourceTrace()
+        tr.set_memory("w0", 5.0, 300.0)
+        tr.set_memory("w0", 5.0, 100.0)
+        assert tr.sample("w0", "memory", np.array([6.0]))[0] == 300.0
+
+    def test_attribution_lists_overlapping_records(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 10.0, net_in=100.0, span=7)
+        tr.record("w0", 5.0, 15.0, net_in=50.0, span=9)
+        contribs = tr.attribution("w0", "net_in", 7.0)
+        assert (100.0, 0.0, 10.0, 7) in contribs
+        assert (50.0, 5.0, 15.0, 9) in contribs
+        assert tr.attribution("w0", "net_in", 20.0) == []
+
+    def test_attribution_memory_returns_defining_event(self):
+        tr = ResourceTrace()
+        tr.set_memory("w0", 0.0, 100.0, span=3)
+        tr.set_memory("w0", 10.0, 200.0, span=4)
+        assert tr.attribution("w0", "memory", 5.0) == [(100.0, 0.0, 0.0, 3)]
+        assert tr.attribution("w0", "memory", 12.0) == [(200.0, 10.0, 10.0, 4)]
+
+    def test_peak_attribution_finds_heaviest_record(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 100.0, net_in=10.0, span=1)
+        tr.record("w0", 40.0, 60.0, net_in=90.0, span=2)
+        peak = tr.peak_attribution("w0", "net_in")
+        assert 40.0 <= peak["time"] < 60.0
+        assert peak["value"] == pytest.approx(100.0)
+        # Largest contribution first, each traceable to its span.
+        assert peak["contributors"][0][3] == 2
+        assert peak["contributors"][1][3] == 1
+
+    def test_records_default_to_untracked_span(self):
+        tr = ResourceTrace()
+        tr.record("w0", 0.0, 1.0, cpu=0.5)
+        assert tr.attribution("w0", "cpu", 0.5) == [(0.5, 0.0, 1.0, None)]
+
 
 class TestNormalizeSeries:
     def test_length(self):

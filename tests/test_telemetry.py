@@ -1,0 +1,268 @@
+"""Cost-provenance telemetry: spans reconstruct every charged second.
+
+The contract under test (the observability layer's acceptance bar):
+
+* for every platform x {bfs, conn} on Amazon, the sum of leaf cost
+  spans equals ``execution_time`` to 1e-9 relative;
+* ``JobResult.cost_breakdown()`` reproduces the paper's
+  computation/overhead split (Figures 15-16) **bit-for-bit**;
+* enabling telemetry never perturbs a charged cost — on/off runs are
+  bit-identical;
+* spans are monotonically ordered by simulated time and form a
+  well-shaped job -> phase -> superstep -> cost tree;
+* the ``repro trace`` CLI renders the tree and ``--json`` emits valid
+  JSON Lines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.base import get_algorithm, record_trace
+from repro.core import telemetry
+from repro.datasets import load_dataset
+from repro.platforms.registry import get_platform
+
+PLATFORMS = ["hadoop", "yarn", "stratosphere", "giraph", "graphlab", "neo4j"]
+ALGORITHMS = ["bfs", "conn"]
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return load_dataset("amazon")
+
+
+@pytest.fixture(scope="module")
+def traces(amazon):
+    """One recorded superstep trace per algorithm, shared by every
+    platform run in this module (record once, charge everywhere)."""
+    out = {}
+    for name in ALGORITHMS:
+        algo = get_algorithm(name)
+        prog = algo.program(amazon, **algo.default_params(amazon))
+        out[name] = record_trace(prog, amazon, algorithm=name)
+    return out
+
+
+@pytest.fixture(scope="module")
+def runs(amazon, traces):
+    """(platform, algorithm) -> (telemetry-on result, telemetry-off
+    result) for the full grid."""
+    out = {}
+    for pname in PLATFORMS:
+        for aname in ALGORITHMS:
+            with telemetry.enabled():
+                on = get_platform(pname).run(
+                    aname, amazon, trace=traces[aname]
+                )
+            off = get_platform(pname).run(aname, amazon, trace=traces[aname])
+            out[(pname, aname)] = (on, off)
+    return out
+
+
+@pytest.mark.parametrize("pname", PLATFORMS)
+@pytest.mark.parametrize("aname", ALGORITHMS)
+class TestChargedCostProvenance:
+    def test_leaf_spans_sum_to_execution_time(self, runs, pname, aname):
+        on, _ = runs[(pname, aname)]
+        assert on.telemetry is not None
+        leaf = on.telemetry.leaf_total()
+        assert leaf == pytest.approx(on.execution_time, rel=1e-9)
+
+    def test_computation_split_is_bitwise(self, runs, pname, aname):
+        on, _ = runs[(pname, aname)]
+        bd = on.cost_breakdown()
+        assert bd is not None
+        # Not approx: the same floats added in the same order.
+        assert bd.computation == on.computation_time
+        assert bd.overhead == on.overhead_time
+
+    def test_components_match_breakdown(self, runs, pname, aname):
+        on, _ = runs[(pname, aname)]
+        bd = on.cost_breakdown()
+        for component, seconds in bd.components.items():
+            assert component in on.breakdown
+            assert seconds == pytest.approx(
+                on.breakdown[component], rel=1e-9, abs=1e-12
+            )
+        # Breakdown entries without an emitting rule charged nothing.
+        for component, seconds in on.breakdown.items():
+            if component not in bd.components:
+                assert seconds == pytest.approx(0.0, abs=1e-9)
+
+    def test_telemetry_does_not_perturb_costs(self, runs, pname, aname):
+        on, off = runs[(pname, aname)]
+        assert on.execution_time == off.execution_time
+        assert on.computation_time == off.computation_time
+        assert on.breakdown == off.breakdown
+        assert off.telemetry is None
+        assert off.cost_breakdown() is None
+
+    def test_span_tree_shape_and_time_order(self, runs, pname, aname):
+        on, _ = runs[(pname, aname)]
+        tele = on.telemetry
+        spans = tele.spans
+        assert spans[0].kind == "job"
+        assert spans[0].parent_id is None
+        # Emission order is monotone in simulated start time.
+        t0s = [s.t0 for s in spans[1:]]
+        assert all(a <= b + 1e-12 for a, b in zip(t0s, t0s[1:]))
+        for s in spans[1:]:
+            assert s.parent_id is not None
+            parent = tele.span(s.parent_id)
+            assert not parent.is_cost
+            assert s.t1 >= s.t0
+            if s.kind == "superstep":
+                assert parent.kind == "phase"
+        # Leaves carry full attribution.
+        for leaf in tele.leaf_spans():
+            assert leaf.attrs["rule"] == leaf.name
+            assert "component" in leaf.attrs
+            assert "computation" in leaf.attrs
+
+    def test_rule_totals_cover_every_component(self, runs, pname, aname):
+        on, _ = runs[(pname, aname)]
+        tele = on.telemetry
+        rules = tele.rule_totals()
+        assert rules
+        assert sum(rules.values()) == pytest.approx(
+            tele.leaf_total(), rel=1e-9
+        )
+
+
+class TestSessionLifecycle:
+    def test_disabled_by_default(self):
+        assert not telemetry.is_enabled()
+        assert telemetry.active() is None
+        assert telemetry.begin_job(platform="x") is None
+
+    def test_abandon_releases_slot_on_crash(self, amazon):
+        from repro.platforms.base import PlatformCrash
+
+        with telemetry.enabled():
+            with pytest.raises(PlatformCrash):
+                get_platform("giraph").run("stats", load_dataset("wikitalk"))
+            # The crashed run's session must not leak into the next run.
+            assert telemetry.active() is None
+            result = get_platform("giraph").run("bfs", amazon)
+        assert result.telemetry is not None
+        assert result.telemetry.attrs["algorithm"] == "bfs"
+
+    def test_nested_begin_keeps_outer_session(self):
+        with telemetry.enabled():
+            outer = telemetry.begin_job(platform="outer")
+            assert outer is not None
+            assert telemetry.begin_job(platform="inner") is None
+            assert telemetry.active() is outer
+            telemetry.abandon(outer)
+
+    def test_des_event_counter(self):
+        from repro.des import Simulator
+
+        with telemetry.enabled():
+            tele = telemetry.begin_job(kind="des")
+            sim = Simulator()
+
+            def proc():
+                yield sim.timeout(1.0)
+                yield sim.timeout(2.0)
+
+            sim.process(proc())
+            sim.run()
+            assert tele.counters["des.events"] >= 2
+            telemetry.abandon(tele)
+
+    def test_trace_cache_counters_flow_into_session(self, amazon):
+        from repro.core.trace_cache import TraceCache
+
+        cache = TraceCache()
+        algo = get_algorithm("bfs")
+        with telemetry.enabled():
+            tele = telemetry.begin_job(kind="cache")
+            cache.get_or_record(algo, amazon)
+            cache.get_or_record(algo, amazon)
+            assert tele.counters["trace_cache.misses"] == 1
+            assert tele.counters["trace_cache.hits"] == 1
+            telemetry.abandon(tele)
+
+
+class TestExportAndCli:
+    def test_jsonl_export_round_trip(self, runs, tmp_path):
+        on, _ = runs[("giraph", "bfs")]
+        from repro.core.export import export_telemetry_jsonl
+
+        path = tmp_path / "tele.jsonl"
+        n = export_telemetry_jsonl(
+            on.telemetry, path, extra_counters={"extra.counter": 3}
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) == n
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert records[0]["platform"] == "giraph"
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == len(on.telemetry.spans)
+        leaf_sum = sum(
+            r["seconds"] for r in spans if r["kind"] == "cost"
+        )
+        assert leaf_sum == pytest.approx(on.execution_time, rel=1e-9)
+        counters = {
+            r["name"]: r["value"] for r in records if r["type"] == "counter"
+        }
+        assert counters["extra.counter"] == 3
+
+    def test_cli_trace_renders_span_tree(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "trace", "--platform", "neo4j", "--algorithm", "bfs",
+            "--dataset", "amazon",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "job neo4j/bfs/amazon" in out
+        assert "phase traversal" in out
+        assert "traversal_ops" in out
+        assert "computation (Tc)" in out
+        assert "top 8 cost rules:" in out
+        assert "trace_cache" not in out  # counters section uses stats keys
+        assert "misses" in out
+
+    def test_cli_trace_json_is_consumable(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "out.jsonl"
+        rc = main([
+            "trace", "--platform", "graphlab", "--algorithm", "conn",
+            "--dataset", "amazon", "--json", str(path),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"meta", "span", "counter"}
+        # Runner cache stats are folded in as counters.
+        names = {r["name"] for r in records if r["type"] == "counter"}
+        assert "misses" in names
+        # Telemetry is disabled again after the CLI run.
+        assert telemetry.active() is None
+        assert not telemetry.is_enabled()
+
+
+class TestResourceTraceAttribution:
+    def test_records_carry_span_ids(self, runs):
+        on, _ = runs[("stratosphere", "bfs")]
+        from repro.cluster.monitoring import worker_node
+
+        peak = on.trace.peak_attribution(worker_node(0), "net_in")
+        assert peak["value"] > 0
+        assert peak["contributors"]
+        value, t0, t1, span_id = peak["contributors"][0]
+        assert span_id is not None
+        span = on.telemetry.span(span_id)
+        assert span.is_cost
+        assert span.name == "net_transfer"
