@@ -68,7 +68,7 @@ def measure_cold_vs_warm() -> tuple[dict, str]:
     return data, text
 
 
-def test_trace_cache_cold_vs_warm(benchmark):
+def test_trace_cache_cold_vs_warm(benchmark, fresh_context_memo):
     data, _ = run_once(benchmark, measure_cold_vs_warm)
 
     # One recording per dataset, shared by all six platforms.

@@ -20,6 +20,24 @@ def suite() -> BenchmarkSuite:
     return BenchmarkSuite(runner=Runner())
 
 
+@pytest.fixture
+def fresh_context_memo():
+    """Reset the process-wide partition/context memos around a cold-path
+    measurement.
+
+    Benchmarks that assert a cold-vs-warm speedup flake when the whole
+    ``benchmarks/`` directory runs in one process: earlier benchmarks
+    pre-warm the memos, so the "cold" sweep was never cold.  Clearing
+    before *and* after keeps both this measurement honest and later
+    benchmarks independent of test ordering.
+    """
+    from repro.platforms.registry import clear_context_caches
+
+    clear_context_caches()
+    yield
+    clear_context_caches()
+
+
 def run_once(benchmark, fn):
     """Time ``fn`` exactly once (simulated runs are deterministic and
     too expensive for multi-round timing) and print its rendering."""

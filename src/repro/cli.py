@@ -302,6 +302,84 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.export import export_fault_accounting_jsonl
+    from repro.core.results import ExperimentResult
+    from repro.des.faults import FaultPlan, named_plan
+
+    cluster = das4_cluster(args.workers, args.cores)
+    runner = Runner(scale=args.scale)
+
+    baseline = runner.run_cell(
+        args.platform, args.algorithm, args.dataset, cluster
+    )
+    if not baseline.ok:
+        print(f"baseline run failed: {baseline.status}")
+        print(f"  reason: {baseline.failure_reason}")
+        return 1
+    horizon = baseline.execution_time
+    assert horizon is not None
+
+    # Fault times are fractions of the measured fault-free makespan, so
+    # one invocation works across platforms whose runtimes differ by
+    # orders of magnitude.
+    if args.plan == "seeded":
+        plan = FaultPlan.seeded(
+            args.seed, horizon,
+            num_faults=args.num_faults,
+            num_nodes=cluster.num_workers,
+        )
+    else:
+        plan = named_plan(
+            args.plan,
+            at=args.at * horizon,
+            node=args.node,
+            duration=args.duration * horizon,
+            severity=args.severity,
+        )
+
+    print(
+        f"{args.platform} / {args.algorithm} / {args.dataset} "
+        f"({cluster.num_workers} workers x {cluster.cores_per_worker} cores)"
+    )
+    print(f"fault plan '{plan.name}' ({len(plan)} faults):")
+    for f in plan:
+        window = f" +{f.duration:.1f}s" if f.duration else ""
+        sev = f" x{f.severity:g}" if f.severity != 1.0 else ""
+        print(f"  {f.kind.value:<16s} at t={f.at:.1f}s{window}{sev} "
+              f"(node {f.node})")
+
+    faulted = runner.run_cell(
+        args.platform, args.algorithm, args.dataset, cluster,
+        fault_plan=plan,
+    )
+    print()
+    print(f"  baseline : {format_seconds(horizon)}")
+    if faulted.ok:
+        assert faulted.execution_time is not None
+        slowdown = faulted.execution_time / horizon if horizon else 1.0
+        print(f"  faulted  : {format_seconds(faulted.execution_time)} "
+              f"({slowdown:.2f}x)")
+    else:
+        print(f"  faulted  : {str(faulted.status).upper()}")
+        print(f"  reason   : {faulted.failure_reason}")
+    acct = faulted.fault_accounting()
+    print(f"  task retries      : {acct['task_retries']}")
+    print(f"  speculative tasks : {acct['speculative_tasks']}")
+    print(f"  job restarts      : {acct['job_restarts']}")
+    print(f"  recovery charged  : {format_seconds(acct['recovery_seconds'])}")
+    print(f"  faults fired      : {acct['faults_injected']}")
+
+    if args.json:
+        exp = ExperimentResult(f"chaos-{plan.name}")
+        exp.add(baseline)
+        exp.add(faulted)
+        n = export_fault_accounting_jsonl(exp, args.json)
+        print()
+        print(f"wrote {n} JSONL records to {args.json}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     suite = BenchmarkSuite(scale=args.scale)
     if args.mode == "horizontal":
@@ -365,6 +443,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser("platforms", help="list platform models")
     pl.set_defaults(func=_cmd_platforms)
+
+    from repro.des.faults import NAMED_PLANS
+
+    ch = sub.add_parser(
+        "chaos",
+        help="inject a deterministic fault plan and compare against "
+        "the fault-free baseline",
+    )
+    ch.add_argument("--platform", required=True, choices=PLATFORM_NAMES)
+    ch.add_argument("--algorithm", required=True, choices=CLI_ALGORITHMS)
+    ch.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    ch.add_argument("--workers", type=int, default=20)
+    ch.add_argument("--cores", type=int, default=1)
+    ch.add_argument("--plan", choices=NAMED_PLANS + ("seeded",),
+                    default="crash",
+                    help="named single-fault plan, or 'seeded' for a "
+                    "reproducible random plan")
+    ch.add_argument("--at", type=float, default=0.5,
+                    help="fault time as a fraction of the baseline "
+                    "makespan (named plans)")
+    ch.add_argument("--duration", type=float, default=0.2,
+                    help="fault window as a fraction of the baseline "
+                    "makespan (windowed plans)")
+    ch.add_argument("--node", type=int, default=0,
+                    help="target worker node (named plans)")
+    ch.add_argument("--severity", type=float, default=None,
+                    help="slowdown factor / remaining-memory fraction "
+                    "(plan-specific default)")
+    ch.add_argument("--seed", type=int, default=42,
+                    help="seed for --plan seeded")
+    ch.add_argument("--num-faults", type=int, default=3,
+                    help="fault count for --plan seeded")
+    ch.add_argument("--json", metavar="PATH",
+                    help="export baseline+faulted accounting as JSON "
+                    "Lines")
+    ch.set_defaults(func=_cmd_chaos)
 
     sw = sub.add_parser("sweep", help="scalability sweep")
     sw.add_argument("--dataset", required=True, choices=DATASET_NAMES)

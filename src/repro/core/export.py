@@ -31,6 +31,7 @@ __all__ = [
     "export_trace_csv",
     "export_series_dat",
     "export_telemetry_jsonl",
+    "export_fault_accounting_jsonl",
 ]
 
 
@@ -119,6 +120,24 @@ def export_telemetry_jsonl(
                     + "\n"
                 )
                 n += 1
+    return n
+
+
+def export_fault_accounting_jsonl(
+    experiment: ExperimentResult, path: str | os.PathLike
+) -> int:
+    """Write per-cell retry/restart/failure accounting as JSON Lines.
+
+    One line per record (including crashed and DNF cells), via
+    :meth:`RunRecord.fault_accounting
+    <repro.core.results.RunRecord.fault_accounting>`.  Returns the
+    number of lines written.
+    """
+    n = 0
+    with open(path, "w") as fh:
+        for record in experiment:
+            fh.write(json.dumps(record.fault_accounting()) + "\n")
+            n += 1
     return n
 
 

@@ -31,6 +31,7 @@ from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
 from repro.core.trace_cache import TraceCache
 from repro.datasets.registry import load_dataset
+from repro.des.faults import FaultPlan
 from repro.graph.graph import Graph
 from repro.platforms.base import JobResult, JobTimeout, Platform, PlatformCrash
 from repro.platforms.registry import get_platform
@@ -85,9 +86,16 @@ class Runner:
         algorithm: str,
         dataset: str | Graph,
         cluster: ClusterSpec | None = None,
+        fault_plan: FaultPlan | None = None,
         **params: object,
     ) -> RunRecord:
-        """Run one cell with repetitions and failure bookkeeping."""
+        """Run one cell with repetitions and failure bookkeeping.
+
+        ``fault_plan`` injects the given chaos schedule into every
+        repetition; it becomes part of the trace-cache key, so a cached
+        fault-free trace is never replayed in place of a faulted run
+        (and vice versa).
+        """
         plat = get_platform(platform) if isinstance(platform, str) else platform
         graph = (
             load_dataset(dataset, scale=self.scale)
@@ -109,6 +117,7 @@ class Runner:
                 dataset=dataset if isinstance(dataset, str) else None,
                 scale=self.scale,
                 params=params,
+                fault_plan=fault_plan,
             )
             recorded = self.trace_cache.misses > misses_before
 
@@ -119,7 +128,10 @@ class Runner:
         last: JobResult | None = None
         for _rep in range(reps):
             try:
-                result = plat.run(algorithm, graph, cluster, trace=trace, **params)
+                result = plat.run(
+                    algorithm, graph, cluster, trace=trace,
+                    fault_plan=fault_plan, **params,
+                )
             except PlatformCrash as crash:
                 return RunRecord(
                     platform=plat.name,
@@ -184,11 +196,13 @@ class Runner:
         algorithms: _t.Sequence[str],
         datasets: _t.Sequence[str],
         cluster: ClusterSpec | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> ExperimentResult:
         """Run the full cartesian grid of cells into one result set."""
         exp = ExperimentResult(name)
         for algo in algorithms:
             for ds in datasets:
                 for plat in platforms:
-                    exp.add(self.run_cell(plat, algo, ds, cluster))
+                    exp.add(self.run_cell(plat, algo, ds, cluster,
+                                          fault_plan=fault_plan))
         return exp

@@ -55,8 +55,10 @@ __all__ = [
 class Span:
     """One node of the provenance tree.
 
-    ``kind`` is one of ``"job"``, ``"phase"``, ``"superstep"``, or
-    ``"cost"`` (a leaf).  ``t0``/``t1`` place the span on the simulated
+    ``kind`` is one of ``"job"``, ``"phase"``, ``"superstep"``,
+    ``"cost"`` (a charged leaf), or ``"fault"`` (a zero-duration
+    injected-fault marker that never contributes to charged totals).
+    ``t0``/``t1`` place the span on the simulated
     timeline; ``seconds`` is the *charged* duration — for leaves it is
     the exact float the platform model added to its breakdown (the
     timeline extent may differ, e.g. under Stratosphere's spill-GC
@@ -186,6 +188,38 @@ class Telemetry:
                  seconds=float(seconds), attrs=a)
         )
         return sid
+
+    def fault(
+        self,
+        kind: str,
+        t: float,
+        *,
+        node: int = 0,
+        recovery: str = "",
+        **attrs: _t.Any,
+    ) -> int:
+        """Emit a zero-duration fault marker span: an injected fault of
+        ``kind`` perturbed the run at simulated ``t`` and the platform
+        answered with ``recovery`` (e.g. ``"task_retry"``,
+        ``"job_restart"``).  Markers carry no charged seconds — the
+        recovery *cost* is a separate :meth:`cost` span — so charged
+        totals stay reconstructible from cost leaves alone.
+        """
+        sid = len(self.spans)
+        a: dict[str, _t.Any] = {"fault_kind": kind, "node": node}
+        if recovery:
+            a["recovery"] = recovery
+        if attrs:
+            a.update(attrs)
+        self.spans.append(
+            Span(span_id=sid, parent_id=self._stack[-1], kind="fault",
+                 name=kind, t0=float(t), t1=float(t), seconds=0.0, attrs=a)
+        )
+        return sid
+
+    def fault_spans(self) -> list[Span]:
+        """The injected-fault markers, in emission order."""
+        return [s for s in self.spans if s.kind == "fault"]
 
     def finish(self, t_end: float) -> None:
         """Close any open containers and the job span at ``t_end``."""

@@ -14,7 +14,11 @@ capture everything the *program* can observe:
   datasets, object identity (kept alive by the entry) for ad-hoc
   graphs;
 * the algorithm's short code;
-* the program parameters, normalized to a sorted ``repr`` tuple.
+* the program parameters, normalized to a sorted ``repr`` tuple;
+* the fault plan's content key (empty plans and ``None`` collapse to
+  the same component) — a trace recorded for one chaos schedule must
+  never be served to a run under a different one, and replaying a
+  cached trace must never mask an injected fault.
 
 The partitioner and part count are deliberately **not** part of the
 key: traces record per-vertex workload arrays *upstream* of
@@ -31,6 +35,9 @@ import typing as _t
 from repro.algorithms.base import Algorithm, SuperstepTrace, record_trace
 from repro.graph.graph import Graph
 
+if _t.TYPE_CHECKING:
+    from repro.des.faults import FaultPlan
+
 __all__ = ["TraceCache", "trace_key"]
 
 
@@ -42,6 +49,7 @@ def trace_key(
     scale: float = 1.0,
     seed: int | None = None,
     params: dict[str, object] | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> tuple:
     """The cache key for one (dataset, algorithm, params) workload."""
     if dataset is not None:
@@ -51,7 +59,12 @@ def trace_key(
     norm_params = tuple(
         sorted((k, repr(v)) for k, v in (params or {}).items())
     )
-    return (source, algorithm, norm_params)
+    # An empty plan is behaviourally identical to no plan; both map to
+    # the same () component so fault-free sweeps keep sharing traces.
+    plan_part: tuple = ()
+    if fault_plan is not None and not fault_plan.is_empty:
+        plan_part = fault_plan.key()
+    return (source, algorithm, norm_params, plan_part)
 
 
 class TraceCache:
@@ -107,6 +120,7 @@ class TraceCache:
         scale: float = 1.0,
         seed: int | None = None,
         params: dict[str, object] | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> tuple[SuperstepTrace, float]:
         """The trace for this workload — recorded now on a miss.
 
@@ -115,7 +129,7 @@ class TraceCache:
         """
         key = trace_key(
             algo.name, graph, dataset=dataset, scale=scale, seed=seed,
-            params=params,
+            params=params, fault_plan=fault_plan,
         )
         from repro.core import telemetry
 

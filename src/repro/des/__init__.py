@@ -18,6 +18,10 @@ The kernel is deliberately minimal but complete:
   resource (memory pools).
 * :class:`~repro.des.network.Link` — a bandwidth-shared channel with
   fair progressive filling.
+* :class:`~repro.des.faults.FaultPlan` /
+  :class:`~repro.des.faults.FaultInjector` — deterministic fault
+  schedules and the per-run interposition the platform models consult
+  for chaos experiments.
 
 Example
 -------
@@ -36,6 +40,14 @@ Example
 
 from repro.des.engine import Simulator
 from repro.des.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.des.faults import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    named_plan,
+    schedule_plan,
+)
 from repro.des.network import Link
 from repro.des.process import Process
 from repro.des.resources import Container, Resource
@@ -45,10 +57,16 @@ __all__ = [
     "AnyOf",
     "Container",
     "Event",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "Interrupt",
     "Link",
     "Process",
     "Resource",
     "Simulator",
     "Timeout",
+    "named_plan",
+    "schedule_plan",
 ]

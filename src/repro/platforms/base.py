@@ -36,6 +36,7 @@ from repro.algorithms.base import (
 from repro.cluster.monitoring import ResourceTrace
 from repro.cluster.spec import ClusterSpec
 from repro.core import telemetry
+from repro.des.faults import FaultInjector, FaultPlan
 from repro.graph.graph import Graph
 from repro.graph.partition import Partition
 from repro.platforms.scale import ScaleModel
@@ -106,6 +107,19 @@ class JobResult:
     #: the telemetry session recorded for this run, or ``None`` when
     #: the layer was disabled (see :mod:`repro.core.telemetry`)
     telemetry: telemetry.Telemetry | None = None
+    # -- fault-injection accounting (all zero without an active plan) --------
+    #: individual failed tasks re-executed (MapReduce recovery)
+    task_retries: int = 0
+    #: speculative backup tasks launched against stragglers
+    speculative_tasks: int = 0
+    #: whole-job / barrier restarts (BSP engines, Neo4j node reboot)
+    job_restarts: int = 0
+    #: extra simulated seconds charged to fault recovery
+    recovery_seconds: float = 0.0
+    #: injected faults that actually perturbed this run
+    faults_injected: int = 0
+    #: name of the active :class:`~repro.des.faults.FaultPlan` ("" = none)
+    fault_plan: str = ""
 
     def cost_breakdown(self) -> telemetry.CostBreakdown | None:
         """Structured provenance view of the charged costs, rebuilt
@@ -424,6 +438,7 @@ class Platform:
         *,
         timeout: float | None = None,
         trace: SuperstepTrace | None = None,
+        fault_plan: FaultPlan | None = None,
         **params: object,
     ) -> JobResult:
         """Run ``algorithm`` on ``graph`` over ``cluster``.
@@ -431,24 +446,36 @@ class Platform:
         When ``trace`` is given, the recorded workload is replayed
         instead of executing the algorithm live — simulated results are
         bit-identical either way, since platform models consume only the
-        per-step reports.  Raises :class:`PlatformCrash` or
-        :class:`JobTimeout` on the paper's failure modes; otherwise
-        returns a :class:`JobResult`.
+        per-step reports.  When ``fault_plan`` is given and non-empty,
+        its faults are injected at charge time and this platform's
+        recovery semantics apply; an empty (or absent) plan leaves
+        every charged duration bit-identical.  Raises
+        :class:`PlatformCrash` or :class:`JobTimeout` on the paper's
+        failure modes; otherwise returns a :class:`JobResult`.
         """
         algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
         cluster = cluster or self._default_cluster()
         exec_kwargs = self._pop_exec_params(params)
+        faults: FaultInjector | None = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            faults = FaultInjector(
+                fault_plan, num_workers=cluster.num_workers
+            )
         wall0 = time.perf_counter()
         prog = self._prepare_program(algo, graph, trace, params)
         scale = ScaleModel.for_graph(graph)
         budget = self.default_timeout if timeout is None else float(timeout)
         wall1 = time.perf_counter()
-        tele = telemetry.begin_job(
-            platform=self.name, algorithm=algo.name, graph=graph.name
-        )
+        job_attrs = {
+            "platform": self.name, "algorithm": algo.name, "graph": graph.name,
+        }
+        if faults is not None:
+            job_attrs["fault_plan"] = fault_plan.name
+        tele = telemetry.begin_job(**job_attrs)
         try:
             result = self._execute(
-                algo, prog, graph, cluster, scale, budget, **exec_kwargs
+                algo, prog, graph, cluster, scale, budget, faults=faults,
+                **exec_kwargs
             )
         except BaseException:
             telemetry.abandon(tele)
@@ -457,6 +484,13 @@ class Platform:
         if tele is not None:
             telemetry.end_job(tele, result.execution_time)
             result.telemetry = tele
+        if faults is not None:
+            result.task_retries = faults.task_retries
+            result.speculative_tasks = faults.speculative_tasks
+            result.job_restarts = faults.job_restarts
+            result.recovery_seconds = faults.recovery_seconds
+            result.faults_injected = faults.faults_fired
+            result.fault_plan = fault_plan.name
         result.wall_breakdown = {"prepare": wall1 - wall0, "charge": wall2 - wall1}
         result.wall_time_seconds = wall2 - wall0
         return result
@@ -498,6 +532,8 @@ class Platform:
         cluster: ClusterSpec,
         scale: ScaleModel,
         budget: float,
+        *,
+        faults: FaultInjector | None = None,
     ) -> JobResult:
         raise NotImplementedError
 
@@ -515,6 +551,48 @@ class Platform:
         return HDFS(cluster).ingest_seconds(scale.bytes_text(graph))
 
     # -- helpers -----------------------------------------------------------------
+    #: whole-job resubmissions tolerated before the job is declared
+    #: dead (platforms without finer-grained recovery)
+    max_job_restarts = 1
+    #: teardown + resubmission latency charged per whole-job restart
+    restart_seconds = 20.0
+
+    def _recover_whole_job(
+        self,
+        faults: FaultInjector,
+        scan_from: float,
+        t: float,
+        *,
+        stage: str,
+        tele,
+        rule: str = "job_restart",
+    ) -> tuple[float, float]:
+        """Abort-and-restart recovery for platforms without per-task or
+        checkpoint recovery: every crash in ``[scan_from, t)`` re-pays
+        all simulated work so far plus a resubmission latency, within
+        the :attr:`max_job_restarts` budget.  Returns
+        ``(recovery_seconds, new_t)``.
+        """
+        recovery_total = 0.0
+        while (crash := faults.next_crash(scan_from, t)) is not None:
+            if faults.job_restarts >= self.max_job_restarts:
+                raise PlatformCrash(
+                    self.name,
+                    stage,
+                    f"worker {crash.node} lost at t={crash.at:.0f}s: "
+                    f"restart budget exhausted "
+                    f"({self.max_job_restarts} resubmissions)",
+                )
+            recovery = self.restart_seconds + t
+            faults.note_restart(recovery)
+            if tele is not None:
+                tele.fault("node_crash", crash.at, node=crash.node,
+                           recovery=rule)
+                tele.cost(rule, t, recovery, component="recovery")
+            t += recovery
+            recovery_total += recovery
+        return recovery_total, t
+
     def _check_budget(self, simulated: float, budget: float) -> None:
         if simulated > budget:
             raise JobTimeout(self.name, simulated, budget)

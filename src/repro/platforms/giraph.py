@@ -17,6 +17,15 @@ partition footprint plus a superstep's message buffers exceed the JVM
 heap, the job dies.  Memory is charged with Java object overheads, so
 STATS on hub graphs (WikiTalk) and almost everything on Friendster at
 20 workers reproduce the paper's crash matrix mechanistically.
+
+Recovery semantics (fault injection): a BSP engine cannot re-run a
+single task — losing a worker invalidates the whole superstep.  With
+periodic checkpointing on, the job aborts the superstep and restarts
+from the last checkpoint barrier, re-paying the work since it plus a
+coordinated restart latency.  With checkpointing off (the Giraph 0.2
+default the paper ran) a lost worker kills the job outright.  A
+reduced per-worker memory ceiling lowers the effective heap, which is
+exactly the OOM crash mechanism of the paper's Section 4.1 cells.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.core import telemetry
+from repro.des.faults import FaultInjector
 from repro.graph.graph import Graph
 from repro.platforms.registry import cached_context
 from repro.platforms.base import (
@@ -64,6 +74,10 @@ class Giraph(Platform):
     payload_factor = 2.0
     #: baseline JVM + OS memory on a worker
     baseline_bytes = 2 * GB
+    # -- recovery semantics (fault injection) ------------------------------
+    #: ZooKeeper failure detection + coordinated worker restart latency
+    #: when resuming from a checkpoint barrier
+    restart_seconds = 30.0
 
     def __init__(
         self,
@@ -96,6 +110,8 @@ class Giraph(Platform):
         cluster: ClusterSpec,
         scale: ScaleModel,
         budget: float,
+        *,
+        faults: FaultInjector | None = None,
     ) -> JobResult:
         parts = cluster.num_workers
         ctx = cached_context(graph, parts, "hash", scale)
@@ -104,6 +120,8 @@ class Giraph(Platform):
         trace = ResourceTrace()
         m = cluster.machine
         heap = self.heap_bytes / cluster.cores_per_worker
+        if faults is not None:
+            heap = faults.memory_limit(heap)
         rep_worker = worker_node(0)
 
         # --- phase 1: startup ---------------------------------------------------
@@ -137,6 +155,10 @@ class Giraph(Platform):
             # out-of-core loading: stream the overflow through disk
             load_time += load_overflow / m.disk_write_bps
             breakdown["load"] = load_time
+        if faults is not None:
+            # the input superstep is disk-bound HDFS streaming
+            load_time = faults.stretch(t, load_time, "disk")
+            breakdown["load"] = load_time
         load_span = None
         if tele is not None:
             tele.begin_span("phase", "load", t)
@@ -158,6 +180,12 @@ class Giraph(Platform):
         comm_total = 0.0
         barrier_total = 0.0
         checkpoint_total = 0.0
+        recovery_total = 0.0
+        #: the barrier a crash would restart from (job start until the
+        #: first checkpoint is written)
+        last_ckpt_t = 0.0
+        #: crashes are consumed over contiguous windows of the timeline
+        scan_from = 0.0
         supersteps = 0
         peak_msg_mem = 0.0
         algo_combinable = getattr(algo, "combinable", False)
@@ -200,6 +228,9 @@ class Giraph(Platform):
                 recv_max,
             )
             step_comm = net_bytes / cluster.network_bps
+            if faults is not None:
+                step_compute = faults.stretch(t, step_compute, "cpu")
+                step_comm = faults.stretch(t + step_compute, step_comm, "net")
             step_time = step_compute + step_comm + self.barrier_seconds
             if overflow > 0:
                 # out-of-core: overflow bytes round-trip the local disk
@@ -256,6 +287,8 @@ class Giraph(Platform):
             ):
                 ckpt_bytes = graph_mem + msg_mem
                 ckpt = ckpt_bytes / m.disk_write_bps
+                if faults is not None:
+                    ckpt = faults.stretch(t, ckpt, "disk")
                 ckpt_span = None
                 if tele is not None:
                     ckpt_span = tele.cost("checkpoint", t, ckpt,
@@ -265,6 +298,14 @@ class Giraph(Platform):
                              span=ckpt_span)
                 t += ckpt
                 checkpoint_total += ckpt
+                last_ckpt_t = t
+            if faults is not None:
+                recovery, t = self._recover_crashes(
+                    faults, scan_from, t, last_ckpt_t,
+                    stage=f"superstep {supersteps}", tele=tele,
+                )
+                recovery_total += recovery
+                scan_from = t
             self._check_budget(t, budget)
 
         if tele is not None:
@@ -278,6 +319,8 @@ class Giraph(Platform):
         # --- phase 4: write output ----------------------------------------------
         out_bytes = scale.vertices(prog.output_bytes())
         write = hdfs.parallel_write_seconds(out_bytes, parts)
+        if faults is not None:
+            write = faults.stretch(t, write, "disk")
         breakdown["write"] = write
         write_span = None
         if tele is not None:
@@ -287,6 +330,15 @@ class Giraph(Platform):
         trace.record(rep_worker, t, t + max(write, 1e-9), cpu=0.1,
                      span=write_span)
         t += write
+        if faults is not None:
+            # crashes after the last barrier (during output) restart
+            # from the last checkpoint like any other worker loss
+            recovery, t = self._recover_crashes(
+                faults, scan_from, t, last_ckpt_t, stage="write", tele=tele,
+            )
+            recovery_total += recovery
+        if recovery_total > 0.0:
+            breakdown["recovery"] = recovery_total
         trace.set_memory(rep_worker, t, self.baseline_bytes)
 
         return self._result(
@@ -296,6 +348,44 @@ class Giraph(Platform):
             supersteps=supersteps,
             trace=trace,
         )
+
+    def _recover_crashes(
+        self,
+        faults: FaultInjector,
+        scan_from: float,
+        t: float,
+        last_ckpt_t: float,
+        *,
+        stage: str,
+        tele,
+    ) -> tuple[float, float]:
+        """BSP worker-loss recovery over the window ``[scan_from, t)``.
+
+        With checkpointing on, each crash re-pays the superstep work
+        since the last checkpoint barrier plus the coordinated restart
+        latency; with checkpointing off (Giraph 0.2) the job dies.
+        Returns ``(recovery_seconds, new_t)``.
+        """
+        recovery_total = 0.0
+        while (crash := faults.next_crash(scan_from, t)) is not None:
+            if self.checkpoint_interval <= 0:
+                raise PlatformCrash(
+                    self.name,
+                    stage,
+                    f"worker {crash.node} lost at t={crash.at:.0f}s and "
+                    "checkpointing is off (Giraph 0.2 default): "
+                    "BSP job aborted",
+                )
+            recovery = self.restart_seconds + (t - last_ckpt_t)
+            faults.note_restart(recovery)
+            if tele is not None:
+                tele.fault("node_crash", crash.at, node=crash.node,
+                           recovery="checkpoint_restart")
+                tele.cost("checkpoint_restart", t, recovery,
+                          component="recovery")
+            t += recovery
+            recovery_total += recovery
+        return recovery_total, t
 
     def _memory_overflow(
         self, graph_mem: float, msg_mem: float, heap: float, *, stage: str

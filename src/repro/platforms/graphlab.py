@@ -21,6 +21,13 @@ paper's configuration):
 GraphLab stores only directed graphs: undirected inputs double their
 edge count (the paper's KGS EPS anomaly), affecting memory, loading,
 and compute.
+
+Recovery semantics (fault injection): the synchronous engine has no
+per-task recovery — losing an MPI process aborts the whole job, and
+the launcher resubmits it from scratch (the paper's configuration ran
+without snapshots).  Each crash therefore re-pays everything executed
+so far plus a resubmission latency, within a small restart budget;
+further crashes fail the job.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.algorithms.base import Algorithm, SuperstepProgram
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, MB, ClusterSpec
 from repro.core import telemetry
+from repro.des.faults import FaultInjector
 from repro.graph.graph import Graph
 from repro.platforms.base import (
     JobResult,
@@ -65,6 +73,11 @@ class GraphLab(Platform):
     baseline_bytes = 1 * GB
     #: undirected graphs must be stored as two directed arcs
     undirected_doubling = 2.0
+    # -- recovery semantics (fault injection) ------------------------------
+    #: whole-job resubmissions tolerated before the job is declared dead
+    max_job_restarts = 1
+    #: MPI teardown + launcher resubmission latency per restart
+    restart_seconds = 20.0
 
     def __init__(self, *, pre_split: bool = False) -> None:
         #: GraphLab(mp): input pre-split into one file per MPI process
@@ -89,6 +102,8 @@ class GraphLab(Platform):
         cluster: ClusterSpec,
         scale: ScaleModel,
         budget: float,
+        *,
+        faults: FaultInjector | None = None,
     ) -> JobResult:
         parts = cluster.num_workers
         ctx = cached_context(graph, parts, "greedy", scale)
@@ -97,6 +112,11 @@ class GraphLab(Platform):
         m = cluster.machine
         rep_worker = worker_node(0)
         doubling = self._edge_factor(graph)
+        memory_budget = self.memory_budget_bytes
+        if faults is not None:
+            memory_budget = faults.memory_limit(memory_budget)
+        recovery_total = 0.0
+        scan_from = 0.0
 
         t = 0.0
         trace.set_memory(MASTER, 0.0, 8 * GB)
@@ -112,6 +132,8 @@ class GraphLab(Platform):
         text_bytes = scale.bytes_text(graph) * doubling
         loaders = parts if self.pre_split else 1
         load_time = text_bytes / (self.parse_bps * loaders)
+        if faults is not None:
+            load_time = faults.stretch(t, load_time, "disk")
         load_span = None
         if tele is not None:
             tele.begin_span("phase", "load", t)
@@ -134,18 +156,21 @@ class GraphLab(Platform):
         ingress_build = half_edges_scaled / parts / (
             self.edge_rate * cluster.cores_per_worker
         ) * 2.0
+        if faults is not None:
+            ingress_net = faults.stretch(t, ingress_net, "net")
+            ingress_build = faults.stretch(t + ingress_net, ingress_build, "cpu")
         ingress_time = ingress_net + ingress_build
         graph_mem = (
             scale.edges(float(ctx.half_edges_per_part.max())) * doubling
             * self.bytes_per_half_edge
             + scale.vertices(float(ctx.vertices_per_part.max())) * self.bytes_per_vertex
         )
-        if graph_mem > self.memory_budget_bytes:
+        if graph_mem > memory_budget:
             raise PlatformCrash(
                 self.name,
                 "ingress",
                 f"partition needs {graph_mem / GB:.1f} GB "
-                f"> {self.memory_budget_bytes / GB:.1f} GB per worker",
+                f"> {memory_budget / GB:.1f} GB per worker",
             )
         ingress_span = None
         if tele is not None:
@@ -185,12 +210,12 @@ class GraphLab(Platform):
             supersteps += 1
             costs = ctx.step_costs(report)
             msg_mem = float(costs.received_bytes.max()) * 1.2
-            if graph_mem + msg_mem > self.memory_budget_bytes:
+            if graph_mem + msg_mem > memory_budget:
                 raise PlatformCrash(
                     self.name,
                     f"superstep {supersteps}",
                     f"engine buffers need {(graph_mem + msg_mem) / GB:.1f} GB "
-                    f"> {self.memory_budget_bytes / GB:.1f} GB per worker",
+                    f"> {memory_budget / GB:.1f} GB per worker",
                 )
             step_compute = (
                 float(costs.compute_edges.max()) * doubling
@@ -201,6 +226,9 @@ class GraphLab(Platform):
                 float(costs.received_bytes.max()),
             )
             step_comm = net_bytes / cluster.network_bps
+            if faults is not None:
+                step_compute = faults.stretch(t, step_compute, "cpu")
+                step_comm = faults.stretch(t + step_compute, step_comm, "net")
             step_time = step_compute + step_comm + self.barrier_seconds
             frac_active = report.num_active(graph.num_vertices) / max(
                 graph.num_vertices, 1
@@ -238,6 +266,14 @@ class GraphLab(Platform):
             compute_total += step_compute
             comm_total += step_comm
             barrier_total += self.barrier_seconds
+            if faults is not None:
+                recovery, t = self._recover_whole_job(
+                    faults, scan_from, t,
+                    stage=f"superstep {supersteps}", tele=tele,
+                    rule="mpi_resubmit",
+                )
+                recovery_total += recovery
+                scan_from = t
             self._check_budget(t, budget)
 
         # --- finalize: gather and write results ---------------------------------
@@ -247,6 +283,8 @@ class GraphLab(Platform):
             + out_bytes / m.disk_write_bps / parts  # write
             + scale.vertices(graph.num_vertices) / (self.edge_rate * parts)
         )
+        if faults is not None:
+            finalize = faults.stretch(t, finalize, "disk")
         if tele is not None:
             tele.end_span(t)
         fin_span = None
@@ -258,6 +296,13 @@ class GraphLab(Platform):
         trace.record(rep_worker, t, t + max(finalize, 1e-9), cpu=cpu * 0.3,
                      span=fin_span)
         t += finalize
+        if faults is not None:
+            recovery, t = self._recover_whole_job(
+                faults, scan_from, t, stage="finalize", tele=tele,
+                rule="mpi_resubmit",
+            )
+            recovery_total += recovery
+            scan_from = t
         trace.set_memory(rep_worker, t, self.baseline_bytes)
 
         breakdown = {
@@ -269,6 +314,8 @@ class GraphLab(Platform):
             "barrier": barrier_total,
             "finalize": finalize,
         }
+        if recovery_total > 0.0:
+            breakdown["recovery"] = recovery_total
         return self._result(
             algo, prog, graph, cluster,
             breakdown=breakdown,

@@ -17,6 +17,15 @@ paper's slowest cell and Hadoop "the worst performer in all cases".
 The reducer's in-memory merge (1.5 GB, the paper's configuration) is
 the crash site for STATS on DotaLeague: a single vertex's received
 neighbor lists exceed the sort buffer.
+
+Recovery semantics (fault injection): MapReduce is the most forgiving
+platform in the matrix.  A node crash kills only the tasks running on
+that node — the JobTracker / ResourceManager re-schedules them on the
+surviving slots, costing one task-share of the job plus a relaunch
+latency, bounded by a per-job retry budget (``mapred.map.max.attempts``
+is 4).  Stragglers are absorbed by speculative re-execution: a backup
+attempt caps the slowdown at one fresh task execution.  Degradation
+windows (disk, network) stretch the overlapped phase.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from repro.cluster.hdfs import HDFS
 from repro.cluster.monitoring import MASTER, ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.core import telemetry
+from repro.des.faults import FaultInjector
 from repro.graph.graph import Graph
 from repro.platforms.registry import cached_context
 from repro.platforms.base import (
@@ -67,6 +77,16 @@ class MapReduceEngine(Platform):
     #: task count then follows the data, and the map phase is scheduled
     #: over the slots with the DES kernel (waves + stragglers).
     pin_blocks_to_slots = True
+    # -- recovery semantics (fault injection) ------------------------------
+    #: per-job failed-task re-execution budget (Hadoop's
+    #: ``mapred.map.max.attempts`` default)
+    max_task_retries = 4
+    #: JobTracker latency to detect the failure and relaunch the task
+    retry_launch_seconds = 5.0
+    #: backup attempts for stragglers (``mapred.*.tasks.speculative``)
+    speculative_execution = True
+    #: latency to launch a speculative backup attempt
+    speculative_launch_seconds = 2.0
 
     @staticmethod
     def _wave_makespan(durations: list[float], slots: int) -> float:
@@ -93,6 +113,26 @@ class MapReduceEngine(Platform):
     ) -> None:
         """Hook for YARN's stricter container enforcement (no-op here)."""
 
+    def _speculate(
+        self, faults: FaultInjector, t0: float, nominal: float
+    ) -> tuple[float, float]:
+        """Straggler handling with speculative re-execution: the charged
+        phase duration plus the recovery seconds of a backup attempt.
+
+        A backup attempt costs one fresh task execution plus launch
+        latency; it is launched only when that beats riding out the
+        slowdown, which caps a straggler's damage.
+        """
+        stretched = faults.stretch(t0, nominal, "cpu")
+        extra = stretched - nominal
+        if extra <= 0.0 or not self.speculative_execution:
+            return stretched, 0.0
+        backup = nominal + self.speculative_launch_seconds
+        if extra > backup:
+            faults.note_speculative(backup)
+            return nominal, backup
+        return stretched, 0.0
+
     def _execute(
         self,
         algo: Algorithm,
@@ -101,6 +141,8 @@ class MapReduceEngine(Platform):
         cluster: ClusterSpec,
         scale: ScaleModel,
         budget: float,
+        *,
+        faults: FaultInjector | None = None,
     ) -> JobResult:
         parts = cluster.num_workers * cluster.cores_per_worker  # task slots
         ctx = cached_context(graph, parts, "hash", scale)
@@ -110,6 +152,10 @@ class MapReduceEngine(Platform):
         m = cluster.machine
         rep_worker = worker_node(0)
         heap = cluster.worker_heap_bytes
+        sort_buffer = self.sort_buffer_bytes
+        if faults is not None:
+            heap = faults.memory_limit(heap)
+            sort_buffer = faults.memory_limit(sort_buffer)
 
         text_bytes = scale.bytes_text(graph)
         split_bytes = text_bytes / parts
@@ -125,6 +171,7 @@ class MapReduceEngine(Platform):
         shuffle_total = 0.0
         reduce_cpu_total = 0.0
         write_total = 0.0
+        recovery_total = 0.0
         supersteps = 0
         half_edges_scaled = scale.edges(graph.num_half_edges)
         if tele is not None:
@@ -143,13 +190,13 @@ class MapReduceEngine(Platform):
                 biggest = scale.per_vertex_degree2(
                     report.max_received_bytes(graph.num_vertices)
                 )
-                if biggest * self.record_memory_factor > self.sort_buffer_bytes:
+                if biggest * self.record_memory_factor > sort_buffer:
                     raise PlatformCrash(
                         self.name,
                         f"iteration {supersteps} reduce",
                         "in-memory merge exhausted: one vertex's grouped "
                         f"values need {biggest * self.record_memory_factor / GB:.1f} GB "
-                        f"> {self.sort_buffer_bytes / GB:.1f} GB sort buffer",
+                        f"> {sort_buffer / GB:.1f} GB sort buffer",
                     )
 
             msg_bytes = float(costs.sent_bytes.sum())
@@ -186,7 +233,55 @@ class MapReduceEngine(Platform):
                 merge = per_node_out / m.disk_read_bps
                 reduce_cpu = half_edges_scaled / parts / self.edge_rate * 0.5
                 write = hdfs.parallel_write_seconds(text_bytes, nodes) * contention
-                job_time = startup + read + map_cpu + spill + copy + merge + reduce_cpu + write
+                job_recovery = 0.0
+                spec_map = spec_red = 0.0
+                job_crashes: list = []
+                job_retry_costs: list[float] = []
+                if faults is not None:
+                    # Degradation windows stretch the overlapped phase;
+                    # straggler slowdown on the compute phases is capped
+                    # by speculative re-execution.
+                    tc = t + startup
+                    read = faults.stretch(tc, read, "disk")
+                    tc += read
+                    map_cpu, spec_map = self._speculate(faults, tc, map_cpu)
+                    tc += map_cpu
+                    spill = faults.stretch(tc, spill, "disk")
+                    tc += spill
+                    copy = faults.stretch(tc, copy, "net")
+                    tc += copy
+                    merge = faults.stretch(tc, merge, "disk")
+                    tc += merge
+                    reduce_cpu, spec_red = self._speculate(
+                        faults, tc, reduce_cpu
+                    )
+                    tc += reduce_cpu
+                    write = faults.stretch(tc, write, "disk")
+                    job_recovery = spec_map + spec_red
+                job_time = (startup + read + map_cpu + spill + copy + merge
+                            + reduce_cpu + write + job_recovery)
+                if faults is not None:
+                    # Node crash: only the dead node's tasks re-run — the
+                    # JobTracker re-schedules them on surviving slots,
+                    # within the per-job retry budget.
+                    while (crash := faults.next_crash(t, t + job_time)) is not None:
+                        job_crashes.append(crash)
+                        if len(job_crashes) > self.max_task_retries:
+                            raise PlatformCrash(
+                                self.name,
+                                f"iteration {supersteps}",
+                                f"task retry budget exhausted: "
+                                f"{len(job_crashes)} node failures > "
+                                f"{self.max_task_retries} attempts",
+                            )
+                        retry = (
+                            (job_time - startup) / nodes
+                            + self.retry_launch_seconds
+                        )
+                        faults.note_retry(retry)
+                        job_retry_costs.append(retry)
+                        job_recovery += retry
+                        job_time += retry
 
                 t0 = t
                 copy_span = None
@@ -216,6 +311,21 @@ class MapReduceEngine(Platform):
                     tc += reduce_cpu
                     tele.cost("hdfs_write", tc, write,
                               component="write", superstep=ss)
+                    tc += write
+                    if spec_map > 0.0:
+                        tele.cost("speculative_run", tc, spec_map,
+                                  component="recovery", superstep=ss)
+                        tc += spec_map
+                    if spec_red > 0.0:
+                        tele.cost("speculative_run", tc, spec_red,
+                                  component="recovery", superstep=ss)
+                        tc += spec_red
+                    for crash, retry in zip(job_crashes, job_retry_costs):
+                        tele.fault("node_crash", crash.at, node=crash.node,
+                                   recovery="task_retry", superstep=ss)
+                        tele.cost("task_retry", tc, retry,
+                                  component="recovery", superstep=ss)
+                        tc += retry
 
                 # resource trace: idle during startup, busy during phases
                 cpu = min(cluster.cores_per_worker / m.cores, 1.0)
@@ -256,6 +366,7 @@ class MapReduceEngine(Platform):
                 shuffle_total += spill + copy + merge
                 reduce_cpu_total += reduce_cpu
                 write_total += write
+                recovery_total += job_recovery
                 self._check_budget(t, budget)
             if tele is not None:
                 tele.end_span(t)
@@ -269,6 +380,8 @@ class MapReduceEngine(Platform):
             "shuffle": shuffle_total,
             "write": write_total,
         }
+        if recovery_total > 0.0:
+            breakdown["recovery"] = recovery_total
         return self._result(
             algo, prog, graph, cluster,
             breakdown=breakdown,

@@ -16,6 +16,14 @@ Three behaviours from the paper are modelled explicitly:
 Ingestion (Table 6) is transactional and dominated by per-node record
 and index costs — hours, irregular across datasets, in stark contrast
 to HDFS's linear seconds.
+
+Recovery semantics (fault injection): there is exactly one node, so a
+crash means rebooting the database and re-running the query from the
+start (the embedded API has no mid-traversal checkpoints).  Network
+partitions are a no-op — nothing crosses a network.  A shrunken heap
+(memory-ceiling fault) lowers the thrashing threshold instead of
+killing the process: Neo4j degrades to page-faulting rather than
+OOM-ing (Section 4.1.1's 17-hour Synth BFS).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.algorithms.base import Algorithm, SuperstepProgram
 from repro.cluster.monitoring import ResourceTrace, worker_node
 from repro.cluster.spec import GB, ClusterSpec
 from repro.core import telemetry
+from repro.des.faults import FaultInjector
 from repro.graph.graph import Graph
 from repro.platforms.base import JobResult, Platform
 from repro.platforms.scale import ScaleModel
@@ -67,6 +76,11 @@ class Neo4j(Platform):
     #: ingestion: per-record transactional costs (fit to Table 6)
     ingest_seconds_per_vertex = 0.0258
     ingest_seconds_per_edge = 0.00023
+    # -- recovery semantics (fault injection) ------------------------------
+    #: database reboots tolerated before the run is declared dead
+    max_job_restarts = 2
+    #: store recovery + JVM warmup per reboot
+    restart_seconds = 60.0
 
     def store_bytes(self, graph: Graph, scale: ScaleModel) -> float:
         """Paper-scale on-disk store size."""
@@ -82,13 +96,17 @@ class Neo4j(Platform):
             + scale.vertices(graph.num_vertices) * self.object_bytes_per_vertex
         )
 
-    def thrash_probability(self, graph: Graph, scale: ScaleModel) -> float:
+    def thrash_probability(
+        self, graph: Graph, scale: ScaleModel,
+        heap_bytes: float | None = None,
+    ) -> float:
         """Fraction of record touches that page-fault once the object
         cache exceeds the heap (0 when everything fits)."""
+        heap = self.heap_bytes if heap_bytes is None else heap_bytes
         need = self.object_cache_bytes(graph, scale)
-        if need <= self.heap_bytes:
+        if need <= heap:
             return 0.0
-        return 1.0 - self.heap_bytes / need
+        return 1.0 - heap / need
 
     def ingest_seconds(self, graph: Graph, cluster: ClusterSpec | None = None) -> float:
         """Transactional import into the Neo4j store (Table 6, row 2)."""
@@ -108,6 +126,7 @@ class Neo4j(Platform):
         budget: float,
         *,
         cache: str = "hot",
+        faults: FaultInjector | None = None,
     ) -> JobResult:
         if cache not in ("hot", "cold"):
             raise ValueError(f"cache must be 'hot' or 'cold', got {cache!r}")
@@ -116,7 +135,12 @@ class Neo4j(Platform):
         node = worker_node(0)
         m = cluster.machine
         rate = self.op_rates.get(algo.name, 1e6)
-        p_miss = self.thrash_probability(graph, scale)
+        heap = self.heap_bytes
+        if faults is not None:
+            heap = faults.memory_limit(heap)
+        p_miss = self.thrash_probability(graph, scale, heap)
+        recovery_total = 0.0
+        scan_from = 0.0
 
         t = self.query_start_seconds
         trace.set_memory(node, 0.0, 2 * GB)
@@ -128,6 +152,7 @@ class Neo4j(Platform):
             tele.begin_span("phase", "traversal", t)
         supersteps = 0
         compute_total = 0.0
+        thrash_total = 0.0
         touched = np.zeros(graph.num_vertices, dtype=bool)
         touched_ops_scaled = 0.0
         for report in prog:
@@ -140,22 +165,36 @@ class Neo4j(Platform):
             step_ops = float(report.total_compute_edges()) * ops_scale
             touched_ops_scaled += step_ops
             report.touch(touched)
-            step_time = step_ops / rate + step_ops * p_miss * self.miss_penalty_seconds
+            step_cpu = step_ops / rate
+            step_thrash = step_ops * p_miss * self.miss_penalty_seconds
+            if faults is not None:
+                step_cpu = faults.stretch(t, step_cpu, "cpu")
+                step_thrash = faults.stretch(t + step_cpu, step_thrash, "disk")
+            step_time = step_cpu + step_thrash
             span = None
             if tele is not None:
                 tele.begin_span("superstep", f"superstep {supersteps}", t,
                                 superstep=supersteps)
-                span = tele.cost("traversal_ops", t, step_ops / rate,
+                span = tele.cost("traversal_ops", t, step_cpu,
                                  component="compute", computation=True,
                                  superstep=supersteps)
-                tele.cost("cache_thrash", t + step_ops / rate,
-                          step_ops * p_miss * self.miss_penalty_seconds,
+                tele.cost("cache_thrash", t + step_cpu,
+                          step_thrash,
                           component="thrash", superstep=supersteps)
                 tele.end_span(t + step_time)
             trace.record(node, t, t + max(step_time, 1e-9), cpu=1.0 / m.cores,
                          span=span)
             t += step_time
-            compute_total += step_ops / rate
+            compute_total += step_cpu
+            thrash_total += step_thrash
+            if faults is not None:
+                recovery, t = self._recover_whole_job(
+                    faults, scan_from, t,
+                    stage=f"superstep {supersteps}", tele=tele,
+                    rule="node_reboot",
+                )
+                recovery_total += recovery
+                scan_from = t
             self._check_budget(t, budget)
         if tele is not None:
             tele.end_span(t)
@@ -175,6 +214,8 @@ class Neo4j(Platform):
                 touched_bytes / m.disk_read_bps
                 + touched_vertices * m.disk_seek_seconds * locality
             )
+            if faults is not None:
+                cold_time = faults.stretch(t, cold_time, "disk")
             span = None
             if tele is not None:
                 tele.begin_span("phase", "cold_read", t)
@@ -187,18 +228,26 @@ class Neo4j(Platform):
             t += cold_time
             self._check_budget(t, budget)
 
+        if faults is not None:
+            recovery, t = self._recover_whole_job(
+                faults, scan_from, t, stage="traversal", tele=tele,
+                rule="node_reboot",
+            )
+            recovery_total += recovery
+            scan_from = t
+
         # working-set memory in the object cache
-        hot_bytes = min(
-            self.object_cache_bytes(graph, scale), self.heap_bytes
-        )
+        hot_bytes = min(self.object_cache_bytes(graph, scale), heap)
         trace.set_memory(node, t, 2 * GB + hot_bytes * 0.8)
 
         breakdown = {
             "startup": self.query_start_seconds,
             "compute": compute_total,
-            "thrash": t - self.query_start_seconds - compute_total - cold_time,
+            "thrash": thrash_total,
             "cold_read": cold_time,
         }
+        if recovery_total > 0.0:
+            breakdown["recovery"] = recovery_total
         return self._result(
             algo, prog, graph, cluster,
             breakdown=breakdown,

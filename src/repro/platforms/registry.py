@@ -22,6 +22,7 @@ __all__ = [
     "cached_partition",
     "cached_context",
     "context_memo_stats",
+    "clear_context_caches",
 ]
 
 #: paper Table 4 order, plus the GraphLab(mp) tuning variant
@@ -106,6 +107,17 @@ def cached_context(
     ctx = PartitionContext(graph, cached_partition(graph, num_parts, policy), scale)
     _context_cache[key] = ctx
     return ctx
+
+
+def clear_context_caches() -> None:
+    """Drop the process-wide partition and context memos.
+
+    Cold-path measurements (benchmarks) need this: the memos are
+    process-wide, so any earlier run in the same process pre-warms them
+    and a "cold" sweep silently measures the warm path.
+    """
+    _partition_cache.clear()
+    _context_cache.clear()
 
 
 def context_memo_stats() -> dict[str, int]:

@@ -31,6 +31,9 @@ class Yarn(MapReduceEngine):
     name = "yarn"
     label = "YARN"
     job_startup_seconds = 38.0
+    #: the ResourceManager re-allocates a container for a failed task
+    #: faster than the classic JobTracker relaunches one
+    retry_launch_seconds = 3.0
     #: Java in-memory expansion of a text input split (record objects)
     split_memory_factor = 20.0
     #: container allocation per task (paper: 20 GB maximum)

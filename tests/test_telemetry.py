@@ -253,6 +253,64 @@ class TestExportAndCli:
         assert not telemetry.is_enabled()
 
 
+class TestFaultTelemetry:
+    """Telemetry under fault injection: markers are free, recovery is
+    charged, and enabling telemetry never perturbs a faulted run."""
+
+    @pytest.fixture(scope="class")
+    def faulted(self, amazon, traces):
+        from repro.des.faults import named_plan
+
+        plat = get_platform("hadoop")
+        base = plat.run("bfs", amazon, trace=traces["bfs"])
+        plan = named_plan("crash", at=0.5 * base.execution_time, node=2)
+        with telemetry.enabled():
+            on = plat.run("bfs", amazon, trace=traces["bfs"],
+                          fault_plan=plan)
+        off = plat.run("bfs", amazon, trace=traces["bfs"], fault_plan=plan)
+        return base, on, off
+
+    def test_telemetry_on_off_bit_identical_under_faults(self, faulted):
+        _, on, off = faulted
+        assert on.execution_time == off.execution_time
+        assert on.computation_time == off.computation_time
+        assert on.breakdown == off.breakdown
+        assert on.task_retries == off.task_retries
+        assert on.recovery_seconds == off.recovery_seconds
+        assert off.telemetry is None
+
+    def test_fault_markers_are_zero_cost(self, faulted):
+        _, on, _ = faulted
+        tele = on.telemetry
+        markers = tele.fault_spans()
+        assert len(markers) == 1
+        marker = markers[0]
+        assert marker.seconds == 0.0
+        assert marker.attrs["fault_kind"] == "node_crash"
+        assert marker.attrs["node"] == 2
+        assert marker.attrs["recovery"] == "task_retry"
+
+    def test_leaf_sums_still_reconstruct_faulted_time(self, faulted):
+        _, on, _ = faulted
+        tele = on.telemetry
+        assert tele.leaf_total() == pytest.approx(
+            on.execution_time, rel=1e-9
+        )
+        recovery = [
+            s for s in tele.leaf_spans()
+            if s.attrs.get("component") == "recovery"
+        ]
+        assert recovery
+        assert sum(s.seconds for s in recovery) == pytest.approx(
+            on.recovery_seconds, rel=1e-9
+        )
+
+    def test_job_attrs_carry_the_plan(self, faulted):
+        _, on, _ = faulted
+        assert on.telemetry.attrs["fault_plan"] == "crash"
+        assert on.fault_plan == "crash"
+
+
 class TestResourceTraceAttribution:
     def test_records_carry_span_ids(self, runs):
         on, _ = runs[("stratosphere", "bfs")]

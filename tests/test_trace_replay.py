@@ -162,6 +162,72 @@ class TestTraceCache:
         assert rec.ok
         assert runner.trace_cache.hits == runner.trace_cache.misses == 0
 
+    def test_fault_plan_is_part_of_the_key(self, random_graph):
+        from repro.des.faults import FaultPlan, named_plan
+
+        bare = trace_key("bfs", random_graph)
+        empty = trace_key("bfs", random_graph, fault_plan=FaultPlan.empty())
+        # the empty plan is the identity: it shares the fault-free entry
+        assert empty == bare
+        crash = trace_key(
+            "bfs", random_graph, fault_plan=named_plan("crash", at=5.0)
+        )
+        other = trace_key(
+            "bfs", random_graph, fault_plan=named_plan("crash", at=6.0)
+        )
+        assert crash != bare
+        assert crash != other
+
+    def test_runner_never_shares_traces_across_fault_plans(
+        self, random_graph, small_cluster
+    ):
+        """Property: a cached trace recorded under one fault plan is
+        never served to a cell running under a different one."""
+        from repro.des.faults import FaultPlan, named_plan
+
+        runner = Runner()
+        base = runner.run_cell("hadoop", "bfs", random_graph, small_cluster)
+        assert runner.trace_cache.misses == 1
+        plan = named_plan("crash", at=0.5 * base.execution_time, node=1)
+        faulted = runner.run_cell(
+            "hadoop", "bfs", random_graph, small_cluster, fault_plan=plan
+        )
+        # different plan -> different key -> a fresh recording
+        assert runner.trace_cache.misses == 2
+        assert faulted.execution_time > base.execution_time
+        # the same plan hits its own entry; the empty plan hits the
+        # fault-free entry — and both charge bit-identical costs
+        again = runner.run_cell(
+            "hadoop", "bfs", random_graph, small_cluster, fault_plan=plan
+        )
+        empty = runner.run_cell(
+            "hadoop", "bfs", random_graph, small_cluster,
+            fault_plan=FaultPlan.empty(),
+        )
+        assert runner.trace_cache.misses == 2
+        assert runner.trace_cache.hits == 2
+        assert again.execution_time == faulted.execution_time
+        assert empty.execution_time == base.execution_time
+
+    def test_replayed_trace_does_not_mask_faults(
+        self, random_graph, small_cluster
+    ):
+        """Replaying a recorded workload under a fault plan charges the
+        same faulted costs as live execution under that plan."""
+        from repro.des.faults import named_plan
+
+        plat = get_platform("graphlab")
+        base = plat.run("bfs", random_graph, small_cluster)
+        plan = named_plan("crash", at=0.5 * base.execution_time, node=1)
+        live = plat.run("bfs", random_graph, small_cluster, fault_plan=plan)
+        trace = _record("bfs", random_graph)
+        replayed = plat.run(
+            "bfs", random_graph, small_cluster, trace=trace, fault_plan=plan
+        )
+        _assert_identical(live, replayed)
+        assert replayed.job_restarts == live.job_restarts == 1
+        assert replayed.recovery_seconds == live.recovery_seconds
+
 
 class TestWallClock:
     def test_wall_fields_populated(self, random_graph, small_cluster):
