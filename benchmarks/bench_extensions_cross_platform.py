@@ -11,6 +11,7 @@ from benchmarks.conftest import run_once
 from repro.core.report import format_seconds, render_table
 from repro.core.results import RunStatus
 from repro.core.runner import Runner
+from repro.core.spec import SweepSpec
 
 EXTENSIONS = ("pagerank", "sssp", "triangles", "diameter", "mis", "sampling")
 PLATFORMS = ("hadoop", "stratosphere", "giraph", "graphlab")
@@ -19,12 +20,12 @@ PLATFORMS = ("hadoop", "stratosphere", "giraph", "graphlab")
 def test_extensions_cross_platform(benchmark, suite):
     def measure():
         runner = Runner()
-        exp = runner.run_grid(
+        exp = runner.run_grid(SweepSpec.make(
             "extensions",
-            platforms=list(PLATFORMS),
-            algorithms=list(EXTENSIONS),
-            datasets=["kgs"],
-        )
+            platforms=PLATFORMS,
+            algorithms=EXTENSIONS,
+            datasets=("kgs",),
+        ))
         rows = []
         for algo in EXTENSIONS:
             row = [algo]

@@ -23,6 +23,7 @@ from benchmarks.conftest import run_once
 from repro.algorithms.base import set_sparse_active_fraction
 from repro.core.report import render_table
 from repro.core.runner import Runner
+from repro.core.spec import SweepSpec
 from repro.core.suite import ALL_PLATFORMS
 from repro.datasets import load_dataset
 
@@ -37,12 +38,12 @@ def _sweep(dataset: str, scale: float) -> tuple[float, int]:
     """One fresh-cache BFS sweep; (wall seconds, pinned trace bytes)."""
     runner = Runner(scale=scale)
     start = time.perf_counter()
-    exp = runner.run_grid(
+    exp = runner.run_grid(SweepSpec.make(
         "bench:sparse-reports",
-        platforms=list(ALL_PLATFORMS),
-        algorithms=["bfs"],
-        datasets=[dataset],
-    )
+        platforms=ALL_PLATFORMS,
+        algorithms=("bfs",),
+        datasets=(dataset,),
+    ))
     wall = time.perf_counter() - start
     assert len(exp) == len(ALL_PLATFORMS)
     return wall, runner.trace_cache.stats()["trace_bytes"]

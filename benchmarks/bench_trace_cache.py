@@ -18,18 +18,19 @@ import time
 from benchmarks.conftest import run_once
 from repro.core.report import render_cache_stats, render_table
 from repro.core.runner import Runner
+from repro.core.spec import SweepSpec
 from repro.core.suite import ALL_PLATFORMS
 from repro.datasets import DATASET_NAMES, load_dataset
 
 
 def _sweep(runner: Runner) -> float:
     start = time.perf_counter()
-    exp = runner.run_grid(
+    exp = runner.run_grid(SweepSpec.make(
         "bench:trace-cache",
-        platforms=list(ALL_PLATFORMS),
-        algorithms=["bfs"],
-        datasets=list(DATASET_NAMES),
-    )
+        platforms=ALL_PLATFORMS,
+        algorithms=("bfs",),
+        datasets=DATASET_NAMES,
+    ))
     wall = time.perf_counter() - start
     assert len(exp) == len(ALL_PLATFORMS) * len(DATASET_NAMES)
     return wall

@@ -12,6 +12,7 @@ from repro.core.metrics import paper_scale_eps
 from repro.core.report import render_table
 from repro.core.results import RunStatus
 from repro.core.runner import Runner
+from repro.core.spec import SweepSpec
 from repro.core.suite import ALL_PLATFORMS
 from repro.platforms.registry import get_platform
 
@@ -20,12 +21,12 @@ DATASETS = ("amazon", "dotaleague", "friendster")
 
 def main() -> None:
     runner = Runner()
-    exp = runner.run_grid(
+    exp = runner.run_grid(SweepSpec.make(
         "example:bfs",
         platforms=ALL_PLATFORMS,
-        algorithms=["bfs"],
+        algorithms=("bfs",),
         datasets=DATASETS,
-    )
+    ))
 
     rows = []
     for ds in DATASETS:

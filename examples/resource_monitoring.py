@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.cluster.monitoring import MASTER, worker_node
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec
 from repro.core.suite import DISTRIBUTED_PLATFORMS
 from repro.platforms.registry import get_platform
 
@@ -36,7 +37,7 @@ def sparkline(values: np.ndarray, width: int = 60) -> str:
 
 def main() -> None:
     runner = Runner()
-    runs = {p: runner.run_cell(p, "bfs", "dotaleague")
+    runs = {p: runner.run(RunSpec(p, "bfs", "dotaleague"))
             for p in DISTRIBUTED_PLATFORMS}
 
     for node_label, node in (("master", MASTER), ("worker", worker_node(0))):

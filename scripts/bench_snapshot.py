@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Record a harness performance snapshot into ``BENCH_harness.json``.
 
-Runs the two harness micro-benchmarks — the cold-vs-warm trace-cache
-sweep and the sparse-vs-dense report sweep — and writes their wall
-times and trace-memory numbers as one JSON document.  CI uploads the
+Runs the harness micro-benchmarks — the cold-vs-warm trace-cache
+sweep, the sparse-vs-dense report sweep, and the serial-vs-parallel
+grid sweep — and writes their wall times and trace-memory numbers as
+one JSON document.  CI uploads the
 file as a build artifact, so every PR leaves a perf data point the next
 one can be compared against.
 
@@ -31,18 +32,22 @@ def collect_snapshot() -> dict:
         measure_sparse_vs_dense,
         render_sparse_vs_dense,
     )
+    from benchmarks.bench_parallel_sweep import measure_parallel_sweep
     from benchmarks.bench_trace_cache import measure_cold_vs_warm
 
     trace_data, trace_text = measure_cold_vs_warm()
     sparse_data = measure_sparse_vs_dense()
+    parallel_data, parallel_text = measure_parallel_sweep()
     print(trace_text)
     print(render_sparse_vs_dense(sparse_data))
+    print(parallel_text)
     return {
         "schema": 1,
         "python": _platform.python_version(),
         "machine": _platform.machine(),
         "trace_cache": trace_data,
         "sparse_reports": sparse_data,
+        "parallel_sweep": parallel_data,
     }
 
 

@@ -52,6 +52,7 @@ __all__ = [
     "Algorithm",
     "ALGORITHM_NAMES",
     "get_algorithm",
+    "list_algorithms",
     "register_algorithm",
 ]
 
@@ -689,6 +690,21 @@ def get_algorithm(name: str) -> Algorithm:
         raise KeyError(
             f"unknown algorithm {name!r}; choose from {sorted(_REGISTRY)}"
         ) from None
+
+
+def list_algorithms() -> list[tuple[str, str]]:
+    """Discovery API: sorted ``(name, one-line description)`` pairs for
+    every registered algorithm (the paper's five classes plus the
+    extensions; mirrors ``list_platforms`` and ``list_datasets``)."""
+    import repro.algorithms  # noqa: F401  (registration side effect)
+    import repro.algorithms.extensions  # noqa: F401
+
+    out = []
+    for name in sorted(_REGISTRY):
+        algo = _REGISTRY[name]
+        combiner = ", combinable" if algo.combinable else ""
+        out.append((name, f"{algo.label}{combiner}"))
+    return out
 
 
 def _registered_names() -> tuple[str, ...]:

@@ -1,13 +1,20 @@
 """Command-line interface: ``graphbench`` / ``python -m repro``.
 
+Every experiment-running subcommand builds a
+:class:`~repro.core.spec.RunSpec` / :class:`~repro.core.spec.SweepSpec`
+and hands it to the runner — the CLI is a thin spec factory.
+
 Subcommands::
 
     graphbench run --platform giraph --algorithm bfs --dataset dotaleague
     graphbench figure 1            # regenerate a paper figure
     graphbench table 5             # regenerate a paper table
+    graphbench list                # platforms, algorithms and datasets
     graphbench datasets            # list the seven datasets
     graphbench platforms           # list the six platform models
     graphbench sweep --dataset friendster --mode horizontal
+    graphbench sweep --mode grid --algorithms bfs conn \\
+        --datasets amazon --workers 4 --json sweep_telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.cluster.spec import das4_cluster
 from repro.core.metrics import job_metrics
 from repro.core.report import format_seconds, render_table
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
 from repro.core.suite import BenchmarkSuite
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.datasets.spec import PAPER_SPECS_TABLE2
@@ -33,10 +41,48 @@ from repro.platforms.registry import PLATFORM_NAMES
 __all__ = ["main"]
 
 
+# -- argument validation via the registry discovery API ----------------------
+
+def _discover(kind: str) -> list[tuple[str, str]]:
+    """The ``(name, description)`` listing for one registry kind."""
+    if kind == "platform":
+        from repro.platforms.registry import list_platforms
+
+        return list_platforms()
+    if kind == "algorithm":
+        from repro.algorithms.base import list_algorithms
+
+        return list_algorithms()
+    assert kind == "dataset"
+    from repro.datasets.registry import list_datasets
+
+    return list_datasets()
+
+
+def _known(kind: str):
+    """An argparse ``type=`` validator whose error message comes from
+    the registry discovery API (and points at ``graphbench list``)."""
+
+    def parse(value: str) -> str:
+        v = value.lower()
+        names = [name for name, _ in _discover(kind)]
+        if v not in names:
+            raise argparse.ArgumentTypeError(
+                f"unknown {kind} {value!r} — choose from "
+                f"{', '.join(names)} (see `graphbench list`)"
+            )
+        return v
+
+    parse.__name__ = kind
+    return parse
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cluster = das4_cluster(args.workers, args.cores)
     runner = Runner(scale=args.scale, repetitions=args.repetitions)
-    record = runner.run_cell(args.platform, args.algorithm, args.dataset, cluster)
+    record = runner.run(
+        RunSpec(args.platform, args.algorithm, args.dataset, cluster)
+    )
     print(
         f"{args.platform} / {args.algorithm} / {args.dataset} "
         f"({cluster.num_workers} workers x {cluster.cores_per_worker} cores)"
@@ -236,13 +282,13 @@ def _render_span_tree(tele, *, max_steps: int) -> str:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.cluster.monitoring import worker_node
     from repro.core import telemetry
-    from repro.core.export import export_telemetry_jsonl
+    from repro.core.export import export
 
     cluster = das4_cluster(args.workers, args.cores)
     runner = Runner(scale=args.scale)
     with telemetry.enabled():
-        record = runner.run_cell(
-            args.platform, args.algorithm, args.dataset, cluster
+        record = runner.run(
+            RunSpec(args.platform, args.algorithm, args.dataset, cluster)
         )
     if not record.ok:
         print(f"  status: {record.status}")
@@ -294,8 +340,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   f"[{t0:.2f}s .. {t1:.2f}s]")
 
     if args.json:
-        n = export_telemetry_jsonl(
-            tele, args.json, extra_counters=runner.cache_stats()
+        n = export(
+            tele, kind="telemetry", path=args.json,
+            extra_counters=runner.cache_stats(),
         )
         print()
         print(f"wrote {n} JSONL records to {args.json}")
@@ -303,15 +350,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.core.export import export_fault_accounting_jsonl
+    from repro.core.export import export
     from repro.core.results import ExperimentResult
     from repro.des.faults import FaultPlan, named_plan
 
     cluster = das4_cluster(args.workers, args.cores)
     runner = Runner(scale=args.scale)
 
-    baseline = runner.run_cell(
-        args.platform, args.algorithm, args.dataset, cluster
+    baseline = runner.run(
+        RunSpec(args.platform, args.algorithm, args.dataset, cluster)
     )
     if not baseline.ok:
         print(f"baseline run failed: {baseline.status}")
@@ -349,9 +396,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"  {f.kind.value:<16s} at t={f.at:.1f}s{window}{sev} "
               f"(node {f.node})")
 
-    faulted = runner.run_cell(
-        args.platform, args.algorithm, args.dataset, cluster,
-        fault_plan=plan,
+    faulted = runner.run(
+        RunSpec(
+            args.platform, args.algorithm, args.dataset, cluster,
+            fault_plan=plan,
+        )
     )
     print()
     print(f"  baseline : {format_seconds(horizon)}")
@@ -374,19 +423,90 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         exp = ExperimentResult(f"chaos-{plan.name}")
         exp.add(baseline)
         exp.add(faulted)
-        n = export_fault_accounting_jsonl(exp, args.json)
+        n = export(exp, kind="faults", path=args.json)
         print()
         print(f"wrote {n} JSONL records to {args.json}")
     return 0
 
 
+def _cmd_list(args: argparse.Namespace) -> int:
+    kinds = (
+        ("platform", "algorithm", "dataset")
+        if args.kind == "all"
+        else (args.kind.rstrip("s"),)
+    )
+    chunks = []
+    for kind in kinds:
+        rows = [[name, description] for name, description in _discover(kind)]
+        chunks.append(
+            render_table([kind, "description"], rows, title=f"{kind}s")
+        )
+    print("\n\n".join(chunks))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    suite = BenchmarkSuite(scale=args.scale)
-    if args.mode == "horizontal":
-        _, text = suite.fig11_12_horizontal([args.dataset])
-    else:
-        _, text = suite.fig13_14_vertical([args.dataset])
-    print(text)
+    if args.mode in ("horizontal", "vertical"):
+        if args.dataset is None:
+            print("sweep: --dataset is required for scalability modes",
+                  file=sys.stderr)
+            return 2
+        suite = BenchmarkSuite(scale=args.scale)
+        if args.mode == "horizontal":
+            _, text = suite.fig11_12_horizontal([args.dataset])
+        else:
+            _, text = suite.fig13_14_vertical([args.dataset])
+        print(text)
+        return 0
+
+    # -- grid mode: a SweepSpec dispatched to worker processes ---------------
+    from repro.core import telemetry
+    from repro.core.export import export
+    from repro.core.report import render_cache_stats
+
+    datasets = args.datasets or ([args.dataset] if args.dataset else None)
+    if not datasets:
+        print("sweep: grid mode needs --datasets (or --dataset)",
+              file=sys.stderr)
+        return 2
+    sweep = SweepSpec.make(
+        args.name,
+        platforms=tuple(args.platforms or PLATFORM_NAMES),
+        algorithms=tuple(args.algorithms),
+        datasets=tuple(datasets),
+        cluster=das4_cluster(args.workers_per_cell, args.cores),
+        workers=args.workers,
+    )
+    runner = Runner(
+        scale=args.scale, repetitions=args.repetitions, jitter=args.jitter
+    )
+    with telemetry.enabled(bool(args.json)):
+        exp = runner.run_grid(sweep)
+
+    rows = []
+    for algo in sweep.algorithms:
+        for ds in sweep.datasets:
+            row: list[object] = [f"{algo}/{ds}"]
+            for plat in sweep.platforms:
+                rec = exp.get(plat, algo, ds)
+                row.append(rec.describe() if rec else "-")
+            rows.append(row)
+    print(render_table(
+        ["cell"] + list(sweep.platforms),
+        rows,
+        title=f"sweep '{sweep.name}': {len(exp)} cells, "
+        f"{sweep.workers} worker process(es)",
+    ))
+    print()
+    print(render_cache_stats(runner.cache_stats()))
+
+    if args.json:
+        n = export(
+            exp, kind="sweep-telemetry", path=args.json,
+            extra_counters=runner.cache_stats(),
+        )
+        print()
+        print(f"wrote {n} JSONL records to {args.json}")
     return 0
 
 
@@ -402,9 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one experiment cell")
-    run.add_argument("--platform", required=True, choices=PLATFORM_NAMES)
-    run.add_argument("--algorithm", required=True, choices=CLI_ALGORITHMS)
-    run.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    run.add_argument("--platform", required=True, type=_known("platform"),
+                     metavar="PLATFORM")
+    run.add_argument("--algorithm", required=True, type=_known("algorithm"),
+                     metavar="ALGORITHM")
+    run.add_argument("--dataset", required=True, type=_known("dataset"),
+                     metavar="DATASET")
     run.add_argument("--workers", type=int, default=20)
     run.add_argument("--cores", type=int, default=1)
     run.add_argument("--repetitions", type=int, default=1)
@@ -415,9 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one cell with cost-provenance telemetry and show "
         "the span tree",
     )
-    tr.add_argument("--platform", required=True, choices=PLATFORM_NAMES)
-    tr.add_argument("--algorithm", required=True, choices=CLI_ALGORITHMS)
-    tr.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    tr.add_argument("--platform", required=True, type=_known("platform"),
+                    metavar="PLATFORM")
+    tr.add_argument("--algorithm", required=True, type=_known("algorithm"),
+                    metavar="ALGORITHM")
+    tr.add_argument("--dataset", required=True, type=_known("dataset"),
+                    metavar="DATASET")
     tr.add_argument("--workers", type=int, default=20)
     tr.add_argument("--cores", type=int, default=1)
     tr.add_argument("--top", type=int, default=8,
@@ -451,9 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault plan and compare against "
         "the fault-free baseline",
     )
-    ch.add_argument("--platform", required=True, choices=PLATFORM_NAMES)
-    ch.add_argument("--algorithm", required=True, choices=CLI_ALGORITHMS)
-    ch.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    ch.add_argument("--platform", required=True, type=_known("platform"),
+                    metavar="PLATFORM")
+    ch.add_argument("--algorithm", required=True, type=_known("algorithm"),
+                    metavar="ALGORITHM")
+    ch.add_argument("--dataset", required=True, type=_known("dataset"),
+                    metavar="DATASET")
     ch.add_argument("--workers", type=int, default=20)
     ch.add_argument("--cores", type=int, default=1)
     ch.add_argument("--plan", choices=NAMED_PLANS + ("seeded",),
@@ -480,10 +609,46 @@ def build_parser() -> argparse.ArgumentParser:
                     "Lines")
     ch.set_defaults(func=_cmd_chaos)
 
-    sw = sub.add_parser("sweep", help="scalability sweep")
-    sw.add_argument("--dataset", required=True, choices=DATASET_NAMES)
-    sw.add_argument("--mode", choices=("horizontal", "vertical"),
+    li = sub.add_parser(
+        "list",
+        help="discover registered platforms, algorithms and datasets",
+    )
+    li.add_argument("kind", nargs="?", default="all",
+                    choices=("all", "platforms", "algorithms", "datasets"))
+    li.set_defaults(func=_cmd_list)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="scalability sweep, or a (possibly parallel) grid sweep",
+    )
+    sw.add_argument("--mode", choices=("horizontal", "vertical", "grid"),
                     default="horizontal")
+    sw.add_argument("--dataset", type=_known("dataset"), metavar="DATASET",
+                    help="dataset for horizontal/vertical modes "
+                    "(grid shorthand for a one-dataset --datasets)")
+    sw.add_argument("--name", default="sweep",
+                    help="sweep name for reports and exports (grid mode)")
+    sw.add_argument("--platforms", nargs="+", type=_known("platform"),
+                    metavar="PLATFORM",
+                    help="grid platforms (default: all)")
+    sw.add_argument("--algorithms", nargs="+", type=_known("algorithm"),
+                    metavar="ALGORITHM", default=["bfs"],
+                    help="grid algorithms (default: bfs)")
+    sw.add_argument("--datasets", nargs="+", type=_known("dataset"),
+                    metavar="DATASET", help="grid datasets")
+    sw.add_argument("--workers", type=int, default=1,
+                    help="worker processes for grid mode (default 1 = "
+                    "serial)")
+    sw.add_argument("--workers-per-cell", type=int, default=20,
+                    help="modeled cluster size per cell (grid mode)")
+    sw.add_argument("--cores", type=int, default=1,
+                    help="modeled cores per cluster worker (grid mode)")
+    sw.add_argument("--repetitions", type=int, default=1)
+    sw.add_argument("--jitter", type=float, default=0.0,
+                    help="repetition jitter fraction (grid mode)")
+    sw.add_argument("--json", metavar="PATH",
+                    help="export merged sweep telemetry as JSON Lines "
+                    "(grid mode)")
     sw.set_defaults(func=_cmd_sweep)
 
     fi = sub.add_parser(
@@ -504,8 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
     tu = sub.add_parser(
         "tuning", help="SPEC-style baseline vs peak (tuned) comparison"
     )
-    tu.add_argument("--algorithm", default="bfs", choices=CLI_ALGORITHMS)
-    tu.add_argument("--dataset", default="dotaleague", choices=DATASET_NAMES)
+    tu.add_argument("--algorithm", default="bfs", type=_known("algorithm"),
+                    metavar="ALGORITHM")
+    tu.add_argument("--dataset", default="dotaleague",
+                    type=_known("dataset"), metavar="DATASET")
     tu.set_defaults(func=_cmd_tuning)
     return p
 

@@ -3,12 +3,20 @@
 The paper's Section 5.2 notes that reporting is an unresolved part of
 its method ("another non-trivial practical aspect is reporting ...
 which our method does not precisely specify").  This module pins a
-concrete reporting format:
+concrete reporting format behind one front door:
 
+* :func:`export` — ``export(obj, kind=..., path=...)`` dispatches to
+  the format writers below, so CLI subcommands and scripts stop
+  hand-rolling writers;
 * :func:`export_records_json` — experiment cells as a JSON document
   (full disclosure: cluster configuration, repetitions, failures);
 * :func:`export_trace_csv` — a resource trace as tidy CSV
   (node, metric, normalized_time, value);
+* :func:`export_telemetry_jsonl` — one telemetry session as JSON Lines;
+* :func:`export_sweep_telemetry_jsonl` — every session of a sweep's
+  records, with per-cell identity lines and merged counters;
+* :func:`export_fault_accounting_jsonl` — per-cell retry/restart
+  accounting;
 * :func:`export_series_dat` — figure series as whitespace ``.dat``
   files directly plottable with gnuplot, matching the paper's figure
   style.
@@ -26,11 +34,14 @@ from repro.core import telemetry
 from repro.core.results import ExperimentResult, RunRecord
 
 __all__ = [
+    "export",
+    "EXPORT_KINDS",
     "record_to_dict",
     "export_records_json",
     "export_trace_csv",
     "export_series_dat",
     "export_telemetry_jsonl",
+    "export_sweep_telemetry_jsonl",
     "export_fault_accounting_jsonl",
 ]
 
@@ -123,6 +134,61 @@ def export_telemetry_jsonl(
     return n
 
 
+def export_sweep_telemetry_jsonl(
+    experiment: ExperimentResult,
+    path: str | os.PathLike,
+    *,
+    extra_counters: dict[str, float] | None = None,
+) -> int:
+    """Write every recorded telemetry session of a sweep as JSON Lines.
+
+    One ``cell`` identity line precedes each cell's session records
+    (cells without a session — crashed/DNF, or telemetry disabled —
+    emit only the identity line), and the file ends with the
+    grid-level merged counters (:func:`telemetry.merge_counters
+    <repro.core.telemetry.merge_counters>`) plus ``extra_counters``
+    (e.g. the runner's merged cache stats).  Returns the number of
+    lines written.
+    """
+    n = 0
+    sessions: list[telemetry.Telemetry] = []
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"type": "sweep", "name": experiment.name}) + "\n")
+        n += 1
+        for record in experiment:
+            cell = {
+                "type": "cell",
+                "platform": record.platform,
+                "algorithm": record.algorithm,
+                "dataset": record.dataset,
+                "status": record.status.value,
+            }
+            fh.write(json.dumps(cell) + "\n")
+            n += 1
+            session = record.result.telemetry if record.result else None
+            if session is None:
+                continue
+            sessions.append(session)
+            for rec in session.to_jsonl_dicts():
+                fh.write(json.dumps(rec) + "\n")
+                n += 1
+        merged = telemetry.merge_counters(sessions)
+        merged.update(
+            (k, v)
+            for k, v in (extra_counters or {}).items()
+            if isinstance(v, (int, float))
+        )
+        for name, value in sorted(merged.items()):
+            fh.write(
+                json.dumps(
+                    {"type": "merged_counter", "name": name, "value": value}
+                )
+                + "\n"
+            )
+            n += 1
+    return n
+
+
 def export_fault_accounting_jsonl(
     experiment: ExperimentResult, path: str | os.PathLike
 ) -> int:
@@ -163,3 +229,44 @@ def export_series_dat(
                 v = vals[i] if i < len(vals) else None
                 row.append("nan" if v is None else f"{float(v):.6g}")
             fh.write(" ".join(row) + "\n")
+
+
+# -- unified dispatch --------------------------------------------------------
+
+#: ``kind`` -> (expected object type, writer) for :func:`export`
+EXPORT_KINDS: dict[str, tuple[type, _t.Callable[..., _t.Any]]] = {
+    "records": (ExperimentResult, export_records_json),
+    "telemetry": (telemetry.Telemetry, export_telemetry_jsonl),
+    "sweep-telemetry": (ExperimentResult, export_sweep_telemetry_jsonl),
+    "faults": (ExperimentResult, export_fault_accounting_jsonl),
+    "trace": (ResourceTrace, export_trace_csv),
+}
+
+
+def export(
+    obj: _t.Any, *, kind: str, path: str | os.PathLike, **options: _t.Any
+) -> _t.Any:
+    """Write ``obj`` to ``path`` in the named format.
+
+    ``kind`` is one of :data:`EXPORT_KINDS`: ``"records"`` (experiment
+    JSON), ``"telemetry"`` (one session as JSONL), ``"sweep-telemetry"``
+    (all sessions of an experiment as JSONL), ``"faults"``
+    (fault-accounting JSONL), or ``"trace"`` (resource-trace CSV).
+    Extra keyword ``options`` pass through to the underlying writer
+    (e.g. ``extra_counters=...`` for the telemetry kinds,
+    ``num_points=...`` for traces).  Returns whatever the writer
+    returns (line counts for the JSONL kinds).
+    """
+    try:
+        expected, writer = EXPORT_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown export kind {kind!r}; choose from "
+            f"{', '.join(sorted(EXPORT_KINDS))}"
+        ) from None
+    if not isinstance(obj, expected):
+        raise TypeError(
+            f"export kind {kind!r} expects {expected.__name__}, "
+            f"got {type(obj).__name__}"
+        )
+    return writer(obj, path, **options)

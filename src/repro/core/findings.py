@@ -15,6 +15,7 @@ from repro.cluster.spec import das4_cluster
 from repro.core.report import render_table
 from repro.core.results import ExperimentResult, RunStatus
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
 from repro.datasets.registry import DATASET_NAMES
 
 __all__ = ["Finding", "verify_findings", "render_findings"]
@@ -31,12 +32,12 @@ class Finding:
 
 
 def _bfs_grid(runner: Runner) -> ExperimentResult:
-    return runner.run_grid(
+    return runner.run_grid(SweepSpec.make(
         "findings:bfs",
-        platforms=["hadoop", "yarn", "stratosphere", "giraph", "graphlab"],
-        algorithms=["bfs"],
-        datasets=list(DATASET_NAMES),
-    )
+        platforms=("hadoop", "yarn", "stratosphere", "giraph", "graphlab"),
+        algorithms=("bfs",),
+        datasets=DATASET_NAMES,
+    ))
 
 
 def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
@@ -97,7 +98,7 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     ]
     crashed = []
     for plat, algo, ds in crash_cells:
-        rec = runner.run_cell(plat, algo, ds)
+        rec = runner.run(RunSpec(plat, algo, ds))
         crashed.append(rec.status is RunStatus.CRASHED)
     findings.append(Finding(
         "4.1", "several platforms crash on some (algorithm, dataset) cells",
@@ -106,7 +107,7 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     ))
 
     # -- 4.2: "Few resources are needed for the master node."
-    rec = runner.run_cell("giraph", "bfs", "dotaleague")
+    rec = runner.run(RunSpec("giraph", "bfs", "dotaleague"))
     master_ok = False
     if rec.ok and rec.result is not None:
         cpu_peak = rec.result.trace.peak("master", "cpu") * 100
@@ -122,9 +123,9 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     # -- 4.3.1: horizontal scalability "only for Friendster"
     cluster50 = das4_cluster(50)
     h20 = t("hadoop", "friendster")
-    h50 = runner.run_cell("hadoop", "bfs", "friendster", cluster50).execution_time
+    h50 = runner.run(RunSpec("hadoop", "bfs", "friendster", cluster50)).execution_time
     d20 = t("hadoop", "dotaleague")
-    d50 = runner.run_cell("hadoop", "bfs", "dotaleague", cluster50).execution_time
+    d50 = runner.run(RunSpec("hadoop", "bfs", "dotaleague", cluster50)).execution_time
     ok = bool(h20 and h50 and d20 and d50 and h50 < 0.75 * h20 and d50 > 0.85 * d20)
     findings.append(Finding(
         "4.3", "horizontal scalability is significant only for the largest graph",
@@ -134,8 +135,8 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     ))
 
     # -- 4.3.2: vertical gains saturate after ~3 cores
-    v = {c: runner.run_cell("hadoop", "bfs", "friendster",
-                            das4_cluster(20, c)).execution_time
+    v = {c: runner.run(RunSpec("hadoop", "bfs", "friendster",
+                               das4_cluster(20, c))).execution_time
          for c in (1, 3, 7)}
     ok = bool(v[1] and v[3] and v[7] and v[3] < 0.9 * v[1] and v[7] > 0.8 * v[3])
     findings.append(Finding(
@@ -146,8 +147,8 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     # -- 4.3: NEPS decreases with added resources
     from repro.core.metrics import normalized_eps
 
-    r20 = runner.run_cell("stratosphere", "bfs", "friendster")
-    r50 = runner.run_cell("stratosphere", "bfs", "friendster", cluster50)
+    r20 = runner.run(RunSpec("stratosphere", "bfs", "friendster"))
+    r50 = runner.run(RunSpec("stratosphere", "bfs", "friendster", cluster50))
     ok = bool(
         r20.ok and r50.ok
         and normalized_eps(r50.result) < normalized_eps(r20.result)
@@ -175,7 +176,7 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     # -- 4.4: overhead fraction varies across platforms
     fracs = {}
     for plat in ("hadoop", "giraph", "graphlab"):
-        rec = runner.run_cell(plat, "bfs", "dotaleague")
+        rec = runner.run(RunSpec(plat, "bfs", "dotaleague"))
         if rec.ok and rec.result:
             fracs[plat] = rec.result.overhead_time / rec.result.execution_time
     ok = len(fracs) == 3 and (max(fracs.values()) - min(fracs.values())) > 0.02

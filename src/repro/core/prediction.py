@@ -161,13 +161,14 @@ def collect_training_data(
     """Run (algorithm, dataset) cells on ``platform`` and pair each
     completed run's features with its measured time."""
     from repro.core.runner import Runner
+    from repro.core.spec import RunSpec
     from repro.datasets.registry import load_dataset
 
     runner = Runner(scale=scale)
     cluster = cluster or das4_cluster()
     out: list[tuple[WorkloadFeatures, float]] = []
     for algorithm, dataset in cells:
-        record = runner.run_cell(platform, algorithm, dataset, cluster)
+        record = runner.run(RunSpec(platform, algorithm, dataset, cluster))
         if not record.ok or record.execution_time is None:
             continue
         graph = load_dataset(dataset, scale=scale)

@@ -21,6 +21,7 @@ from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.metrics import Metrics, job_metrics
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec
 
 __all__ = ["LoadTest", "CapacityTest", "ExploratoryTest"]
 
@@ -37,8 +38,8 @@ class LoadTest:
 
     def run(self) -> tuple[RunRecord, Metrics | None]:
         """Execute once; returns the record and, if OK, its metrics."""
-        record = self.runner.run_cell(
-            self.platform, self.algorithm, self.dataset, self.cluster
+        record = self.runner.run(
+            RunSpec(self.platform, self.algorithm, self.dataset, self.cluster)
         )
         metrics = job_metrics(record.result) if record.ok and record.result else None
         return record, metrics
@@ -61,8 +62,8 @@ class CapacityTest:
         )
         for s in self.scales:
             runner = Runner(scale=s)
-            record = runner.run_cell(
-                self.platform, self.algorithm, self.dataset, self.cluster
+            record = runner.run(
+                RunSpec(self.platform, self.algorithm, self.dataset, self.cluster)
             )
             record.dataset = f"{self.dataset}@{s:g}x"
             exp.add(record)
@@ -93,8 +94,8 @@ class ExploratoryTest:
         s = self.start_scale
         while s <= self.max_scale:
             runner = Runner(scale=s)
-            record = runner.run_cell(
-                self.platform, self.algorithm, self.dataset, self.cluster
+            record = runner.run(
+                RunSpec(self.platform, self.algorithm, self.dataset, self.cluster)
             )
             record.dataset = f"{self.dataset}@{s:g}x"
             exp.add(record)

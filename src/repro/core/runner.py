@@ -1,12 +1,18 @@
 """The experiment runner (the paper's Section 3.2 process).
 
-The runner executes (platform, algorithm, dataset, cluster) cells,
-repeats each experiment (the paper uses 10 repetitions and reports the
-average), converts crashes and budget blow-ups into
-:class:`~repro.core.results.RunStatus` entries, and optionally applies
-a small seeded run-to-run jitter so the averaging machinery is
-exercised the way real measurements would (the paper observed at most
-10 % variance; simulated runs are deterministic by default).
+The runner executes experiment cells described by
+:class:`~repro.core.spec.RunSpec`, repeats each experiment (the paper
+uses 10 repetitions and reports the average), converts crashes and
+budget blow-ups into :class:`~repro.core.results.RunStatus` entries,
+and optionally applies a small seeded run-to-run jitter so the
+averaging machinery is exercised the way real measurements would (the
+paper observed at most 10 % variance; simulated runs are deterministic
+by default).
+
+Jitter seeding is **per cell**: each cell's noise stream is derived
+from ``(runner seed, cell identity)`` via
+:func:`~repro.core.spec.derive_cell_seed`, so results are independent
+of grid order and of which worker process executes the cell.
 
 Two layers of redundant work are eliminated here rather than in the
 platform models:
@@ -18,17 +24,30 @@ platform models:
 * with ``jitter == 0`` a cell is fully deterministic, so repetitions
   are served by replicating the first :class:`JobResult` instead of
   re-simulating it.
+
+Grids (:meth:`Runner.run_grid`) accept a
+:class:`~repro.core.spec.SweepSpec` and a ``workers`` count; with
+``workers > 1`` the independent cells are dispatched to worker
+processes by :mod:`repro.core.sweep` and the merged result is
+bit-identical to the serial path.
+
+The historical loose-kwargs entry points — ``run_cell(platform,
+algorithm, dataset, ...)`` and ``run_grid(name, platforms=...,
+algorithms=..., datasets=...)`` — survive as thin shims that build a
+spec, emit a :class:`DeprecationWarning`, and delegate.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import typing as _t
+import warnings
 
 import numpy as np
 
 from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
+from repro.core.spec import RunSpec, SweepSpec, derive_cell_seed
 from repro.core.trace_cache import TraceCache
 from repro.datasets.registry import load_dataset
 from repro.des.faults import FaultPlan
@@ -53,7 +72,8 @@ class Runner:
         Relative standard deviation of multiplicative run-to-run noise
         (e.g. 0.03 for ~3 %); 0 disables noise.
     seed:
-        Seed for the jitter stream.
+        Base seed for the jitter streams; each cell derives its own
+        stream from ``(seed, cell identity)``.
     scale:
         Dataset scale passed to the registry when cells name datasets.
     use_trace_cache:
@@ -62,7 +82,8 @@ class Runner:
         simulated results are bit-identical either way).
     trace_cache:
         The cache instance — pass a shared one to pool recordings
-        across runners.
+        across runners, or one with a ``spill_dir`` to share
+        recordings across processes.
     """
 
     repetitions: int = 1
@@ -77,32 +98,30 @@ class Runner:
             raise ValueError("repetitions must be >= 1")
         if self.jitter < 0:
             raise ValueError("jitter must be non-negative")
-        self._rng = np.random.default_rng(self.seed)
 
     # -- single cell -------------------------------------------------------------
-    def run_cell(
-        self,
-        platform: str | Platform,
-        algorithm: str,
-        dataset: str | Graph,
-        cluster: ClusterSpec | None = None,
-        fault_plan: FaultPlan | None = None,
-        **params: object,
-    ) -> RunRecord:
-        """Run one cell with repetitions and failure bookkeeping.
+    def run(self, spec: RunSpec) -> RunRecord:
+        """Run one cell described by ``spec``, with repetitions and
+        failure bookkeeping.
 
-        ``fault_plan`` injects the given chaos schedule into every
+        ``spec.fault_plan`` injects the given chaos schedule into every
         repetition; it becomes part of the trace-cache key, so a cached
         fault-free trace is never replayed in place of a faulted run
         (and vice versa).
         """
-        plat = get_platform(platform) if isinstance(platform, str) else platform
-        graph = (
-            load_dataset(dataset, scale=self.scale)
-            if isinstance(dataset, str)
-            else dataset
+        plat = (
+            get_platform(spec.platform)
+            if isinstance(spec.platform, str)
+            else spec.platform
         )
-        cluster = cluster or das4_cluster()
+        graph = (
+            load_dataset(spec.dataset, scale=self.scale)
+            if isinstance(spec.dataset, str)
+            else spec.dataset
+        )
+        cluster = spec.cluster or das4_cluster()
+        params = spec.params_dict()
+        fault_plan = spec.fault_plan
 
         trace = None
         record_wall = 0.0
@@ -112,9 +131,9 @@ class Runner:
 
             misses_before = self.trace_cache.misses
             trace, record_wall = self.trace_cache.get_or_record(
-                get_algorithm(algorithm),
+                get_algorithm(spec.algorithm),
                 graph,
-                dataset=dataset if isinstance(dataset, str) else None,
+                dataset=spec.dataset if isinstance(spec.dataset, str) else None,
                 scale=self.scale,
                 params=params,
                 fault_plan=fault_plan,
@@ -124,18 +143,23 @@ class Runner:
         # Deterministic cells (no jitter) need only one simulation; the
         # result is replicated over the remaining repetitions.
         reps = 1 if self.jitter == 0 else self.repetitions
+        rng = (
+            np.random.default_rng(self.cell_seed(spec))
+            if self.jitter > 0
+            else None
+        )
         times: list[float] = []
         last: JobResult | None = None
         for _rep in range(reps):
             try:
                 result = plat.run(
-                    algorithm, graph, cluster, trace=trace,
+                    spec.algorithm, graph, cluster, trace=trace,
                     fault_plan=fault_plan, **params,
                 )
             except PlatformCrash as crash:
                 return RunRecord(
                     platform=plat.name,
-                    algorithm=algorithm,
+                    algorithm=spec.algorithm,
                     dataset=graph.name,
                     cluster=cluster,
                     status=RunStatus.CRASHED,
@@ -144,17 +168,15 @@ class Runner:
             except JobTimeout as timeout:
                 return RunRecord(
                     platform=plat.name,
-                    algorithm=algorithm,
+                    algorithm=spec.algorithm,
                     dataset=graph.name,
                     cluster=cluster,
                     status=RunStatus.DNF,
                     failure_reason=str(timeout),
                 )
             t = result.execution_time
-            if self.jitter > 0:
-                t *= float(
-                    np.clip(self._rng.normal(1.0, self.jitter), 0.5, 1.5)
-                )
+            if rng is not None:
+                t *= float(np.clip(rng.normal(1.0, self.jitter), 0.5, 1.5))
             times.append(t)
             last = result
         assert last is not None
@@ -168,13 +190,40 @@ class Runner:
         times *= self.repetitions // reps
         return RunRecord(
             platform=plat.name,
-            algorithm=algorithm,
+            algorithm=spec.algorithm,
             dataset=graph.name,
             cluster=cluster,
             status=RunStatus.OK,
             execution_time=float(np.mean(times)),
             repetition_times=tuple(times),
             result=last,
+        )
+
+    def cell_seed(self, spec: RunSpec) -> int:
+        """The jitter seed used for ``spec`` (order-independent)."""
+        return derive_cell_seed(self.seed, spec, scale=self.scale)
+
+    def run_cell(
+        self,
+        platform: str | Platform,
+        algorithm: str,
+        dataset: str | Graph,
+        cluster: ClusterSpec | None = None,
+        fault_plan: FaultPlan | None = None,
+        **params: object,
+    ) -> RunRecord:
+        """Deprecated kwargs shim — build a :class:`RunSpec` and call
+        :meth:`run` instead."""
+        warnings.warn(
+            "Runner.run_cell(platform, algorithm, dataset, ...) is "
+            "deprecated; build a RunSpec and call Runner.run(spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(
+            RunSpec.make(
+                platform, algorithm, dataset, cluster, fault_plan, **params
+            )
         )
 
     # -- observability ---------------------------------------------------------
@@ -190,19 +239,58 @@ class Runner:
     # -- grids ----------------------------------------------------------------
     def run_grid(
         self,
-        name: str,
+        sweep: SweepSpec | str,
         *,
-        platforms: _t.Sequence[str],
-        algorithms: _t.Sequence[str],
-        datasets: _t.Sequence[str],
+        platforms: _t.Sequence[str] | None = None,
+        algorithms: _t.Sequence[str] | None = None,
+        datasets: _t.Sequence[str] | None = None,
         cluster: ClusterSpec | None = None,
         fault_plan: FaultPlan | None = None,
+        workers: int | None = None,
     ) -> ExperimentResult:
-        """Run the full cartesian grid of cells into one result set."""
-        exp = ExperimentResult(name)
-        for algo in algorithms:
-            for ds in datasets:
-                for plat in platforms:
-                    exp.add(self.run_cell(plat, algo, ds, cluster,
-                                          fault_plan=fault_plan))
+        """Run a full cartesian grid of cells into one result set.
+
+        Pass a :class:`~repro.core.spec.SweepSpec`; ``workers``
+        overrides the sweep's own worker count (1 = serial in-process;
+        N > 1 dispatches cells to N worker processes via
+        :mod:`repro.core.sweep` and returns a result bit-identical to
+        the serial path).  The legacy ``run_grid(name, platforms=...,
+        algorithms=..., datasets=...)`` form still works but is
+        deprecated.
+        """
+        if isinstance(sweep, str):
+            warnings.warn(
+                "Runner.run_grid(name, platforms=..., algorithms=..., "
+                "datasets=...) is deprecated; pass a SweepSpec",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if platforms is None or algorithms is None or datasets is None:
+                raise TypeError(
+                    "legacy run_grid(name, ...) needs platforms=, "
+                    "algorithms= and datasets="
+                )
+            sweep = SweepSpec.make(
+                sweep,
+                platforms=platforms,
+                algorithms=algorithms,
+                datasets=datasets,
+                cluster=cluster,
+                fault_plan=fault_plan,
+            )
+        elif any(
+            v is not None
+            for v in (platforms, algorithms, datasets, cluster, fault_plan)
+        ):
+            raise TypeError(
+                "pass the grid inside the SweepSpec, not as keywords"
+            )
+        num_workers = sweep.workers if workers is None else int(workers)
+        if num_workers > 1:
+            from repro.core.sweep import run_sweep
+
+            return run_sweep(self, sweep, workers=num_workers)
+        exp = ExperimentResult(sweep.name)
+        for spec in sweep.cells():
+            exp.add(self.run(spec))
         return exp

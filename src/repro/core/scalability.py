@@ -15,6 +15,7 @@ import typing as _t
 from repro.cluster.spec import das4_cluster
 from repro.core.results import ExperimentResult
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec
 
 __all__ = ["HORIZONTAL_STEPS", "VERTICAL_STEPS", "horizontal_sweep", "vertical_sweep"]
 
@@ -38,7 +39,7 @@ def horizontal_sweep(
     for n in steps:
         cluster = das4_cluster(num_workers=n, cores_per_worker=1)
         for plat in platforms:
-            exp.add(runner.run_cell(plat, algorithm, dataset, cluster))
+            exp.add(runner.run(RunSpec(plat, algorithm, dataset, cluster)))
     return exp
 
 
@@ -57,5 +58,5 @@ def vertical_sweep(
     for c in steps:
         cluster = das4_cluster(num_workers=num_workers, cores_per_worker=c)
         for plat in platforms:
-            exp.add(runner.run_cell(plat, algorithm, dataset, cluster))
+            exp.add(runner.run(RunSpec(plat, algorithm, dataset, cluster)))
     return exp

@@ -24,6 +24,7 @@ from repro.core.report import (
 )
 from repro.core.results import ExperimentResult, RunRecord
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
 from repro.core.scalability import (
     HORIZONTAL_STEPS,
     VERTICAL_STEPS,
@@ -258,12 +259,12 @@ class BenchmarkSuite:
         """Figure 1: BFS execution time, all platforms x datasets."""
         if self._fig01_cache is None:
             assert self.runner is not None
-            self._fig01_cache = self.runner.run_grid(
+            self._fig01_cache = self.runner.run_grid(SweepSpec.make(
                 "fig01:bfs",
                 platforms=ALL_PLATFORMS,
-                algorithms=["bfs"],
-                datasets=list(DATASET_NAMES),
-            )
+                algorithms=("bfs",),
+                datasets=DATASET_NAMES,
+            ))
         exp = self._fig01_cache
         rows = []
         for ds in DATASET_NAMES:
@@ -320,14 +321,14 @@ class BenchmarkSuite:
         """Figure 3: all algorithms x datasets on Giraph, plus
         GraphLab CONN (the paper's right-most bars)."""
         assert self.runner is not None
-        exp = self.runner.run_grid(
+        exp = self.runner.run_grid(SweepSpec.make(
             "fig03:giraph",
-            platforms=["giraph"],
-            algorithms=list(ALGORITHM_NAMES),
-            datasets=list(DATASET_NAMES),
-        )
+            platforms=("giraph",),
+            algorithms=ALGORITHM_NAMES,
+            datasets=DATASET_NAMES,
+        ))
         for ds in DATASET_NAMES:
-            exp.add(self.runner.run_cell("graphlab", "conn", ds))
+            exp.add(self.runner.run(RunSpec("graphlab", "conn", ds)))
         rows = []
         for algo in ALGORITHM_NAMES:
             row: list[object] = [algo.upper()]
@@ -351,14 +352,14 @@ class BenchmarkSuite:
         """Figure 4: all algorithms x platforms on DotaLeague, plus
         CONN on Citation (the paper's right-most bars)."""
         assert self.runner is not None
-        exp = self.runner.run_grid(
+        exp = self.runner.run_grid(SweepSpec.make(
             "fig04:dotaleague",
-            platforms=list(ALL_PLATFORMS),
-            algorithms=list(ALGORITHM_NAMES),
-            datasets=["dotaleague"],
-        )
+            platforms=ALL_PLATFORMS,
+            algorithms=ALGORITHM_NAMES,
+            datasets=("dotaleague",),
+        ))
         for plat in ALL_PLATFORMS:
-            exp.add(self.runner.run_cell(plat, "conn", "citation"))
+            exp.add(self.runner.run(RunSpec(plat, "conn", "citation")))
         rows = []
         for algo in list(ALGORITHM_NAMES) + ["conn(citation)"]:
             if algo == "conn(citation)":
@@ -384,7 +385,7 @@ class BenchmarkSuite:
         assert self.runner is not None
         out = {}
         for plat in DISTRIBUTED_PLATFORMS:
-            out[plat] = self.runner.run_cell(plat, "bfs", dataset)
+            out[plat] = self.runner.run(RunSpec(plat, "bfs", dataset))
         return out
 
     def fig05_07_master_resources(
@@ -550,7 +551,7 @@ class BenchmarkSuite:
         rows = []
         data = {}
         for plat in platforms:
-            rec = self.runner.run_cell(plat, "bfs", dataset)
+            rec = self.runner.run(RunSpec(plat, "bfs", dataset))
             if rec.ok and rec.result:
                 r = rec.result
                 data[plat] = (r.computation_time, r.overhead_time)
@@ -577,7 +578,7 @@ class BenchmarkSuite:
         rows = []
         data = {}
         for ds in DATASET_NAMES:
-            rec = self.runner.run_cell("graphlab", "conn", ds)
+            rec = self.runner.run(RunSpec("graphlab", "conn", ds))
             if rec.ok and rec.result:
                 r = rec.result
                 data[ds] = (r.computation_time, r.overhead_time)

@@ -1,0 +1,254 @@
+"""Parallel sweep executor: grid cells dispatched to worker processes.
+
+The paper's experiment grid — platforms x algorithm classes x datasets
+— is embarrassingly parallel: every cell is an independent simulation
+(LDBC Graphalytics, the suite this paper seeded, ships exactly this
+kind of concurrent benchmark driver).  :func:`run_sweep` executes a
+:class:`~repro.core.spec.SweepSpec` on a :class:`ProcessPoolExecutor
+<concurrent.futures.ProcessPoolExecutor>` and returns an
+:class:`~repro.core.results.ExperimentResult` **bit-identical to the
+serial path**:
+
+* records come back in the sweep's canonical cell order, regardless of
+  scheduling;
+* each cell's jitter stream is derived from ``(runner seed, cell
+  identity)`` (:func:`~repro.core.spec.derive_cell_seed`), so noise is
+  independent of which process runs the cell;
+* the simulations themselves are deterministic functions of the spec.
+
+Cells are dispatched in *workload batches*: all cells sharing one
+trace key (algorithm, dataset, params, faults) go to the same worker
+as one task, so each workload's superstep program is recorded once and
+its partition contexts are built once — the worker replays its own
+in-memory recording into every platform, exactly like the serial path.
+Only when the grid has fewer workloads than workers are batches split
+(each split costs at most one duplicate recording).  Results are
+scattered back into canonical order.
+
+Trace sharing across processes uses the
+:class:`~repro.core.trace_cache.TraceCache` spill layer: the parent
+attaches (or creates) a spill directory, flushes its own recordings
+into it, and every worker points its cache at the same directory — a
+worker that needs a trace some other worker already recorded (a split
+batch, or a later serial cell) loads the pickle instead of
+re-executing the superstep program.
+
+Worker-side cache counters and telemetry ride back with each cell:
+counter deltas are folded into the parent cache
+(:meth:`TraceCache.merge_counters
+<repro.core.trace_cache.TraceCache.merge_counters>`), and when
+telemetry is enabled in the parent each returned
+:class:`~repro.platforms.base.JobResult` carries its recorded session,
+exactly as in a serial run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import pathlib
+import shutil
+import tempfile
+import typing as _t
+
+from repro.core import telemetry
+from repro.core.results import ExperimentResult, RunRecord
+from repro.core.spec import RunSpec, SweepSpec
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runner import Runner
+
+__all__ = ["run_sweep"]
+
+#: counters returned per cell and folded back into the parent cache
+_COUNTER_KEYS = ("hits", "misses", "disk_hits", "disk_stores", "record_seconds")
+
+
+@dataclasses.dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything a worker process needs to rebuild the runner."""
+
+    repetitions: int
+    jitter: float
+    seed: int
+    scale: float
+    use_trace_cache: bool
+    max_entries: int
+    spill_dir: str | None
+    telemetry: bool
+
+
+_WORKER_RUNNER: "Runner | None" = None
+
+
+def _init_worker(config: _WorkerConfig) -> None:
+    """Process-pool initializer: build this worker's runner."""
+    global _WORKER_RUNNER
+    from repro.core.runner import Runner
+    from repro.core.trace_cache import TraceCache
+
+    # Spawned workers start with telemetry off; forked workers inherit
+    # the parent's flag.  Either way, pin it to the parent's setting.
+    telemetry.set_enabled(config.telemetry)
+    _WORKER_RUNNER = Runner(
+        repetitions=config.repetitions,
+        jitter=config.jitter,
+        seed=config.seed,
+        scale=config.scale,
+        use_trace_cache=config.use_trace_cache,
+        trace_cache=TraceCache(
+            max_entries=config.max_entries, spill_dir=config.spill_dir
+        ),
+    )
+
+
+def _run_one(item: tuple[int, RunSpec]) -> tuple[int, RunRecord, dict]:
+    """Execute one cell in a worker; returns (original index, record,
+    cache-counter deltas for exactly this cell)."""
+    index, spec = item
+    runner = _WORKER_RUNNER
+    assert runner is not None, "worker initializer did not run"
+    cache = runner.trace_cache
+    before = {k: getattr(cache, k) for k in _COUNTER_KEYS}
+    record = runner.run(spec)
+    delta = {k: getattr(cache, k) - before[k] for k in _COUNTER_KEYS}
+    return index, record, delta
+
+
+def _run_group(items: list[tuple[int, RunSpec]]) -> list[tuple[int, RunRecord, dict]]:
+    """Execute one workload batch in a worker (cells sharing a trace
+    recording and partition contexts)."""
+    return [_run_one(item) for item in items]
+
+
+def _workload_tasks(
+    specs: _t.Sequence[RunSpec], workers: int
+) -> list[list[tuple[int, RunSpec]]]:
+    """Partition the grid into per-workload batches.
+
+    Cells sharing a trace key (algorithm, dataset, params, faults) form
+    one task, so a workload is recorded and its contexts built exactly
+    once in whichever worker runs it — the parallel path does the same
+    total work as the serial one.  When the grid has fewer workloads
+    than workers, the largest batches are halved until the pool is fed
+    (each split duplicates at most one recording).  Pairs carry the
+    canonical index so results scatter back into serial order.
+    """
+    groups: dict[tuple, list[tuple[int, RunSpec]]] = {}
+    for i, spec in enumerate(specs):
+        workload = spec.cell_key()[1:5]  # algorithm, dataset, params, faults
+        groups.setdefault(workload, []).append((i, spec))
+    tasks = list(groups.values())
+    while len(tasks) < workers:
+        largest = max(tasks, key=len)
+        if len(largest) < 2:
+            break
+        tasks.remove(largest)
+        mid = len(largest) // 2
+        tasks.extend([largest[:mid], largest[mid:]])
+    return tasks
+
+
+def run_sweep(
+    runner: "Runner", sweep: SweepSpec, *, workers: int
+) -> ExperimentResult:
+    """Execute ``sweep``'s cells on ``workers`` processes.
+
+    Falls back to the serial loop for a single worker or a grid with a
+    single cell.  Raises :class:`ValueError` for grids containing
+    non-named cells (ad-hoc ``Graph``/``Platform`` objects cannot be
+    dispatched across process boundaries).
+    """
+    specs = list(sweep.cells())
+    for spec in specs:
+        if not spec.is_named:
+            raise ValueError(
+                f"cell {spec.describe()} is not fully named; parallel "
+                "sweeps need registry names for platform and dataset"
+            )
+    exp = ExperimentResult(sweep.name)
+    workers = max(1, min(int(workers), len(specs) or 1))
+    if workers == 1 or len(specs) < 2:
+        for spec in specs:
+            exp.add(runner.run(spec))
+        return exp
+
+    cache = runner.trace_cache
+    own_spill_dir: str | None = None
+    if runner.use_trace_cache and cache.spill_dir is None:
+        own_spill_dir = tempfile.mkdtemp(prefix="graphbench-traces-")
+        cache.spill_dir = pathlib.Path(own_spill_dir)
+    try:
+        if runner.use_trace_cache:
+            # Let workers start from the parent's recordings.
+            cache.spill_all()
+        # Load the named datasets once in the parent: forked workers
+        # inherit the built graphs copy-on-write instead of each
+        # re-synthesizing them.
+        from repro.datasets.registry import load_dataset
+
+        for ds in sweep.datasets:
+            load_dataset(ds, scale=runner.scale)
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        config = _WorkerConfig(
+            repetitions=runner.repetitions,
+            jitter=runner.jitter,
+            seed=runner.seed,
+            scale=runner.scale,
+            use_trace_cache=runner.use_trace_cache,
+            max_entries=cache.max_entries,
+            spill_dir=str(cache.spill_dir) if cache.spill_dir else None,
+            telemetry=telemetry.is_enabled(),
+        )
+        tasks = _workload_tasks(specs, workers)
+        results: list[RunRecord | None] = [None] * len(specs)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(config,),
+        ) as pool:
+            for batch in pool.map(_run_group, tasks, chunksize=1):
+                for index, record, delta in batch:
+                    results[index] = record
+                    cache.merge_counters(delta)
+        for record in results:
+            assert record is not None
+            exp.add(record)
+        # Promote the workers' recordings into the parent's in-memory
+        # cache so follow-up serial cells are warm too.
+        if runner.use_trace_cache:
+            _absorb_spilled(runner, sweep)
+        return exp
+    finally:
+        if own_spill_dir is not None:
+            cache.spill_dir = None
+            shutil.rmtree(own_spill_dir, ignore_errors=True)
+
+
+def _absorb_spilled(runner: "Runner", sweep: SweepSpec) -> None:
+    """Pull the sweep's spilled recordings into the parent's in-memory
+    cache without touching the hit/miss counters."""
+    from repro.algorithms.base import get_algorithm
+    from repro.core.trace_cache import trace_key
+    from repro.datasets.registry import load_dataset
+
+    cache = runner.trace_cache
+    for algo in sweep.algorithms:
+        algorithm = get_algorithm(algo)
+        for ds in sweep.datasets:
+            graph = load_dataset(ds, scale=runner.scale)
+            key = trace_key(
+                algorithm.name,
+                graph,
+                dataset=ds,
+                scale=runner.scale,
+                params=dict(sweep.params),
+                fault_plan=sweep.fault_plan,
+            )
+            cache.preload(key, graph)

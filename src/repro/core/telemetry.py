@@ -47,6 +47,7 @@ __all__ = [
     "abandon",
     "enabled",
     "is_enabled",
+    "merge_counters",
     "set_enabled",
 ]
 
@@ -317,6 +318,20 @@ class Telemetry:
             yield {"type": "counter", "name": name, "value": value}
         for name, value in sorted(self.gauges.items()):
             yield {"type": "gauge", "name": name, "value": value}
+
+
+def merge_counters(sessions: _t.Iterable["Telemetry"]) -> dict[str, float]:
+    """Summed counter totals over several sessions.
+
+    Sweeps record one session per cell (possibly in different worker
+    processes); this is the grid-level aggregation the sweep exporter
+    and the ``graphbench sweep`` CLI report.
+    """
+    totals: dict[str, float] = {}
+    for session in sessions:
+        for name, value in session.counters.items():
+            totals[name] = totals.get(name, 0.0) + value
+    return totals
 
 
 # -- module-global session management ---------------------------------------

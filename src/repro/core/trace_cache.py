@@ -29,6 +29,10 @@ share a single recording.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pathlib
+import pickle
 import time
 import typing as _t
 
@@ -68,48 +72,153 @@ def trace_key(
 
 
 class TraceCache:
-    """Bounded FIFO cache of :class:`SuperstepTrace` recordings.
+    """Bounded FIFO cache of :class:`SuperstepTrace` recordings, with
+    an optional directory-backed spill layer.
 
     Entries keep a strong reference to their graph so identity-based
     keys for ad-hoc graphs can never alias a recycled ``id()``.
     Counters (:attr:`hits`, :attr:`misses`) and the accumulated
     recording wall time make the sharing observable through
     :mod:`repro.core.report`.
+
+    When ``spill_dir`` is set, recordings for *named* datasets are also
+    written to disk (atomically, one pickle per key) and in-memory
+    misses fall back to the directory before re-recording.  Several
+    processes pointing one cache each at the same directory therefore
+    reuse each other's recordings — this is how the parallel sweep
+    executor (:mod:`repro.core.sweep`) shares traces across its worker
+    pool.  Ad-hoc graph keys are identity-based and never spill.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(
+        self,
+        max_entries: int = 64,
+        spill_dir: str | os.PathLike | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
+        self.spill_dir = pathlib.Path(spill_dir) if spill_dir is not None else None
         self._entries: dict[tuple, tuple[Graph, SuperstepTrace]] = {}
         self.hits = 0
         self.misses = 0
+        #: in-memory misses served by the spill directory
+        self.disk_hits = 0
+        #: recordings written to the spill directory
+        self.disk_stores = 0
         #: real seconds spent executing programs to record traces
         self.record_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    # -- spill layer -------------------------------------------------------
+    @staticmethod
+    def _spillable(key: tuple) -> bool:
+        # Only named-dataset keys are content-addressed; ad-hoc graph
+        # keys embed id(graph) and mean nothing to another process.
+        return bool(key) and key[0][0] == "dataset"
+
+    def _spill_path(self, key: tuple) -> pathlib.Path:
+        assert self.spill_dir is not None
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.spill_dir / f"{digest}.trace.pkl"
+
+    def _disk_lookup(self, key: tuple) -> SuperstepTrace | None:
+        if self.spill_dir is None or not self._spillable(key):
+            return None
+        path = self._spill_path(key)
+        try:
+            with open(path, "rb") as fh:
+                stored_key, trace = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+        # Hash-collision guard: the file must describe exactly this key.
+        if stored_key != key:
+            return None
+        return trace
+
+    def _disk_store(self, key: tuple, trace: SuperstepTrace) -> None:
+        if self.spill_dir is None or not self._spillable(key):
+            return
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_path(key)
+        if path.exists():
+            return
+        # Atomic publish: concurrent recorders of the same key each
+        # write a private temp file; the last rename wins and readers
+        # never observe a partial pickle.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump((key, trace), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.disk_stores += 1
+
+    def spill_all(self) -> int:
+        """Write every spillable in-memory entry to the spill
+        directory; returns the number written.  The parallel executor
+        calls this before forking so workers start from the parent's
+        recordings instead of re-recording them."""
+        if self.spill_dir is None:
+            return 0
+        written = 0
+        for key, (_graph, trace) in self._entries.items():
+            if self._spillable(key):
+                before = self.disk_stores
+                self._disk_store(key, trace)
+                written += self.disk_stores - before
+        return written
+
+    def preload(self, key: tuple, graph: Graph) -> bool:
+        """Promote a spilled recording into memory without touching the
+        hit/miss counters; True when the entry is (now) in memory."""
+        if key in self._entries:
+            return True
+        trace = self._disk_lookup(key)
+        if trace is None:
+            return False
+        self.store(key, graph, trace, spill=False)
+        return True
+
     # -- core API ----------------------------------------------------------
     def lookup(self, key: tuple, graph: Graph) -> SuperstepTrace | None:
-        """The cached trace for ``key``, or None (does not count)."""
+        """The cached trace for ``key``, or None (does not count).
+
+        Falls back to the spill directory on an in-memory miss; a disk
+        hit is promoted into memory (pinned to ``graph``).
+        """
         entry = self._entries.get(key)
-        if entry is None:
-            return None
-        cached_graph, cached_trace = entry
-        if cached_graph is not graph:
+        if entry is not None:
+            cached_graph, cached_trace = entry
+            if cached_graph is graph:
+                return cached_trace
             # A registry reload produced a different object for the same
             # (name, scale, seed) — drop the stale recording.
             del self._entries[key]
-            return None
-        return cached_trace
+        trace = self._disk_lookup(key)
+        if trace is not None:
+            self.disk_hits += 1
+            self.store(key, graph, trace, spill=False)
+            return trace
+        return None
 
-    def store(self, key: tuple, graph: Graph, trace: SuperstepTrace) -> None:
-        """Insert, evicting the oldest entries beyond ``max_entries``."""
+    def store(
+        self,
+        key: tuple,
+        graph: Graph,
+        trace: SuperstepTrace,
+        *,
+        spill: bool = True,
+    ) -> None:
+        """Insert, evicting the oldest entries beyond ``max_entries``;
+        with ``spill`` (the default) also publish to the spill
+        directory when one is configured."""
         self._entries[key] = (graph, trace)
         while len(self._entries) > self.max_entries:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+        if spill:
+            self._disk_store(key, trace)
 
     def get_or_record(
         self,
@@ -170,14 +279,29 @@ class TraceCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
             "hit_rate": self.hit_rate,
             "record_seconds": self.record_seconds,
             "trace_bytes": self.trace_bytes,
         }
 
+    def merge_counters(self, delta: dict[str, _t.Any]) -> None:
+        """Fold another cache's counter *deltas* into this one's totals
+        (the parallel executor merges per-worker counters back into the
+        parent's cache so ``Runner.cache_stats`` stays truthful)."""
+        self.hits += int(delta.get("hits", 0))
+        self.misses += int(delta.get("misses", 0))
+        self.disk_hits += int(delta.get("disk_hits", 0))
+        self.disk_stores += int(delta.get("disk_stores", 0))
+        self.record_seconds += float(delta.get("record_seconds", 0.0))
+
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all entries and reset the counters (the spill directory
+        is left untouched)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_stores = 0
         self.record_seconds = 0.0

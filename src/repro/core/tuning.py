@@ -28,6 +28,7 @@ import typing as _t
 from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.report import format_seconds, render_table
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec
 from repro.graph.graph import Graph
 from repro.platforms.base import Platform
 
@@ -95,8 +96,10 @@ class TuningStudy:
     runner: Runner = dataclasses.field(default_factory=Runner)
 
     def _run(self, platform: Platform, graph: Graph | str, kwargs: dict) -> float | None:
-        record = self.runner.run_cell(
-            platform, self.algorithm, graph, self.cluster, **kwargs
+        record = self.runner.run(
+            RunSpec.make(
+                platform, self.algorithm, graph, self.cluster, **kwargs
+            )
         )
         return record.execution_time if record.ok else None
 

@@ -14,7 +14,14 @@ from repro.datasets.spec import PAPER_SPECS_TABLE2, DatasetSpec
 from repro.datasets.synthesize import GENERATORS
 from repro.graph.graph import Graph
 
-__all__ = ["DATASET_NAMES", "dataset_spec", "load_dataset", "load_all", "bfs_source"]
+__all__ = [
+    "DATASET_NAMES",
+    "dataset_spec",
+    "list_datasets",
+    "load_dataset",
+    "load_all",
+    "bfs_source",
+]
 
 #: Paper's Table 2 order.
 DATASET_NAMES: tuple[str, ...] = tuple(PAPER_SPECS_TABLE2)
@@ -30,6 +37,23 @@ def dataset_spec(name: str) -> DatasetSpec:
         raise KeyError(
             f"unknown dataset {name!r}; choose from {', '.join(DATASET_NAMES)}"
         ) from None
+
+
+def list_datasets() -> list[tuple[str, str]]:
+    """Discovery API: sorted ``(name, one-line description)`` pairs for
+    the seven Table 2 datasets (mirrors ``list_platforms`` and
+    ``list_algorithms``)."""
+    out = []
+    for name in sorted(DATASET_NAMES):
+        spec = PAPER_SPECS_TABLE2[name]
+        out.append(
+            (
+                name,
+                f"{spec.source}, {spec.directivity}, "
+                f"|V|={spec.num_vertices:,}, |E|={spec.num_edges:,}",
+            )
+        )
+    return out
 
 
 def load_dataset(name: str, *, scale: float = 1.0, seed: int | None = None) -> Graph:

@@ -19,6 +19,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PLATFORM_NAMES",
     "get_platform",
+    "list_platforms",
     "cached_partition",
     "cached_context",
     "context_memo_stats",
@@ -62,6 +63,19 @@ def get_platform(name: str) -> "Platform":
         raise KeyError(
             f"unknown platform {name!r}; choose from {', '.join(PLATFORM_NAMES)}"
         ) from None
+
+
+def list_platforms() -> list[tuple[str, str]]:
+    """Discovery API: sorted ``(name, one-line description)`` pairs for
+    every registered platform model (mirrors ``list_algorithms`` and
+    ``list_datasets`` — the CLI's ``graphbench list`` and its argument
+    validation messages are built on these three)."""
+    out = []
+    for name in sorted(PLATFORM_NAMES):
+        p = get_platform(name)
+        deployment = "distributed" if p.distributed else "single machine"
+        out.append((name, f"{p.label} — {p.kind}, {deployment}"))
+    return out
 
 
 _partition_cache: dict[tuple[int, int, str], Partition] = {}
