@@ -2,11 +2,13 @@
 """Record a harness performance snapshot into ``BENCH_harness.json``.
 
 Runs the harness micro-benchmarks — the cold-vs-warm trace-cache
-sweep, the sparse-vs-dense report sweep, and the serial-vs-parallel
-grid sweep — and writes their wall times and trace-memory numbers as
-one JSON document.  CI uploads the
+sweep, the sparse-vs-dense report sweep, the serial-vs-parallel
+grid sweep, and a validated benchmark-mode smoke at the smallest
+scale factor — and writes their wall times, trace-memory numbers,
+and validation summary as one JSON document.  CI uploads the
 file as a build artifact, so every PR leaves a perf data point the next
-one can be compared against.
+one can be compared against; the committed copy at the repo root is
+the reference snapshot for the machine that produced it.
 
 Run:  python scripts/bench_snapshot.py [output_path]
 """
@@ -25,8 +27,40 @@ def _ensure_benchmarks_importable() -> None:
         sys.path.insert(0, str(repo_root))
 
 
+def measure_benchmark_mode() -> dict:
+    """A validated benchmark-mode smoke: a representative workload
+    subset at the smallest scale factor, timed, with the validation
+    summary and cache counters kept as the regression surface."""
+    import time
+
+    from repro.core.benchmark import run_benchmark
+
+    start = time.perf_counter()
+    report = run_benchmark(
+        workloads=("bfs", "wcc", "pr"),
+        platforms=("giraph", "graphlab", "hadoop"),
+        datasets=("kgs", "amazon"),
+        scale="tiny",
+        name="snapshot",
+    )
+    wall = time.perf_counter() - start
+    return {
+        "scale": {
+            "name": report.scale_name,
+            "multiplier": report.scale,
+            "content_hash": report.scale_hash,
+        },
+        "wall_seconds": round(wall, 3),
+        "summary": report.summary(),
+        "cache_stats": {
+            k: v for k, v in report.cache_stats.items()
+            if isinstance(v, (int, float))
+        },
+    }
+
+
 def collect_snapshot() -> dict:
-    """Run both benches and return the combined snapshot document."""
+    """Run every bench and return the combined snapshot document."""
     _ensure_benchmarks_importable()
     from benchmarks.bench_sparse_reports import (
         measure_sparse_vs_dense,
@@ -38,16 +72,24 @@ def collect_snapshot() -> dict:
     trace_data, trace_text = measure_cold_vs_warm()
     sparse_data = measure_sparse_vs_dense()
     parallel_data, parallel_text = measure_parallel_sweep()
+    benchmark_data = measure_benchmark_mode()
     print(trace_text)
     print(render_sparse_vs_dense(sparse_data))
     print(parallel_text)
+    print(
+        "benchmark mode (tiny): "
+        f"{benchmark_data['summary']['validated_pass']} PASS, "
+        f"{benchmark_data['summary']['validated_fail']} FAIL in "
+        f"{benchmark_data['wall_seconds']:.2f}s"
+    )
     return {
-        "schema": 1,
+        "schema": 2,
         "python": _platform.python_version(),
         "machine": _platform.machine(),
         "trace_cache": trace_data,
         "sparse_reports": sparse_data,
         "parallel_sweep": parallel_data,
+        "benchmark_mode": benchmark_data,
     }
 
 

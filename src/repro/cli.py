@@ -7,9 +7,11 @@ and hands it to the runner — the CLI is a thin spec factory.
 Subcommands::
 
     graphbench run --platform giraph --algorithm bfs --dataset dotaleague
+    graphbench benchmark --workloads all --scale tiny --json report.json
     graphbench figure 1            # regenerate a paper figure
     graphbench table 5             # regenerate a paper table
-    graphbench list                # platforms, algorithms and datasets
+    graphbench list                # platforms, algorithms, datasets,
+                                   # workloads and scale factors
     graphbench datasets            # list the seven datasets
     graphbench platforms           # list the six platform models
     graphbench sweep --dataset friendster --mode horizontal
@@ -53,6 +55,14 @@ def _discover(kind: str) -> list[tuple[str, str]]:
         from repro.algorithms.base import list_algorithms
 
         return list_algorithms()
+    if kind == "workload":
+        from repro.core.workloads import list_workloads
+
+        return list_workloads()
+    if kind == "scale-factor":
+        from repro.datasets.registry import list_scale_factors
+
+        return list_scale_factors()
     assert kind == "dataset"
     from repro.datasets.registry import list_datasets
 
@@ -75,6 +85,37 @@ def _known(kind: str):
 
     parse.__name__ = kind
     return parse
+
+
+def _workload_arg(value: str) -> str:
+    """``--workloads`` validator: a workload name or the literal
+    ``all``."""
+    v = value.lower()
+    if v == "all":
+        return v
+    names = [name for name, _ in _discover("workload")]
+    if v not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {value!r} — choose from all, "
+            f"{', '.join(names)} (see `graphbench list workloads`)"
+        )
+    return v
+
+
+def _scale_arg(value: str) -> str | float:
+    """``--scale`` validator: a named scale factor or a float."""
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    v = value.lower()
+    names = [name for name, _ in _discover("scale-factor")]
+    if v not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown scale factor {value!r} — choose a number or one of "
+            f"{', '.join(names)} (see `graphbench list scale-factors`)"
+        )
+    return v
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -429,11 +470,43 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    from repro.core.benchmark import run_benchmark
+    from repro.core.export import export
+
+    report = run_benchmark(
+        workloads=tuple(args.workloads),
+        platforms=tuple(args.platforms) if args.platforms else None,
+        datasets=tuple(args.datasets) if args.datasets else None,
+        scale=args.scale,
+        workers=args.workers,
+        name=args.name,
+    )
+    print(report.render())
+    if args.json:
+        export(report, kind="benchmark", path=args.json)
+        print()
+        print(f"wrote benchmark report to {args.json}")
+    # Crashed/DNF cells are the platform models' *intended* capacity
+    # failures (a paper finding), so they only fail the run under
+    # --strict; a wrong output always does.
+    if not report.all_validated:
+        return 1
+    return 1 if args.strict and report.failures() else 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    singular = {
+        "platforms": "platform",
+        "algorithms": "algorithm",
+        "datasets": "dataset",
+        "workloads": "workload",
+        "scale-factors": "scale-factor",
+    }
     kinds = (
-        ("platform", "algorithm", "dataset")
+        tuple(singular.values())
         if args.kind == "all"
-        else (args.kind.rstrip("s"),)
+        else (singular[args.kind],)
     )
     chunks = []
     for kind in kinds:
@@ -611,11 +684,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     li = sub.add_parser(
         "list",
-        help="discover registered platforms, algorithms and datasets",
+        help="discover registered platforms, algorithms, datasets, "
+        "workloads and scale factors",
     )
     li.add_argument("kind", nargs="?", default="all",
-                    choices=("all", "platforms", "algorithms", "datasets"))
+                    choices=("all", "platforms", "algorithms", "datasets",
+                             "workloads", "scale-factors"))
     li.set_defaults(func=_cmd_list)
+
+    be = sub.add_parser(
+        "benchmark",
+        help="run validated workloads over platforms x datasets and "
+        "render a benchmark report",
+    )
+    be.add_argument("--workloads", nargs="+", type=_workload_arg,
+                    metavar="WORKLOAD", default=["all"],
+                    help="workloads to run ('all' = every registered "
+                    "workload)")
+    be.add_argument("--platforms", nargs="+", type=_known("platform"),
+                    metavar="PLATFORM",
+                    help="platforms (default: the six paper platforms)")
+    be.add_argument("--datasets", nargs="+", type=_known("dataset"),
+                    metavar="DATASET",
+                    help="datasets (default: all seven)")
+    be.add_argument("--scale", type=_scale_arg, default="tiny",
+                    metavar="SCALE",
+                    help="named scale factor (tiny/xs/s/m/l/xl) or a "
+                    "numeric multiplier (default: tiny)")
+    be.add_argument("--workers", type=int, default=1,
+                    help="worker processes for the sweep executor "
+                    "(default 1 = serial)")
+    be.add_argument("--name", default="graphbench",
+                    help="report name for rendering and export")
+    be.add_argument("--json", metavar="PATH",
+                    help="also export the report as JSON")
+    be.add_argument("--strict", action="store_true",
+                    help="also fail (exit 1) on crashed/DNF cells, not "
+                    "just on validation failures")
+    be.set_defaults(func=_cmd_benchmark)
 
     sw = sub.add_parser(
         "sweep",

@@ -13,8 +13,16 @@ This package implements the empirical method of Section 2:
   capacity, and exploratory tests (Section 2.1).
 * :mod:`repro.core.report` — ASCII tables and figure-series rendering,
   including paper-vs-measured comparisons.
+* :mod:`repro.core.workloads` — first-class benchmark workloads with
+  Graphalytics-style output validation (exact / epsilon /
+  equivalence-class).
+* :mod:`repro.core.benchmark` — the benchmark mode:
+  :class:`BenchmarkGrid` (the shared memoized cell layer every result
+  consumer runs through) and :func:`run_benchmark` (the validated
+  ``graphbench benchmark`` driver).
 * :mod:`repro.core.suite` — :class:`BenchmarkSuite`: one method per
-  table/figure of the paper's evaluation.
+  table/figure of the paper's evaluation, rendered from benchmark
+  results.
 * :mod:`repro.core.scalability` — horizontal/vertical sweep drivers.
 * :mod:`repro.core.findings` — the paper's key findings as checkable
   predicates.
@@ -25,6 +33,7 @@ This package implements the empirical method of Section 2:
 * :mod:`repro.core.export` — JSON/CSV/gnuplot result export.
 """
 
+from repro.core.benchmark import BenchmarkGrid, run_benchmark
 from repro.core.metrics import (
     Metrics,
     job_metrics,
@@ -33,13 +42,23 @@ from repro.core.metrics import (
     paper_scale_vps,
 )
 from repro.core.process import CapacityTest, ExploratoryTest, LoadTest
+from repro.core.report import BenchmarkReport
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
 from repro.core.runner import Runner
 from repro.core.scalability import horizontal_sweep, vertical_sweep
 from repro.core.suite import BenchmarkSuite
 from repro.core.trace_cache import TraceCache
+from repro.core.workloads import (
+    WORKLOAD_NAMES,
+    ValidationVerdict,
+    Workload,
+    get_workload,
+    list_workloads,
+)
 
 __all__ = [
+    "BenchmarkGrid",
+    "BenchmarkReport",
     "BenchmarkSuite",
     "CapacityTest",
     "ExperimentResult",
@@ -50,10 +69,16 @@ __all__ = [
     "RunRecord",
     "RunStatus",
     "TraceCache",
+    "ValidationVerdict",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "get_workload",
     "horizontal_sweep",
     "job_metrics",
+    "list_workloads",
     "normalized_eps",
     "paper_scale_eps",
     "paper_scale_vps",
+    "run_benchmark",
     "vertical_sweep",
 ]

@@ -31,6 +31,7 @@ import typing as _t
 
 from repro.cluster.monitoring import ResourceTrace
 from repro.core import telemetry
+from repro.core.report import BenchmarkReport
 from repro.core.results import ExperimentResult, RunRecord
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "EXPORT_KINDS",
     "record_to_dict",
     "export_records_json",
+    "export_benchmark_json",
     "export_trace_csv",
     "export_series_dat",
     "export_telemetry_jsonl",
@@ -82,6 +84,17 @@ def export_records_json(
     }
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def export_benchmark_json(
+    report: BenchmarkReport, path: str | os.PathLike
+) -> None:
+    """Write a benchmark report (cells, verdicts, targets, counters)
+    as a JSON document — the ``graphbench benchmark --json`` payload
+    and the CI ``benchmark-smoke`` artifact."""
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
         fh.write("\n")
 
 
@@ -236,6 +249,7 @@ def export_series_dat(
 #: ``kind`` -> (expected object type, writer) for :func:`export`
 EXPORT_KINDS: dict[str, tuple[type, _t.Callable[..., _t.Any]]] = {
     "records": (ExperimentResult, export_records_json),
+    "benchmark": (BenchmarkReport, export_benchmark_json),
     "telemetry": (telemetry.Telemetry, export_telemetry_jsonl),
     "sweep-telemetry": (ExperimentResult, export_sweep_telemetry_jsonl),
     "faults": (ExperimentResult, export_fault_accounting_jsonl),
@@ -249,9 +263,10 @@ def export(
     """Write ``obj`` to ``path`` in the named format.
 
     ``kind`` is one of :data:`EXPORT_KINDS`: ``"records"`` (experiment
-    JSON), ``"telemetry"`` (one session as JSONL), ``"sweep-telemetry"``
-    (all sessions of an experiment as JSONL), ``"faults"``
-    (fault-accounting JSONL), or ``"trace"`` (resource-trace CSV).
+    JSON), ``"benchmark"`` (benchmark report JSON), ``"telemetry"``
+    (one session as JSONL), ``"sweep-telemetry"`` (all sessions of an
+    experiment as JSONL), ``"faults"`` (fault-accounting JSONL), or
+    ``"trace"`` (resource-trace CSV).
     Extra keyword ``options`` pass through to the underlying writer
     (e.g. ``extra_counters=...`` for the telemetry kinds,
     ``num_points=...`` for traces).  Returns whatever the writer

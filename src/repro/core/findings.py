@@ -4,6 +4,12 @@ Each of the paper's boxed "Key findings" (Sections 4.1-4.4) is
 codified as a predicate over suite results.  ``verify_findings`` runs
 the necessary experiments once and returns a checklist — the
 reproduction's self-audit, also exposed as ``graphbench findings``.
+
+Like the figure suite, findings are **consumers of benchmark
+results**: every evidence cell executes through a shared
+:class:`~repro.core.benchmark.BenchmarkGrid`, so cells the BFS
+evidence grid already ran (or that a co-resident suite ran) are never
+re-simulated.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import dataclasses
 import typing as _t
 
 from repro.cluster.spec import das4_cluster
+from repro.core.benchmark import BenchmarkGrid
 from repro.core.report import render_table
 from repro.core.results import ExperimentResult, RunStatus
 from repro.core.runner import Runner
@@ -31,8 +38,8 @@ class Finding:
     evidence: str
 
 
-def _bfs_grid(runner: Runner) -> ExperimentResult:
-    return runner.run_grid(SweepSpec.make(
+def _bfs_grid(grid: BenchmarkGrid) -> ExperimentResult:
+    return grid.run_sweep(SweepSpec.make(
         "findings:bfs",
         platforms=("hadoop", "yarn", "stratosphere", "giraph", "graphlab"),
         algorithms=("bfs",),
@@ -40,14 +47,24 @@ def _bfs_grid(runner: Runner) -> ExperimentResult:
     ))
 
 
-def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
-    """Run the evidence experiments and check every key finding."""
-    runner = runner or Runner()
+def verify_findings(
+    *, runner: Runner | None = None, grid: BenchmarkGrid | None = None
+) -> list[Finding]:
+    """Run the evidence experiments and check every key finding.
+
+    Pass ``grid`` to share executed cells with other consumers (the
+    figure suite, a benchmark report); ``runner`` alone builds a fresh
+    grid over it.
+    """
+    if grid is None:
+        grid = BenchmarkGrid(runner or Runner())
+    elif runner is not None and grid.runner is not runner:
+        raise ValueError("grid.runner must be the given runner")
     findings: list[Finding] = []
-    grid = _bfs_grid(runner)
+    bfs = _bfs_grid(grid)
 
     def t(plat: str, ds: str) -> float | None:
-        rec = grid.get(plat, "bfs", ds)
+        rec = bfs.get(plat, "bfs", ds)
         return rec.execution_time if rec and rec.ok else None
 
     # -- 4.1: "There is no overall winner, but Hadoop is the worst
@@ -98,7 +115,7 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     ]
     crashed = []
     for plat, algo, ds in crash_cells:
-        rec = runner.run(RunSpec(plat, algo, ds))
+        rec = grid.run(RunSpec(plat, algo, ds))
         crashed.append(rec.status is RunStatus.CRASHED)
     findings.append(Finding(
         "4.1", "several platforms crash on some (algorithm, dataset) cells",
@@ -107,7 +124,7 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     ))
 
     # -- 4.2: "Few resources are needed for the master node."
-    rec = runner.run(RunSpec("giraph", "bfs", "dotaleague"))
+    rec = grid.run(RunSpec("giraph", "bfs", "dotaleague"))
     master_ok = False
     if rec.ok and rec.result is not None:
         cpu_peak = rec.result.trace.peak("master", "cpu") * 100
@@ -123,9 +140,9 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     # -- 4.3.1: horizontal scalability "only for Friendster"
     cluster50 = das4_cluster(50)
     h20 = t("hadoop", "friendster")
-    h50 = runner.run(RunSpec("hadoop", "bfs", "friendster", cluster50)).execution_time
+    h50 = grid.run(RunSpec("hadoop", "bfs", "friendster", cluster50)).execution_time
     d20 = t("hadoop", "dotaleague")
-    d50 = runner.run(RunSpec("hadoop", "bfs", "dotaleague", cluster50)).execution_time
+    d50 = grid.run(RunSpec("hadoop", "bfs", "dotaleague", cluster50)).execution_time
     ok = bool(h20 and h50 and d20 and d50 and h50 < 0.75 * h20 and d50 > 0.85 * d20)
     findings.append(Finding(
         "4.3", "horizontal scalability is significant only for the largest graph",
@@ -135,8 +152,8 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     ))
 
     # -- 4.3.2: vertical gains saturate after ~3 cores
-    v = {c: runner.run(RunSpec("hadoop", "bfs", "friendster",
-                               das4_cluster(20, c))).execution_time
+    v = {c: grid.run(RunSpec("hadoop", "bfs", "friendster",
+                             das4_cluster(20, c))).execution_time
          for c in (1, 3, 7)}
     ok = bool(v[1] and v[3] and v[7] and v[3] < 0.9 * v[1] and v[7] > 0.8 * v[3])
     findings.append(Finding(
@@ -147,8 +164,8 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     # -- 4.3: NEPS decreases with added resources
     from repro.core.metrics import normalized_eps
 
-    r20 = runner.run(RunSpec("stratosphere", "bfs", "friendster"))
-    r50 = runner.run(RunSpec("stratosphere", "bfs", "friendster", cluster50))
+    r20 = grid.run(RunSpec("stratosphere", "bfs", "friendster"))
+    r50 = grid.run(RunSpec("stratosphere", "bfs", "friendster", cluster50))
     ok = bool(
         r20.ok and r50.ok
         and normalized_eps(r50.result) < normalized_eps(r20.result)
@@ -176,7 +193,7 @@ def verify_findings(*, runner: Runner | None = None) -> list[Finding]:
     # -- 4.4: overhead fraction varies across platforms
     fracs = {}
     for plat in ("hadoop", "giraph", "graphlab"):
-        rec = runner.run(RunSpec(plat, "bfs", "dotaleague"))
+        rec = grid.run(RunSpec(plat, "bfs", "dotaleague"))
         if rec.ok and rec.result:
             fracs[plat] = rec.result.overhead_time / rec.result.execution_time
     ok = len(fracs) == 3 and (max(fracs.values()) - min(fracs.values())) > 0.02

@@ -1,16 +1,30 @@
-"""Report rendering: ASCII tables and figure-series output.
+"""Report rendering: ASCII tables, figure series, benchmark reports.
 
 The harness renders every paper table and figure as plain text so that
 ``pytest benchmarks/`` output can be compared to the paper directly.
 Figures become series tables (one row per x-value); comparison tables
 put the paper's published value next to the measured one.
+
+:class:`BenchmarkReport` is the Graphalytics-style artifact of one
+``graphbench benchmark`` run: the scale-factor targets, every
+(workload, platform, dataset) cell with its timing and validation
+verdict, the failure list, and the cache/telemetry counters — one
+object that renders to text (:meth:`BenchmarkReport.render`) and
+serializes to JSON (:meth:`BenchmarkReport.to_dict`, wired into
+``export(report, kind="benchmark", ...)``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.workloads import ValidationVerdict
+
 __all__ = [
+    "BenchmarkCell",
+    "BenchmarkReport",
     "render_table",
     "render_series",
     "render_comparison",
@@ -117,3 +131,246 @@ def render_comparison(
         [[name, str(paper), str(measured)] for name, paper, measured in rows],
         title=title,
     )
+
+
+# -- benchmark report --------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkCell:
+    """One (workload, platform, dataset) cell of a benchmark run."""
+
+    workload: str
+    platform: str
+    dataset: str
+    #: "ok" / "crashed" / "dnf" (RunStatus values)
+    status: str
+    execution_time: float | None = None
+    #: validation outcome (None for crashed/DNF cells — nothing to check)
+    verdict: "ValidationVerdict | None" = None
+    failure_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def validated(self) -> bool:
+        """True when the cell ran *and* its output validated PASS."""
+        return self.ok and self.verdict is not None and bool(self.verdict)
+
+    def describe(self) -> str:
+        """Cell text for the per-workload grid table."""
+        if not self.ok:
+            return self.status.upper().replace("CRASHED", "CRASH")
+        time = format_seconds(self.execution_time)
+        if self.verdict is None:
+            return time
+        return f"{time} {self.verdict.status}"
+
+
+@dataclasses.dataclass
+class BenchmarkReport:
+    """The artifact of one benchmark run (Graphalytics-style).
+
+    Everything a reader needs to trust (or distrust) the numbers is in
+    one place: what was asked for (workloads, platforms, datasets,
+    scale-factor targets), what happened (per-cell timings and
+    statuses), whether the outputs were *correct* (per-cell validation
+    verdicts), and how much work was shared (cache counters).
+    """
+
+    name: str
+    #: resolved scale multiplier
+    scale: float
+    #: the named scale factor, when one was used (else None)
+    scale_name: str | None
+    #: content hash of the scale factor ("" for ad-hoc numeric scales)
+    scale_hash: str
+    workloads: tuple[str, ...]
+    platforms: tuple[str, ...]
+    datasets: tuple[str, ...]
+    workers: int
+    #: per-dataset target-vs-actual sizes:
+    #: ``{"dataset", "target_vertices", "target_edges",
+    #:    "actual_vertices", "actual_edges"}``
+    targets: list[dict] = dataclasses.field(default_factory=list)
+    cells: list[BenchmarkCell] = dataclasses.field(default_factory=list)
+    cache_stats: dict = dataclasses.field(default_factory=dict)
+    #: platform registry name -> display label (render-time cosmetics)
+    platform_labels: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: workload name -> "LABEL (semantics)" subtitle
+    workload_titles: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    # -- queries -----------------------------------------------------------
+    def get(
+        self, workload: str, platform: str, dataset: str
+    ) -> BenchmarkCell | None:
+        for c in self.cells:
+            if (
+                c.workload == workload
+                and c.platform == platform
+                and c.dataset == dataset
+            ):
+                return c
+        return None
+
+    def failures(self) -> list[BenchmarkCell]:
+        """Cells that crashed or did not finish."""
+        return [c for c in self.cells if not c.ok]
+
+    def validation_failures(self) -> list[BenchmarkCell]:
+        """Cells that ran but whose output did not validate."""
+        return [
+            c
+            for c in self.cells
+            if c.ok and c.verdict is not None and not c.verdict
+        ]
+
+    @property
+    def all_validated(self) -> bool:
+        """True when every completed cell's output validated PASS
+        (crashed/DNF cells are *failures*, not validation verdicts)."""
+        return not self.validation_failures()
+
+    def summary(self) -> dict[str, object]:
+        ok = [c for c in self.cells if c.ok]
+        passed = [c for c in ok if c.validated]
+        return {
+            "cells": len(self.cells),
+            "ok": len(ok),
+            "validated_pass": len(passed),
+            "validated_fail": len(self.validation_failures()),
+            "failures": len(self.failures()),
+            "all_validated": self.all_validated,
+        }
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (the ``--json`` / export payload)."""
+        def cell(c: BenchmarkCell) -> dict:
+            out: dict[str, object] = {
+                "workload": c.workload,
+                "platform": c.platform,
+                "dataset": c.dataset,
+                "status": c.status,
+                "execution_time": c.execution_time,
+                "validation": None,
+                "failure_reason": c.failure_reason or None,
+            }
+            if c.verdict is not None:
+                out["validation"] = {
+                    "status": c.verdict.status,
+                    "semantics": c.verdict.semantics,
+                    "detail": c.verdict.detail,
+                }
+            return out
+
+        return {
+            "report": self.name,
+            "scale": {
+                "name": self.scale_name,
+                "multiplier": self.scale,
+                "content_hash": self.scale_hash or None,
+            },
+            "workloads": list(self.workloads),
+            "platforms": list(self.platforms),
+            "datasets": list(self.datasets),
+            "workers": self.workers,
+            "targets": list(self.targets),
+            "cells": [cell(c) for c in self.cells],
+            "summary": self.summary(),
+            "cache_stats": {
+                k: v
+                for k, v in self.cache_stats.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+        }
+
+    # -- rendering ---------------------------------------------------------
+    def render(self) -> str:
+        """The full text report (what ``graphbench benchmark`` prints)."""
+        scale_txt = f"x{self.scale:g}"
+        if self.scale_name:
+            scale_txt = f"{self.scale_name} ({scale_txt})"
+        if self.scale_hash:
+            scale_txt += f" [{self.scale_hash}]"
+        chunks = [
+            f"Benchmark report: {self.name}",
+            f"scale factor: {scale_txt}; workers: {self.workers}",
+            f"workloads: {', '.join(self.workloads)}",
+            "",
+        ]
+
+        if self.targets:
+            chunks.append(render_table(
+                ["dataset", "target #V", "target #E", "actual #V", "actual #E"],
+                [
+                    [
+                        t["dataset"],
+                        f"{t['target_vertices']:,}",
+                        f"{t['target_edges']:,}",
+                        f"{t['actual_vertices']:,}",
+                        f"{t['actual_edges']:,}",
+                    ]
+                    for t in self.targets
+                ],
+                title="Scale-factor targets vs generated datasets",
+            ))
+            chunks.append("")
+
+        for wl in self.workloads:
+            rows = []
+            for ds in self.datasets:
+                row: list[object] = [ds]
+                for plat in self.platforms:
+                    c = self.get(wl, plat, ds)
+                    row.append(c.describe() if c else "-")
+                rows.append(row)
+            headers = ["dataset"] + [
+                self.platform_labels.get(p, p) for p in self.platforms
+            ]
+            title = self.workload_titles.get(wl, wl)
+            chunks.append(render_table(headers, rows, title=title))
+            chunks.append("")
+
+        s = self.summary()
+        chunks.append(render_table(
+            ["quantity", "value"],
+            [
+                ["cells", s["cells"]],
+                ["completed", s["ok"]],
+                ["validated PASS", s["validated_pass"]],
+                ["validated FAIL", s["validated_fail"]],
+                ["failures (crash/DNF)", s["failures"]],
+                ["all outputs valid", "yes" if s["all_validated"] else "NO"],
+            ],
+            title="Validation summary",
+        ))
+
+        bad = self.validation_failures()
+        if bad:
+            chunks.append("")
+            chunks.append("Validation failures:")
+            for c in bad:
+                assert c.verdict is not None
+                chunks.append(
+                    f"  {c.workload}/{c.platform}/{c.dataset}: "
+                    f"{c.verdict.detail}"
+                )
+        failed = self.failures()
+        if failed:
+            chunks.append("")
+            chunks.append("Failed cells:")
+            for c in failed:
+                chunks.append(
+                    f"  {c.workload}/{c.platform}/{c.dataset}: "
+                    f"{c.status.upper()} — {c.failure_reason}"
+                )
+
+        if self.cache_stats:
+            chunks.append("")
+            chunks.append(
+                render_cache_stats(self.cache_stats, title="Benchmark caches")
+            )
+        return "\n".join(chunks)

@@ -4,6 +4,13 @@ Every method returns ``(data, text)``: structured results plus the
 rendered ASCII table the benchmarks print.  Figure-numbered methods
 regenerate the corresponding paper artifact; the companion
 ``EXPERIMENTS.md`` records paper-vs-measured values.
+
+Figures are **consumers of benchmark results**: all experiment cells
+execute through one shared :class:`~repro.core.benchmark.BenchmarkGrid`
+(a memoized layer over the runner), so two figures that view the same
+(platform, algorithm, dataset) cell — Figure 1 and Figure 2, or
+Figures 5-10's resource runs — share a single simulation, and a
+``graphbench benchmark`` run over the same grid would too.
 """
 
 from __future__ import annotations
@@ -15,6 +22,11 @@ import numpy as np
 
 from repro.algorithms.base import ALGORITHM_NAMES, get_algorithm
 from repro.cluster.monitoring import MASTER, worker_node
+from repro.core.benchmark import (
+    ALL_PLATFORMS,
+    DISTRIBUTED_PLATFORMS,
+    BenchmarkGrid,
+)
 from repro.core.metrics import normalized_eps, paper_scale_eps, paper_scale_vps
 from repro.core.report import (
     format_seconds,
@@ -43,17 +55,6 @@ from repro.platforms.registry import get_platform
 
 __all__ = ["BenchmarkSuite", "DISTRIBUTED_PLATFORMS", "ALL_PLATFORMS"]
 
-#: paper Table 4 order (distributed only)
-DISTRIBUTED_PLATFORMS: tuple[str, ...] = (
-    "hadoop",
-    "yarn",
-    "stratosphere",
-    "giraph",
-    "graphlab",
-)
-#: all six paper platforms
-ALL_PLATFORMS: tuple[str, ...] = DISTRIBUTED_PLATFORMS + ("neo4j",)
-
 
 @dataclasses.dataclass
 class BenchmarkSuite:
@@ -65,15 +66,22 @@ class BenchmarkSuite:
         Dataset scale factor (1.0 = the default mini datasets).
     runner:
         Custom runner (repetitions, jitter); defaults to 1 repetition.
+    grid:
+        Shared cell memo; pass one to share executed cells with other
+        consumers (e.g. a benchmark report over the same runner).
     """
 
     scale: float = 1.0
     runner: Runner | None = None
+    grid: BenchmarkGrid | None = None
 
     def __post_init__(self) -> None:
         if self.runner is None:
             self.runner = Runner(scale=self.scale)
-        self._fig01_cache: ExperimentResult | None = None
+        if self.grid is None:
+            self.grid = BenchmarkGrid(self.runner)
+        elif self.grid.runner is not self.runner:
+            raise ValueError("grid.runner must be the suite's runner")
 
     # -------------------------------------------------------------- observability
     def cache_stats(self) -> tuple[dict, str]:
@@ -257,15 +265,13 @@ class BenchmarkSuite:
     # ------------------------------------------------------------------ figures
     def fig01_bfs(self) -> tuple[ExperimentResult, str]:
         """Figure 1: BFS execution time, all platforms x datasets."""
-        if self._fig01_cache is None:
-            assert self.runner is not None
-            self._fig01_cache = self.runner.run_grid(SweepSpec.make(
-                "fig01:bfs",
-                platforms=ALL_PLATFORMS,
-                algorithms=("bfs",),
-                datasets=DATASET_NAMES,
-            ))
-        exp = self._fig01_cache
+        assert self.grid is not None
+        exp = self.grid.run_sweep(SweepSpec.make(
+            "fig01:bfs",
+            platforms=ALL_PLATFORMS,
+            algorithms=("bfs",),
+            datasets=DATASET_NAMES,
+        ))
         rows = []
         for ds in DATASET_NAMES:
             row: list[object] = [ds]
@@ -320,15 +326,15 @@ class BenchmarkSuite:
     def fig03_giraph_all(self) -> tuple[ExperimentResult, str]:
         """Figure 3: all algorithms x datasets on Giraph, plus
         GraphLab CONN (the paper's right-most bars)."""
-        assert self.runner is not None
-        exp = self.runner.run_grid(SweepSpec.make(
+        assert self.grid is not None
+        exp = self.grid.run_sweep(SweepSpec.make(
             "fig03:giraph",
             platforms=("giraph",),
             algorithms=ALGORITHM_NAMES,
             datasets=DATASET_NAMES,
         ))
         for ds in DATASET_NAMES:
-            exp.add(self.runner.run(RunSpec("graphlab", "conn", ds)))
+            exp.add(self.grid.run(RunSpec("graphlab", "conn", ds)))
         rows = []
         for algo in ALGORITHM_NAMES:
             row: list[object] = [algo.upper()]
@@ -351,15 +357,15 @@ class BenchmarkSuite:
     def fig04_dotaleague(self) -> tuple[ExperimentResult, str]:
         """Figure 4: all algorithms x platforms on DotaLeague, plus
         CONN on Citation (the paper's right-most bars)."""
-        assert self.runner is not None
-        exp = self.runner.run_grid(SweepSpec.make(
+        assert self.grid is not None
+        exp = self.grid.run_sweep(SweepSpec.make(
             "fig04:dotaleague",
             platforms=ALL_PLATFORMS,
             algorithms=ALGORITHM_NAMES,
             datasets=("dotaleague",),
         ))
         for plat in ALL_PLATFORMS:
-            exp.add(self.runner.run(RunSpec(plat, "conn", "citation")))
+            exp.add(self.grid.run(RunSpec(plat, "conn", "citation")))
         rows = []
         for algo in list(ALGORITHM_NAMES) + ["conn(citation)"]:
             if algo == "conn(citation)":
@@ -382,10 +388,10 @@ class BenchmarkSuite:
 
     # -------------------------------------------------------- resource figures
     def _resource_runs(self, dataset: str = "dotaleague") -> dict[str, RunRecord]:
-        assert self.runner is not None
+        assert self.grid is not None
         out = {}
         for plat in DISTRIBUTED_PLATFORMS:
-            out[plat] = self.runner.run(RunSpec(plat, "bfs", dataset))
+            out[plat] = self.grid.run(RunSpec(plat, "bfs", dataset))
         return out
 
     def fig05_07_master_resources(
@@ -546,12 +552,12 @@ class BenchmarkSuite:
     # -------------------------------------------------------- overhead figures
     def fig15_breakdown(self, dataset: str = "dotaleague") -> tuple[dict, str]:
         """Figure 15: computation vs overhead, BFS on DotaLeague."""
-        assert self.runner is not None
+        assert self.grid is not None
         platforms = list(DISTRIBUTED_PLATFORMS) + ["graphlab_mp"]
         rows = []
         data = {}
         for plat in platforms:
-            rec = self.runner.run(RunSpec(plat, "bfs", dataset))
+            rec = self.grid.run(RunSpec(plat, "bfs", dataset))
             if rec.ok and rec.result:
                 r = rec.result
                 data[plat] = (r.computation_time, r.overhead_time)
@@ -574,11 +580,11 @@ class BenchmarkSuite:
 
     def fig16_graphlab_breakdown(self) -> tuple[dict, str]:
         """Figure 16: GraphLab CONN breakdown across datasets."""
-        assert self.runner is not None
+        assert self.grid is not None
         rows = []
         data = {}
         for ds in DATASET_NAMES:
-            rec = self.runner.run(RunSpec("graphlab", "conn", ds))
+            rec = self.grid.run(RunSpec("graphlab", "conn", ds))
             if rec.ok and rec.result:
                 r = rec.result
                 data[ds] = (r.computation_time, r.overhead_time)

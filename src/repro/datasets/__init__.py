@@ -13,17 +13,24 @@ False
 
 from repro.datasets.registry import (
     DATASET_NAMES,
+    SCALE_FACTOR_NAMES,
     dataset_spec,
+    list_datasets,
+    list_scale_factors,
     load_dataset,
     load_all,
+    resolve_scale,
+    scale_factor,
 )
 from repro.datasets.spec import (
     DEV_EFFORT_TABLE7,
     INGESTION_TABLE6,
     PAPER_BFS_TABLE5,
     PAPER_SPECS_TABLE2,
+    SCALE_FACTORS,
     BfsStats,
     DatasetSpec,
+    ScaleFactorSpec,
 )
 
 __all__ = [
@@ -34,7 +41,14 @@ __all__ = [
     "INGESTION_TABLE6",
     "PAPER_BFS_TABLE5",
     "PAPER_SPECS_TABLE2",
+    "SCALE_FACTORS",
+    "SCALE_FACTOR_NAMES",
+    "ScaleFactorSpec",
     "dataset_spec",
+    "list_datasets",
+    "list_scale_factors",
     "load_all",
     "load_dataset",
+    "resolve_scale",
+    "scale_factor",
 ]

@@ -1,23 +1,34 @@
 """Dataset registry: named, cached, scalable access to the seven graphs.
 
 ``load_dataset("kgs")`` returns the default mini-scale stand-in;
-``load_dataset("kgs", scale=2.0)`` doubles the vertex count.  Results
-are memoized per (name, scale, seed) because several benchmarks sweep
-the same datasets.
+``load_dataset("kgs", scale=2.0)`` doubles the vertex count, and
+``load_dataset("kgs", scale="xs")`` resolves a named scale factor
+(:data:`~repro.datasets.spec.SCALE_FACTORS`) to its multiplier first.
+Results are memoized per (name, scale, seed) because several
+benchmarks sweep the same datasets.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.datasets.spec import PAPER_SPECS_TABLE2, DatasetSpec
+from repro.datasets.spec import (
+    PAPER_SPECS_TABLE2,
+    SCALE_FACTORS,
+    DatasetSpec,
+    ScaleFactorSpec,
+)
 from repro.datasets.synthesize import GENERATORS
 from repro.graph.graph import Graph
 
 __all__ = [
     "DATASET_NAMES",
+    "SCALE_FACTOR_NAMES",
     "dataset_spec",
+    "scale_factor",
+    "resolve_scale",
     "list_datasets",
+    "list_scale_factors",
     "load_dataset",
     "load_all",
     "bfs_source",
@@ -25,6 +36,9 @@ __all__ = [
 
 #: Paper's Table 2 order.
 DATASET_NAMES: tuple[str, ...] = tuple(PAPER_SPECS_TABLE2)
+
+#: Named scale factors, smallest first.
+SCALE_FACTOR_NAMES: tuple[str, ...] = tuple(SCALE_FACTORS)
 
 _cache: dict[tuple[str, float, int | None], Graph] = {}
 
@@ -37,6 +51,49 @@ def dataset_spec(name: str) -> DatasetSpec:
         raise KeyError(
             f"unknown dataset {name!r}; choose from {', '.join(DATASET_NAMES)}"
         ) from None
+
+
+def scale_factor(name: str) -> ScaleFactorSpec:
+    """The named Datagen-style scale factor."""
+    try:
+        return SCALE_FACTORS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale factor {name!r}; choose from "
+            f"{', '.join(SCALE_FACTOR_NAMES)}"
+        ) from None
+
+
+def resolve_scale(scale: str | float) -> float:
+    """Resolve a scale argument to the plain float multiplier.
+
+    Named factors ("tiny", "xs", ...) map to their multiplier; numeric
+    values (and numeric strings like ``"1.5"``) pass through.  The
+    float is what every cache layer keys on, so a named-factor run and
+    an equal-multiplier numeric run share graphs and traces.
+    """
+    if isinstance(scale, str):
+        try:
+            return float(scale)
+        except ValueError:
+            return scale_factor(scale).multiplier
+    return float(scale)
+
+
+def list_scale_factors() -> list[tuple[str, str]]:
+    """Discovery API: ``(name, one-line description)`` pairs for the
+    named scale factors, smallest first (mirrors ``list_datasets``)."""
+    out = []
+    for name in SCALE_FACTOR_NAMES:
+        sf = SCALE_FACTORS[name]
+        out.append(
+            (
+                name,
+                f"x{sf.multiplier:g} — {sf.description} "
+                f"[{sf.content_hash()}]",
+            )
+        )
+    return out
 
 
 def list_datasets() -> list[tuple[str, str]]:
@@ -56,7 +113,9 @@ def list_datasets() -> list[tuple[str, str]]:
     return out
 
 
-def load_dataset(name: str, *, scale: float = 1.0, seed: int | None = None) -> Graph:
+def load_dataset(
+    name: str, *, scale: str | float = 1.0, seed: int | None = None
+) -> Graph:
     """Build (or fetch from cache) the named dataset.
 
     Parameters
@@ -64,12 +123,14 @@ def load_dataset(name: str, *, scale: float = 1.0, seed: int | None = None) -> G
     name:
         One of :data:`DATASET_NAMES`.
     scale:
-        Multiplier on the default mini-scale vertex count.
+        Multiplier on the default mini-scale vertex count, or a named
+        scale factor from :data:`SCALE_FACTOR_NAMES`.
     seed:
         Override the generator's default seed (``None`` = default).
     """
     name = name.lower()
     spec = dataset_spec(name)
+    scale = resolve_scale(scale)
     key = (name, float(scale), seed)
     if key not in _cache:
         from repro.datasets.diskcache import load_cached, store_cached
@@ -86,7 +147,7 @@ def load_dataset(name: str, *, scale: float = 1.0, seed: int | None = None) -> G
     return _cache[key]
 
 
-def load_all(*, scale: float = 1.0) -> dict[str, Graph]:
+def load_all(*, scale: str | float = 1.0) -> dict[str, Graph]:
     """All seven datasets, keyed by name, in Table 2 order."""
     return {name: load_dataset(name, scale=scale) for name in DATASET_NAMES}
 

@@ -1,4 +1,4 @@
-"""Published dataset numbers from the paper.
+"""Published dataset numbers from the paper, plus scale-factor specs.
 
 These module-level tables are the reproduction targets the benchmark
 harness prints next to measured values:
@@ -7,19 +7,34 @@ harness prints next to measured values:
 * :data:`PAPER_BFS_TABLE5` — Table 5 (BFS coverage / iterations).
 * :data:`INGESTION_TABLE6` — Table 6 (HDFS seconds / Neo4j hours).
 * :data:`DEV_EFFORT_TABLE7` — Table 7 (development time / core LoC).
+
+:data:`SCALE_FACTORS` adds Datagen-style **named scale factors**
+(Graphalytics' "T-shirt sizes"): each names a multiplier on the
+default mini-scale vertex counts and declares per-dataset *target*
+vertex/edge counts, so a benchmark run can state up front how big its
+graphs are meant to be and the report can print target next to actual.
+Scale factors are content-hashed (:meth:`ScaleFactorSpec.content_hash`)
+and resolve to a plain float multiplier, which is exactly what the
+dataset disk cache and the trace-cache spill layer already key on — a
+named-factor run therefore reuses every cached graph and recorded
+trace of an equal-multiplier run, across processes and across
+invocations.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 __all__ = [
     "DatasetSpec",
     "BfsStats",
+    "ScaleFactorSpec",
     "PAPER_SPECS_TABLE2",
     "PAPER_BFS_TABLE5",
     "INGESTION_TABLE6",
     "DEV_EFFORT_TABLE7",
+    "SCALE_FACTORS",
 ]
 
 
@@ -76,6 +91,66 @@ PAPER_SPECS_TABLE2: dict[str, DatasetSpec] = {
                     "SNAP Friendster", 90_000),
     ]
 }
+
+@dataclasses.dataclass(frozen=True)
+class ScaleFactorSpec:
+    """One named, Datagen-style dataset scale factor.
+
+    ``multiplier`` scales every dataset's default mini-scale vertex
+    count (``DatasetSpec.default_scaled_vertices``); the target methods
+    derive the per-dataset sizes a generator at this factor aims for.
+    Targets are *specifications*, not guarantees — generators respect
+    structural floors (minimum 64 vertices) and degree structure, and
+    the benchmark report prints target next to measured.
+    """
+
+    name: str
+    multiplier: float
+    description: str
+
+    def target_vertices(self, dataset: DatasetSpec) -> int:
+        """The vertex count a generator at this factor aims for."""
+        return max(int(dataset.default_scaled_vertices * self.multiplier), 64)
+
+    def target_edges(self, dataset: DatasetSpec) -> int:
+        """The edge count implied by the target size and the paper's
+        average degree for this dataset."""
+        return int(self.target_vertices(dataset) * dataset.avg_degree)
+
+    def content_hash(self) -> str:
+        """Content identity of this factor (stable across processes).
+
+        Hashes the name, the multiplier, and every per-dataset target,
+        so two runs agree on a factor's identity exactly when they
+        would generate the same graphs — the key reports and artifact
+        stores use to deduplicate scale-factor runs.
+        """
+        payload = repr((
+            self.name,
+            float(self.multiplier),
+            tuple(
+                (n, self.target_vertices(s), self.target_edges(s))
+                for n, s in sorted(PAPER_SPECS_TABLE2.items())
+            ),
+        ))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+#: Graphalytics-style named scale factors, smallest first.  "m" is the
+#: historical default mini scale (multiplier 1.0), so `scale=1.0` and
+#: `scale="m"` are the same run — and share every cache entry.
+SCALE_FACTORS: dict[str, ScaleFactorSpec] = {
+    s.name: s
+    for s in [
+        ScaleFactorSpec("tiny", 0.125, "smoke-test size (CI benchmark job)"),
+        ScaleFactorSpec("xs", 0.25, "quick local iteration"),
+        ScaleFactorSpec("s", 0.5, "half the default mini scale"),
+        ScaleFactorSpec("m", 1.0, "the default mini scale (scale=1.0)"),
+        ScaleFactorSpec("l", 2.0, "double mini scale"),
+        ScaleFactorSpec("xl", 4.0, "largest supported in-memory sweep"),
+    ]
+}
+
 
 #: Paper Table 5 (BFS statistics).
 PAPER_BFS_TABLE5: dict[str, BfsStats] = {

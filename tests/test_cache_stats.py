@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec
 from repro.core.trace_cache import TraceCache
 
 
@@ -21,27 +22,27 @@ def runner():
 
 
 class TestCacheStatsCounters:
-    def test_repeated_run_cell_hits_after_first_miss(self, runner):
-        runner.run_cell("giraph", "bfs", "amazon")
+    def test_repeated_run_hits_after_first_miss(self, runner):
+        runner.run(RunSpec("giraph", "bfs", "amazon"))
         s1 = runner.cache_stats()
         assert (s1["misses"], s1["hits"], s1["entries"]) == (1, 0, 1)
 
-        runner.run_cell("giraph", "bfs", "amazon")
+        runner.run(RunSpec("giraph", "bfs", "amazon"))
         s2 = runner.cache_stats()
         assert (s2["misses"], s2["hits"], s2["entries"]) == (1, 1, 1)
         assert s2["hit_rate"] == 0.5
 
     def test_platform_sweep_shares_one_recording(self, runner):
         for plat in ("hadoop", "stratosphere", "giraph", "graphlab"):
-            runner.run_cell(plat, "bfs", "amazon")
+            runner.run(RunSpec(plat, "bfs", "amazon"))
         stats = runner.cache_stats()
         assert stats["misses"] == 1
         assert stats["hits"] == 3
         assert stats["trace_bytes"] > 0
 
     def test_distinct_cells_record_separately(self, runner):
-        runner.run_cell("giraph", "bfs", "amazon")
-        runner.run_cell("giraph", "conn", "amazon")
+        runner.run(RunSpec("giraph", "bfs", "amazon"))
+        runner.run(RunSpec("giraph", "conn", "amazon"))
         stats = runner.cache_stats()
         assert stats["misses"] == 2
         assert stats["entries"] == 2
@@ -50,8 +51,8 @@ class TestCacheStatsCounters:
         shared = TraceCache()
         a = Runner(trace_cache=shared)
         b = Runner(trace_cache=shared)
-        a.run_cell("giraph", "bfs", "amazon")
-        b.run_cell("graphlab", "bfs", "amazon")
+        a.run(RunSpec("giraph", "bfs", "amazon"))
+        b.run(RunSpec("graphlab", "bfs", "amazon"))
         assert shared.misses == 1
         assert shared.hits == 1
         assert b.cache_stats()["hits"] == 1
@@ -62,8 +63,8 @@ class TestCacheStatsCounters:
         before = context_memo_stats()["step_memo_hits"]
         # Same graph, same (parts, partitioner) -> shared context; the
         # replayed trace's pinned reports hit the per-report step memo.
-        runner.run_cell("giraph", "bfs", "amazon")
-        runner.run_cell("hadoop", "bfs", "amazon")
+        runner.run(RunSpec("giraph", "bfs", "amazon"))
+        runner.run(RunSpec("hadoop", "bfs", "amazon"))
         stats = runner.cache_stats()
         assert stats["step_memo_hits"] > before
         assert "contexts" in stats
@@ -71,7 +72,7 @@ class TestCacheStatsCounters:
 
     def test_cache_disabled_runner_counts_nothing(self):
         runner = Runner(use_trace_cache=False)
-        rec = runner.run_cell("giraph", "bfs", "amazon")
+        rec = runner.run(RunSpec("giraph", "bfs", "amazon"))
         assert rec.ok
         stats = runner.cache_stats()
         assert stats["hits"] == 0
@@ -81,13 +82,13 @@ class TestCacheStatsCounters:
 
 class TestRecordWallAccounting:
     def test_recording_cell_is_charged_once(self, runner):
-        first = runner.run_cell("giraph", "bfs", "amazon")
+        first = runner.run(RunSpec("giraph", "bfs", "amazon"))
         assert first.ok and first.result is not None
         assert first.result.wall_breakdown.get("trace_record", 0.0) > 0.0
 
     def test_cache_hit_cell_is_not_charged(self, runner):
-        runner.run_cell("giraph", "bfs", "amazon")
-        hit = runner.run_cell("hadoop", "bfs", "amazon")
+        runner.run(RunSpec("giraph", "bfs", "amazon"))
+        hit = runner.run(RunSpec("hadoop", "bfs", "amazon"))
         assert hit.ok and hit.result is not None
         assert "trace_record" not in hit.result.wall_breakdown
         wall_parts = sum(hit.result.wall_breakdown.values())
@@ -97,7 +98,7 @@ class TestRecordWallAccounting:
 
     def test_replicated_repetitions_bill_recording_once(self):
         runner = Runner(repetitions=5)
-        rec = runner.run_cell("giraph", "bfs", "amazon")
+        rec = runner.run(RunSpec("giraph", "bfs", "amazon"))
         assert rec.ok and rec.result is not None
         assert len(rec.repetition_times) == 5
         wall = rec.result.wall_breakdown["trace_record"]

@@ -275,13 +275,14 @@ class TestRecoverySemantics:
         from repro.core.findings import verify_findings  # noqa: F401 - cross-ref
         from repro.core.results import RunStatus
         from repro.core.runner import Runner
+        from repro.core.spec import RunSpec
 
         runner = Runner()
-        ok = runner.run_cell("giraph", "cd", graph, cluster)
+        ok = runner.run(RunSpec("giraph", "cd", graph, cluster))
         assert ok.status is RunStatus.OK
         plan = named_plan("memory", at=0.0, severity=1e-7)
-        crashed = runner.run_cell("giraph", "cd", graph, cluster,
-                                  fault_plan=plan)
+        crashed = runner.run(RunSpec("giraph", "cd", graph, cluster,
+                                     fault_plan=plan))
         assert crashed.status is RunStatus.CRASHED
         assert "heap exhausted" in crashed.failure_reason
         acct = crashed.fault_accounting()

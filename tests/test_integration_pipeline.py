@@ -11,6 +11,7 @@ from repro.core.export import export_records_json, export_trace_csv
 from repro.core.metrics import job_metrics
 from repro.core.results import ExperimentResult
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
 from repro.datasets import load_dataset
 from repro.graph.io import read_graph, write_graph
 from repro.platforms import get_platform
@@ -36,12 +37,12 @@ class TestFullPipeline:
         """Run a grid, export JSON, and recover the paper's ordering
         from the exported document alone."""
         runner = Runner()
-        exp = runner.run_grid(
+        exp = runner.run_grid(SweepSpec.make(
             "pipeline",
             platforms=["hadoop", "giraph"],
             algorithms=["bfs"],
             datasets=["kgs", "dotaleague"],
-        )
+        ))
         path = tmp_path / "results.json"
         export_records_json(exp, path)
         doc = json.loads(path.read_text())
@@ -54,7 +55,7 @@ class TestFullPipeline:
 
     def test_trace_export_covers_master_and_worker(self, tmp_path):
         runner = Runner()
-        rec = runner.run_cell("stratosphere", "bfs", "kgs", das4_cluster())
+        rec = runner.run(RunSpec("stratosphere", "bfs", "kgs", das4_cluster()))
         path = tmp_path / "trace.csv"
         export_trace_csv(rec.result.trace, path, num_points=20)
         body = path.read_text()
@@ -67,7 +68,7 @@ class TestFullPipeline:
         g = load_dataset("kgs")
         c = das4_cluster()
         direct = get_platform("graphlab").run("bfs", g, c)
-        rec = Runner().run_cell("graphlab", "bfs", "kgs", c)
+        rec = Runner().run(RunSpec("graphlab", "bfs", "kgs", c))
         m1, m2 = job_metrics(direct), job_metrics(rec.result)
         assert m1.execution_time == pytest.approx(m2.execution_time)
         assert m1.eps == pytest.approx(m2.eps)
@@ -75,9 +76,9 @@ class TestFullPipeline:
     def test_experiment_result_accumulates_mixed_outcomes(self):
         runner = Runner()
         exp = ExperimentResult("mixed")
-        exp.add(runner.run_cell("giraph", "bfs", "kgs"))
-        exp.add(runner.run_cell("giraph", "stats", "wikitalk"))  # crash
-        exp.add(runner.run_cell("neo4j", "stats", "dotaleague"))  # DNF
+        exp.add(runner.run(RunSpec("giraph", "bfs", "kgs")))
+        exp.add(runner.run(RunSpec("giraph", "stats", "wikitalk")))  # crash
+        exp.add(runner.run(RunSpec("neo4j", "stats", "dotaleague")))  # DNF
         assert len(exp.completed()) == 1
         statuses = {r.status.value for r in exp}
         assert statuses == {"ok", "crashed", "dnf"}

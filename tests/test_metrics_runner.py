@@ -12,6 +12,7 @@ from repro.core.metrics import (
 )
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
 from repro.datasets import PAPER_SPECS_TABLE2, load_dataset
 from repro.platforms import get_platform
 
@@ -128,47 +129,47 @@ class TestExperimentResult:
 
 class TestRunner:
     def test_ok_cell(self):
-        rec = Runner().run_cell("giraph", "bfs", "kgs")
+        rec = Runner().run(RunSpec("giraph", "bfs", "kgs"))
         assert rec.status is RunStatus.OK
         assert rec.execution_time and rec.execution_time > 0
         assert rec.result is not None
 
     def test_crash_cell(self):
-        rec = Runner().run_cell("giraph", "stats", "wikitalk")
+        rec = Runner().run(RunSpec("giraph", "stats", "wikitalk"))
         assert rec.status is RunStatus.CRASHED
         assert "heap" in rec.failure_reason
 
     def test_dnf_cell(self):
-        rec = Runner().run_cell("neo4j", "stats", "dotaleague")
+        rec = Runner().run(RunSpec("neo4j", "stats", "dotaleague"))
         assert rec.status is RunStatus.DNF
         assert "budget" in rec.failure_reason
 
     def test_repetitions_recorded(self):
-        rec = Runner(repetitions=3).run_cell("giraph", "bfs", "kgs")
+        rec = Runner(repetitions=3).run(RunSpec("giraph", "bfs", "kgs"))
         assert len(rec.repetition_times) == 3
 
     def test_jitter_gives_variance_below_10_percent(self):
         """The paper reports 'the largest variance for 10%'."""
-        rec = Runner(repetitions=10, jitter=0.02, seed=5).run_cell(
+        rec = Runner(repetitions=10, jitter=0.02, seed=5).run(RunSpec(
             "giraph", "bfs", "kgs"
-        )
+        ))
         assert 0 < rec.variance_fraction < 0.10
 
     def test_deterministic_without_jitter(self):
-        a = Runner().run_cell("giraph", "bfs", "kgs").execution_time
-        b = Runner().run_cell("giraph", "bfs", "kgs").execution_time
+        a = Runner().run(RunSpec("giraph", "bfs", "kgs")).execution_time
+        b = Runner().run(RunSpec("giraph", "bfs", "kgs")).execution_time
         assert a == b
 
     def test_graph_object_accepted(self, random_graph):
-        rec = Runner().run_cell("giraph", "bfs", random_graph, das4_cluster(4))
+        rec = Runner().run(RunSpec("giraph", "bfs", random_graph, das4_cluster(4)))
         assert rec.status is RunStatus.OK
         assert rec.dataset == random_graph.name
 
     def test_grid(self):
-        exp = Runner().run_grid(
+        exp = Runner().run_grid(SweepSpec.make(
             "g", platforms=["giraph", "graphlab"],
             algorithms=["bfs"], datasets=["kgs", "amazon"],
-        )
+        ))
         assert len(exp) == 4
         assert exp.get("graphlab", "bfs", "amazon") is not None
 

@@ -27,6 +27,7 @@ from repro.core.prediction import (
     features_for,
 )
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
 from repro.datasets import load_dataset
 from repro.platforms import get_platform
 
@@ -184,13 +185,13 @@ class TestExport:
     @pytest.fixture(scope="class")
     def small_experiment(self):
         runner = Runner()
-        exp = runner.run_grid(
+        exp = runner.run_grid(SweepSpec.make(
             "export-test",
             platforms=["giraph"],
             algorithms=["bfs"],
             datasets=["kgs"],
-        )
-        exp.add(runner.run_cell("giraph", "stats", "wikitalk"))  # a crash
+        ))
+        exp.add(runner.run(RunSpec("giraph", "stats", "wikitalk")))  # a crash
         return exp
 
     def test_record_to_dict_ok(self, small_experiment):

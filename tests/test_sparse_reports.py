@@ -258,9 +258,10 @@ def test_context_memo_stats_aggregates():
 
 def test_trace_cache_reports_pinned_bytes():
     from repro.core.runner import Runner
+    from repro.core.spec import RunSpec
 
     runner = Runner()
-    runner.run_cell("giraph", "bfs", "kgs")
+    runner.run(RunSpec("giraph", "bfs", "kgs"))
     stats = runner.cache_stats()
     assert stats["trace_bytes"] > 0
     assert stats["entries"] == 1

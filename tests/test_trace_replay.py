@@ -17,6 +17,7 @@ from repro.algorithms.base import (
     record_trace,
 )
 from repro.core.runner import Runner
+from repro.core.spec import RunSpec
 from repro.core.suite import ALL_PLATFORMS
 from repro.core.trace_cache import TraceCache, trace_key
 from repro.platforms import get_platform
@@ -124,7 +125,7 @@ class TestTraceCache:
         -> the program executes exactly once (5 hits, 1 miss)."""
         runner = Runner()
         for plat in ALL_PLATFORMS:
-            rec = runner.run_cell(plat, "bfs", random_graph, small_cluster)
+            rec = runner.run(RunSpec(plat, "bfs", random_graph, small_cluster))
             assert rec.ok, (plat, rec.failure_reason)
         assert runner.trace_cache.misses == 1
         assert runner.trace_cache.hits == len(ALL_PLATFORMS) - 1
@@ -158,7 +159,7 @@ class TestTraceCache:
 
     def test_disabled_cache_runs_live(self, random_graph, small_cluster):
         runner = Runner(use_trace_cache=False)
-        rec = runner.run_cell("giraph", "bfs", random_graph, small_cluster)
+        rec = runner.run(RunSpec("giraph", "bfs", random_graph, small_cluster))
         assert rec.ok
         assert runner.trace_cache.hits == runner.trace_cache.misses == 0
 
@@ -186,24 +187,24 @@ class TestTraceCache:
         from repro.des.faults import FaultPlan, named_plan
 
         runner = Runner()
-        base = runner.run_cell("hadoop", "bfs", random_graph, small_cluster)
+        base = runner.run(RunSpec("hadoop", "bfs", random_graph, small_cluster))
         assert runner.trace_cache.misses == 1
         plan = named_plan("crash", at=0.5 * base.execution_time, node=1)
-        faulted = runner.run_cell(
+        faulted = runner.run(RunSpec(
             "hadoop", "bfs", random_graph, small_cluster, fault_plan=plan
-        )
+        ))
         # different plan -> different key -> a fresh recording
         assert runner.trace_cache.misses == 2
         assert faulted.execution_time > base.execution_time
         # the same plan hits its own entry; the empty plan hits the
         # fault-free entry — and both charge bit-identical costs
-        again = runner.run_cell(
+        again = runner.run(RunSpec(
             "hadoop", "bfs", random_graph, small_cluster, fault_plan=plan
-        )
-        empty = runner.run_cell(
+        ))
+        empty = runner.run(RunSpec(
             "hadoop", "bfs", random_graph, small_cluster,
             fault_plan=FaultPlan.empty(),
-        )
+        ))
         assert runner.trace_cache.misses == 2
         assert runner.trace_cache.hits == 2
         assert again.execution_time == faulted.execution_time
@@ -240,11 +241,11 @@ class TestWallClock:
 
     def test_runner_accounts_trace_recording(self, random_graph, small_cluster):
         runner = Runner()
-        rec = runner.run_cell("giraph", "bfs", random_graph, small_cluster)
+        rec = runner.run(RunSpec("giraph", "bfs", random_graph, small_cluster))
         assert rec.result is not None
         assert "trace_record" in rec.result.wall_breakdown
         # Second platform hits the cache: no recording phase.
-        rec2 = runner.run_cell("graphlab", "bfs", random_graph, small_cluster)
+        rec2 = runner.run(RunSpec("graphlab", "bfs", random_graph, small_cluster))
         assert rec2.result is not None
         assert "trace_record" not in rec2.result.wall_breakdown
 
@@ -264,7 +265,7 @@ class TestRepetitionShortCircuit:
 
         monkeypatch.setattr(Giraph, "_execute", counting)
         runner = Runner(repetitions=7, jitter=0.0)
-        rec = runner.run_cell("giraph", "bfs", random_graph, small_cluster)
+        rec = runner.run(RunSpec("giraph", "bfs", random_graph, small_cluster))
         assert calls["n"] == 1
         assert len(rec.repetition_times) == 7
         assert len(set(rec.repetition_times)) == 1
@@ -272,6 +273,6 @@ class TestRepetitionShortCircuit:
 
     def test_jittered_repetitions_still_vary(self, random_graph, small_cluster):
         runner = Runner(repetitions=4, jitter=0.05)
-        rec = runner.run_cell("giraph", "bfs", random_graph, small_cluster)
+        rec = runner.run(RunSpec("giraph", "bfs", random_graph, small_cluster))
         assert len(rec.repetition_times) == 4
         assert len(set(rec.repetition_times)) > 1
