@@ -1,0 +1,232 @@
+"""Kernel-tier benchmark: compiled superstep kernels vs pure numpy.
+
+Two measurement levels, both recorded into ``BENCH_harness.json`` by
+``scripts/bench_snapshot.py``:
+
+* **micro** — each dispatchable kernel timed in isolation on inputs
+  drawn from the amazon dataset (hash partition, mid-BFS-sized
+  frontier), numpy tier vs the active tier.  On a machine without
+  numba the active tier *is* the numpy tier, so ratios sit at ~1 and
+  only document the dispatch overhead.
+* **active-set sweep** — the acceptance headline: the same all-platform
+  BFS sweep over amazon at scale 4 that ``bench_sparse_reports`` uses,
+  run once with kernels pinned to the numpy tier and once on the active
+  backend.  With numba loaded this is the end-to-end speedup the
+  compiled tier buys on the harness's measured hot path.
+
+The pytest gate asserts the >= 3x sweep speedup **only when the
+compiled tier actually loaded** — numpy-fallback machines skip the
+ratio (mirroring ``bench_parallel_sweep``'s single-core skip), never
+the bit-identity suite in ``tests/test_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.report import render_table
+from repro.core.runner import Runner
+from repro.core.spec import SweepSpec
+from repro.core.suite import ALL_PLATFORMS
+from repro.datasets import load_dataset
+from repro.graph.partition import hash_partition
+from repro.kernels import dispatch as kernels
+from repro.kernels import _numpy
+from repro.platforms.registry import clear_context_caches
+
+MICRO_DATASET = "amazon"
+MICRO_SCALE = 0.125  # tiny: micro inputs, not the headline measurement
+NUM_PARTS = 20
+SWEEP_SCALE = 4.0
+#: micro repeats (best-of); the LDG case streams every vertex through a
+#: python-level loop on the numpy tier, so it gets fewer repeats
+MICRO_REPEATS = 5
+LDG_REPEATS = 2
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _micro_cases() -> dict[str, tuple[int, "object"]]:
+    """``name -> (repeats, call(fn))`` micro cases on amazon inputs."""
+    g = load_dataset(MICRO_DATASET, scale=MICRO_SCALE)
+    part = hash_partition(g, NUM_PARTS)
+    assign = part.assignment
+    indptr, indices = g.out_indptr, g.out_indices
+    n = g.num_vertices
+    deg64 = np.asarray(g.out_degree(), dtype=np.float64)
+    rng = np.random.default_rng(7)
+    # A mid-BFS-sized frontier: ~5 % of the vertices, sorted ids.
+    frontier = np.sort(
+        rng.choice(n, size=max(1, n // 20), replace=False)
+    ).astype(np.int64)
+    frontier_parts = assign[frontier]
+    frontier_vals = deg64[frontier]
+    gathered = _numpy.gather_neighbors(indptr, indices, frontier)
+    scatter_vals = rng.random(len(gathered))
+    dist = np.full(n, np.inf)
+    degree = np.asarray(g.degree(), dtype=np.int64)
+    weight = np.maximum(degree, 1)
+    capacity = 1.05 * float(weight.sum()) / NUM_PARTS
+    order = np.argsort(-degree, kind="stable")
+
+    return {
+        "part_bincount": (
+            MICRO_REPEATS,
+            lambda fn: fn(frontier_parts, frontier_vals, NUM_PARTS),
+        ),
+        "comm_degrees": (
+            MICRO_REPEATS,
+            lambda fn: fn(indptr, indices, assign, g.directed),
+        ),
+        "cut_count": (
+            MICRO_REPEATS,
+            lambda fn: fn(indptr, indices, assign),
+        ),
+        "gather_neighbors": (
+            MICRO_REPEATS,
+            lambda fn: fn(indptr, indices, frontier),
+        ),
+        "gather_with_sources": (
+            MICRO_REPEATS,
+            lambda fn: fn(indptr, indices, frontier),
+        ),
+        "scatter_min": (
+            MICRO_REPEATS,
+            lambda fn: fn(dist.copy(), gathered, scatter_vals),
+        ),
+        "ldg_assign": (
+            LDG_REPEATS,
+            lambda fn: fn(
+                indptr, indices, g.in_indptr, g.in_indices,
+                g.directed, order, weight, capacity, NUM_PARTS,
+            ),
+        ),
+    }
+
+
+def measure_micro() -> dict:
+    """Per-kernel best-of walls: numpy tier vs the active tier."""
+    out: dict[str, dict[str, float]] = {}
+    for name, (repeats, call) in _micro_cases().items():
+        numpy_fn = getattr(_numpy, name)
+        active_fn = getattr(kernels, name)  # dispatch wrapper
+        # Warm both once (JIT compilation must not count as runtime).
+        call(numpy_fn)
+        call(active_fn)
+        numpy_s = _best(lambda: call(numpy_fn), repeats)
+        active_s = _best(lambda: call(active_fn), repeats)
+        out[name] = {
+            "numpy_ms": round(numpy_s * 1e3, 4),
+            "active_ms": round(active_s * 1e3, 4),
+            "ratio": round(numpy_s / active_s, 3) if active_s > 0 else 0.0,
+        }
+    return out
+
+
+def _sweep() -> float:
+    """One cold-context all-platform BFS sweep over amazon (wall s).
+
+    Context caches are cleared so every sweep pays the full active-set
+    cost — partition construction's per-direction edge pass plus the
+    per-superstep bincount aggregation — which is precisely the surface
+    the compiled tier targets.  Dataset synthesis stays cached.
+    """
+    clear_context_caches()
+    runner = Runner(scale=SWEEP_SCALE)
+    start = time.perf_counter()
+    exp = runner.run_grid(SweepSpec.make(
+        "bench:kernels",
+        platforms=ALL_PLATFORMS,
+        algorithms=("bfs",),
+        datasets=(MICRO_DATASET,),
+    ))
+    wall = time.perf_counter() - start
+    assert len(exp) == len(ALL_PLATFORMS)
+    return wall
+
+
+def measure_active_set_sweep(*, repeats: int = 2) -> dict:
+    """The acceptance sweep: numpy-tier wall vs active-tier wall.
+
+    Walls are the best of ``repeats`` fresh-cache sweeps per tier so
+    scheduler noise cannot masquerade as a regression (the
+    ``bench_sparse_reports`` protocol); partition contexts are
+    pre-warmed and shared, as in real use.
+    """
+    load_dataset(MICRO_DATASET, scale=SWEEP_SCALE)  # synthesis out of timing
+    _sweep()  # prewarm dataset/partition caches (and JIT, when loaded)
+    with kernels.use_backend("numpy"):
+        numpy_wall = min(_sweep() for _ in range(repeats))
+    active_wall = min(_sweep() for _ in range(repeats))
+    return {
+        "scale": SWEEP_SCALE,
+        "dataset": MICRO_DATASET,
+        "numpy_wall": round(numpy_wall, 4),
+        "active_wall": round(active_wall, 4),
+        "ratio": round(numpy_wall / active_wall, 3),
+    }
+
+
+def measure_kernels() -> dict:
+    """The snapshot's ``kernels`` section: backend provenance, micro
+    walls, and the active-set sweep ratio."""
+    return {
+        "backend": kernels.active_backend(),
+        "requested": kernels.requested_backend(),
+        "numba_version": kernels.numba_version(),
+        "micro": measure_micro(),
+        "active_set_sweep": measure_active_set_sweep(),
+    }
+
+
+def render_kernels(data: dict) -> str:
+    rows = [
+        [name, f"{row['numpy_ms']:.3f} ms", f"{row['active_ms']:.3f} ms",
+         f"{row['ratio']:.2f}x"]
+        for name, row in data["micro"].items()
+    ]
+    sweep = data["active_set_sweep"]
+    rows.append([
+        "amazon bfs sweep",
+        f"{sweep['numpy_wall']:.3f} s",
+        f"{sweep['active_wall']:.3f} s",
+        f"{sweep['ratio']:.2f}x",
+    ])
+    return render_table(
+        ["kernel", "numpy", "active", "speedup"],
+        rows,
+        title=(
+            f"Superstep kernels: numpy vs {data['backend']} backend "
+            f"(requested {data['requested']})"
+        ),
+    )
+
+
+def test_kernel_tier_speedup(benchmark):
+    def experiment():
+        data = measure_kernels()
+        return data, render_kernels(data)
+
+    data, _ = run_once(benchmark, experiment)
+
+    if data["backend"] != "numba":
+        pytest.skip(
+            "compiled kernel tier not loaded (numpy fallback) — "
+            "speedup ratio not meaningful"
+        )
+    sweep = data["active_set_sweep"]
+    assert sweep["ratio"] >= 3.0, (
+        f"amazon active-set sweep only {sweep['ratio']:.2f}x faster "
+        f"on the compiled tier"
+    )

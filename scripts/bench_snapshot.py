@@ -3,12 +3,16 @@
 
 Runs the harness micro-benchmarks — the cold-vs-warm trace-cache
 sweep, the sparse-vs-dense report sweep, the serial-vs-parallel
-grid sweep, and a validated benchmark-mode smoke at the smallest
-scale factor — and writes their wall times, trace-memory numbers,
-and validation summary as one JSON document.  CI uploads the
-file as a build artifact, so every PR leaves a perf data point the next
-one can be compared against; the committed copy at the repo root is
-the reference snapshot for the machine that produced it.
+grid sweep, the superstep-kernel tier (per-kernel micro walls plus
+the amazon active-set sweep, numpy vs the active dispatch backend),
+and validated benchmark-mode smokes at the two smallest scale
+factors — and writes their wall times, trace-memory numbers, and
+validation summary as one JSON document.  CI uploads the file as a
+build artifact and ``scripts/perf_gate.py`` compares it against the
+committed reference, so every PR leaves a gated perf data point; the
+committed copy at the repo root is the reference snapshot for the
+machine that produced it (its ``cores`` and ``kernels.backend``
+fields say which budgets are comparable).
 
 Run:  python scripts/bench_snapshot.py [output_path]
 """
@@ -27,9 +31,18 @@ def _ensure_benchmarks_importable() -> None:
         sys.path.insert(0, str(repo_root))
 
 
-def measure_benchmark_mode() -> dict:
+def _available_cores() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_benchmark_mode(scale: str = "tiny") -> dict:
     """A validated benchmark-mode smoke: a representative workload
-    subset at the smallest scale factor, timed, with the validation
+    subset at the given scale factor, timed, with the validation
     summary and cache counters kept as the regression surface."""
     import time
 
@@ -40,7 +53,7 @@ def measure_benchmark_mode() -> dict:
         workloads=("bfs", "wcc", "pr"),
         platforms=("giraph", "graphlab", "hadoop"),
         datasets=("kgs", "amazon"),
-        scale="tiny",
+        scale=scale,
         name="snapshot",
     )
     wall = time.perf_counter() - start
@@ -62,6 +75,7 @@ def measure_benchmark_mode() -> dict:
 def collect_snapshot() -> dict:
     """Run every bench and return the combined snapshot document."""
     _ensure_benchmarks_importable()
+    from benchmarks.bench_kernels import measure_kernels, render_kernels
     from benchmarks.bench_sparse_reports import (
         measure_sparse_vs_dense,
         render_sparse_vs_dense,
@@ -72,24 +86,31 @@ def collect_snapshot() -> dict:
     trace_data, trace_text = measure_cold_vs_warm()
     sparse_data = measure_sparse_vs_dense()
     parallel_data, parallel_text = measure_parallel_sweep()
-    benchmark_data = measure_benchmark_mode()
+    kernels_data = measure_kernels()
+    benchmark_data = measure_benchmark_mode("tiny")
+    benchmark_xs_data = measure_benchmark_mode("xs")
     print(trace_text)
     print(render_sparse_vs_dense(sparse_data))
     print(parallel_text)
-    print(
-        "benchmark mode (tiny): "
-        f"{benchmark_data['summary']['validated_pass']} PASS, "
-        f"{benchmark_data['summary']['validated_fail']} FAIL in "
-        f"{benchmark_data['wall_seconds']:.2f}s"
-    )
+    print(render_kernels(kernels_data))
+    for label, section in (("tiny", benchmark_data), ("xs", benchmark_xs_data)):
+        print(
+            f"benchmark mode ({label}): "
+            f"{section['summary']['validated_pass']} PASS, "
+            f"{section['summary']['validated_fail']} FAIL in "
+            f"{section['wall_seconds']:.2f}s"
+        )
     return {
-        "schema": 2,
+        "schema": 3,
         "python": _platform.python_version(),
         "machine": _platform.machine(),
+        "cores": _available_cores(),
         "trace_cache": trace_data,
         "sparse_reports": sparse_data,
         "parallel_sweep": parallel_data,
+        "kernels": kernels_data,
         "benchmark_mode": benchmark_data,
+        "benchmark_mode_xs": benchmark_xs_data,
     }
 
 

@@ -1,55 +1,15 @@
-"""Vectorized CSR slice gathering.
+"""CSR slice gathering — the hot inner operation of frontier algorithms.
 
-``gather_neighbors`` concatenates the adjacency slices of a vertex set
-without any Python-level loop — the hot inner operation of frontier
-algorithms (see the project HPC guide: vectorize, avoid per-row loops).
+``gather_neighbors`` concatenates the adjacency slices of a vertex set;
+``gather_with_sources`` also returns the source vertex of every
+gathered entry.  Both route through :mod:`repro.kernels.dispatch`:
+numba-compiled loops when the kernel tier is loaded, the vectorized
+O(total) numpy formulation otherwise (see the project HPC guide:
+vectorize, avoid per-row loops) — bit-identical results either way.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.kernels.dispatch import gather_neighbors, gather_with_sources
 
 __all__ = ["gather_neighbors", "gather_with_sources"]
-
-
-def gather_neighbors(
-    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
-) -> np.ndarray:
-    """Concatenation of ``indices[indptr[v]:indptr[v+1]]`` for each v.
-
-    Equivalent to ``np.concatenate([indices[indptr[v]:indptr[v+1]]
-    for v in vertices])`` but in O(total) numpy ops.
-    """
-    if len(vertices) == 0:
-        return np.empty(0, dtype=indices.dtype)
-    starts = indptr[vertices]
-    lens = indptr[vertices + 1] - starts
-    total = int(lens.sum())
-    if total == 0:
-        return np.empty(0, dtype=indices.dtype)
-    # For each output slot, its offset within its slice:
-    # slot_in_slice = arange(total) - repeat(cumulative_slice_starts)
-    cum = np.concatenate([[0], np.cumsum(lens)[:-1]])
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum, lens)
-    return indices[np.repeat(starts, lens) + within]
-
-
-def gather_with_sources(
-    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Like :func:`gather_neighbors` but also returns the source vertex
-    of every gathered entry (for edge-wise scatter/reduce)."""
-    if len(vertices) == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, np.empty(0, dtype=indices.dtype)
-    starts = indptr[vertices]
-    lens = indptr[vertices + 1] - starts
-    total = int(lens.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, np.empty(0, dtype=indices.dtype)
-    cum = np.concatenate([[0], np.cumsum(lens)[:-1]])
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum, lens)
-    nbrs = indices[np.repeat(starts, lens) + within]
-    srcs = np.repeat(np.asarray(vertices, dtype=np.int64), lens)
-    return srcs, nbrs

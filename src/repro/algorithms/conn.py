@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms._gather import gather_with_sources
+from repro.kernels.dispatch import scatter_min
 from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
@@ -65,7 +66,7 @@ class ConnProgram(SuperstepProgram):
             src, dst = gather_with_sources(indptr, indices, senders)
             if len(src) == 0:
                 continue
-            np.minimum.at(new_labels, dst, self.labels[src])
+            scatter_min(new_labels, dst, self.labels[src])
         changed = new_labels < self.labels
         self.labels = new_labels
         self._changed = changed

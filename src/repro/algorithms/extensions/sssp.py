@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms._gather import gather_with_sources
+from repro.kernels.dispatch import scatter_min
 from repro.algorithms.base import (
     Algorithm,
     SuperstepProgram,
@@ -78,7 +79,7 @@ class SsspProgram(SuperstepProgram):
         if len(src):
             w = edge_weights(src, dst.astype(np.int64), max_weight=self.max_weight)
             proposals = self.dist[src] + w
-            np.minimum.at(new_dist, dst, proposals)
+            scatter_min(new_dist, dst, proposals)
         changed = new_dist < self.dist
         self.dist = new_dist
         self._changed = changed

@@ -63,6 +63,10 @@ def _discover(kind: str) -> list[tuple[str, str]]:
         from repro.datasets.registry import list_scale_factors
 
         return list_scale_factors()
+    if kind == "kernel":
+        from repro.kernels import list_kernels
+
+        return list_kernels()
     assert kind == "dataset"
     from repro.datasets.registry import list_datasets
 
@@ -502,6 +506,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "datasets": "dataset",
         "workloads": "workload",
         "scale-factors": "scale-factor",
+        "kernels": "kernel",
     }
     kinds = (
         tuple(singular.values())
@@ -514,6 +519,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         chunks.append(
             render_table([kind, "description"], rows, title=f"{kind}s")
         )
+    if "kernel" in kinds:
+        from repro.kernels import backend_summary
+
+        chunks.append(backend_summary())
     print("\n\n".join(chunks))
     return 0
 
@@ -685,11 +694,11 @@ def build_parser() -> argparse.ArgumentParser:
     li = sub.add_parser(
         "list",
         help="discover registered platforms, algorithms, datasets, "
-        "workloads and scale factors",
+        "workloads, scale factors and superstep kernels",
     )
     li.add_argument("kind", nargs="?", default="all",
                     choices=("all", "platforms", "algorithms", "datasets",
-                             "workloads", "scale-factors"))
+                             "workloads", "scale-factors", "kernels"))
     li.set_defaults(func=_cmd_list)
 
     be = sub.add_parser(

@@ -13,6 +13,10 @@ The platform models need vertex->worker assignments.  Three policies:
 :class:`Partition` carries the assignment plus the derived statistics
 the cost models consume: per-part vertex/edge counts and the cut-edge
 count that drives network traffic.
+
+The cut-edge pass and the LDG inner loop route through
+:mod:`repro.kernels.dispatch`: compiled when the kernel tier is loaded,
+pure numpy otherwise — identical assignments and counts either way.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import dataclasses
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.kernels import dispatch as kernels
 
 __all__ = ["Partition", "hash_partition", "range_partition", "greedy_partition"]
 
@@ -64,11 +69,7 @@ class Partition:
         For undirected graphs each cut edge is counted once.
         """
         g = self.graph
-        src = np.repeat(
-            np.arange(g.num_vertices, dtype=np.int64), np.diff(g.out_indptr)
-        )
-        dst = g.out_indices.astype(np.int64)
-        cut = np.count_nonzero(self.assignment[src] != self.assignment[dst])
+        cut = kernels.cut_count(g.out_indptr, g.out_indices, self.assignment)
         return cut if g.directed else cut // 2
 
     def cut_fraction(self) -> float:
@@ -127,27 +128,12 @@ def greedy_partition(graph: Graph, num_parts: int, *, slack: float = 1.05) -> Pa
     # skew a vertex-balanced assignment badly.
     weight = np.maximum(degree, 1)
     capacity = slack * float(weight.sum()) / num_parts
-    assignment = np.full(n, -1, dtype=np.int32)
-    loads = np.zeros(num_parts, dtype=np.float64)
-    indptr, indices = graph.out_indptr, graph.out_indices
-    in_indptr, in_indices = graph.in_indptr, graph.in_indices
-    part_range = np.arange(num_parts)
     # Stream vertices in a degree-descending order: placing hubs first
     # gives the heuristic the most information (standard LDG practice).
     order = np.argsort(-degree, kind="stable")
-    for v in order:
-        nbrs = indices[indptr[v] : indptr[v + 1]]
-        if graph.directed:
-            nbrs = np.concatenate([nbrs, in_indices[in_indptr[v] : in_indptr[v + 1]]])
-        placed = assignment[nbrs]
-        placed = placed[placed >= 0]
-        affinity = np.bincount(placed, minlength=num_parts).astype(np.float64)
-        penalty = 1.0 - loads / capacity
-        score = affinity * np.maximum(penalty, 0.0)
-        # Tie-break toward the least-loaded part for balance.
-        best = part_range[
-            np.lexsort((part_range, loads, -score))
-        ][0]
-        assignment[v] = best
-        loads[best] += weight[v]
+    assignment = kernels.ldg_assign(
+        graph.out_indptr, graph.out_indices,
+        graph.in_indptr, graph.in_indices,
+        graph.directed, order, weight, capacity, num_parts,
+    )
     return Partition(graph, num_parts, assignment.astype(np.int32), policy="greedy")

@@ -1,0 +1,260 @@
+"""Loop-tier superstep kernels, written to be numba-``@njit``-able.
+
+Every function here computes exactly what its namesake in
+:mod:`repro.kernels._numpy` computes, as an explicit element loop:
+
+* integer kernels (``comm_degrees``, ``cut_count``, the gathers) are
+  exact, so any evaluation order gives the same result;
+* float kernels (``part_bincount``, ``ldg_assign``) accumulate float64
+  terms *in the same element order* as numpy's C loops (``bincount``
+  adds weights in input order; LDG's score/penalty arithmetic is the
+  same elementwise IEEE expression), so sums are bit-identical — the
+  contract the property tests in ``tests/test_kernels.py`` enforce.
+
+The loops listed in :data:`JIT_LOOPS` are plain-python until
+:func:`repro.kernels.dispatch` compiles them in place with
+``numba.njit(cache=True, nogil=True)``.  Uncompiled they remain valid
+(slow) python, which is how the loop logic stays property-testable on
+machines without numba.
+
+Allocation and dtype handling live at the python level (output arrays
+match the numpy tier's dtypes exactly); jitted loops only fill
+preallocated buffers or work in fixed int64/float64 types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "JIT_LOOPS",
+    "part_bincount",
+    "comm_degrees",
+    "cut_count",
+    "gather_neighbors",
+    "gather_with_sources",
+    "scatter_min",
+    "ldg_assign",
+]
+
+#: names of the jittable loop bodies that dispatch compiles in place
+JIT_LOOPS = (
+    "_part_bincount_loop",
+    "_comm_degrees_loop",
+    "_cut_count_loop",
+    "_gather_loop",
+    "_gather_sources_loop",
+    "_scatter_min_loop",
+    "_ldg_assign_loop",
+)
+
+
+def _part_bincount_loop(
+    parts: np.ndarray, weights: np.ndarray, out: np.ndarray
+) -> None:
+    for i in range(len(parts)):
+        out[parts[i]] += weights[i]
+
+
+def part_bincount(
+    parts: np.ndarray, weights: np.ndarray, num_parts: int
+) -> np.ndarray:
+    out = np.zeros(num_parts, dtype=np.float64)
+    _part_bincount_loop(parts, weights, out)
+    return out
+
+
+def _comm_degrees_loop(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    assign: np.ndarray,
+    remote_out: np.ndarray,
+    remote_in: np.ndarray,
+) -> None:
+    n = len(indptr) - 1
+    for u in range(n):
+        pu = assign[u]
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if assign[v] != pu:
+                remote_out[u] += 1
+                remote_in[v] += 1
+
+
+def comm_degrees(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    assign: np.ndarray,
+    directed: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    n = len(indptr) - 1
+    remote_out = np.zeros(n, dtype=np.int64)
+    remote_in = np.zeros(n, dtype=np.int64)
+    _comm_degrees_loop(indptr, indices, assign, remote_out, remote_in)
+    if not directed:
+        # Undirected out-CSR holds both arc directions, so per-source
+        # and per-destination cut counts coincide (numpy tier returns
+        # remote_out twice; keep the same aliasing shape).
+        return remote_out, remote_out
+    return remote_out, remote_in
+
+
+def _cut_count_loop(
+    indptr: np.ndarray, indices: np.ndarray, assign: np.ndarray
+) -> int:
+    n = len(indptr) - 1
+    cut = 0
+    for u in range(n):
+        pu = assign[u]
+        for e in range(indptr[u], indptr[u + 1]):
+            if assign[indices[e]] != pu:
+                cut += 1
+    return cut
+
+
+def cut_count(
+    indptr: np.ndarray, indices: np.ndarray, assign: np.ndarray
+) -> int:
+    return int(_cut_count_loop(indptr, indices, assign))
+
+
+def _gather_loop(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    vertices: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    k = 0
+    for i in range(len(vertices)):
+        v = vertices[i]
+        for e in range(indptr[v], indptr[v + 1]):
+            out[k] = indices[e]
+            k += 1
+
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> np.ndarray:
+    if len(vertices) == 0:
+        return np.empty(0, dtype=indices.dtype)
+    verts = np.asarray(vertices, dtype=np.int64)
+    total = int((indptr[verts + 1] - indptr[verts]).sum())
+    out = np.empty(total, dtype=indices.dtype)
+    if total:
+        _gather_loop(indptr, indices, verts, out)
+    return out
+
+
+def _gather_sources_loop(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    vertices: np.ndarray,
+    out_src: np.ndarray,
+    out_nbr: np.ndarray,
+) -> None:
+    k = 0
+    for i in range(len(vertices)):
+        v = vertices[i]
+        for e in range(indptr[v], indptr[v + 1]):
+            out_src[k] = v
+            out_nbr[k] = indices[e]
+            k += 1
+
+
+def gather_with_sources(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    if len(vertices) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=indices.dtype)
+    verts = np.asarray(vertices, dtype=np.int64)
+    total = int((indptr[verts + 1] - indptr[verts]).sum())
+    src = np.empty(total, dtype=np.int64)
+    nbr = np.empty(total, dtype=indices.dtype)
+    if total:
+        _gather_sources_loop(indptr, indices, verts, src, nbr)
+    return src, nbr
+
+
+def _scatter_min_loop(
+    target: np.ndarray, idx: np.ndarray, values: np.ndarray
+) -> None:
+    for i in range(len(idx)):
+        j = idx[i]
+        if values[i] < target[j]:
+            target[j] = values[i]
+
+
+def scatter_min(
+    target: np.ndarray, idx: np.ndarray, values: np.ndarray
+) -> None:
+    _scatter_min_loop(target, idx, values)
+
+
+def _ldg_assign_loop(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    directed: bool,
+    order: np.ndarray,
+    weight: np.ndarray,
+    capacity: float,
+    num_parts: int,
+) -> np.ndarray:
+    n = len(indptr) - 1
+    assignment = np.full(n, -1, dtype=np.int32)
+    loads = np.zeros(num_parts, dtype=np.float64)
+    affinity = np.zeros(num_parts, dtype=np.int64)
+    for i in range(len(order)):
+        v = order[i]
+        for p in range(num_parts):
+            affinity[p] = 0
+        for e in range(indptr[v], indptr[v + 1]):
+            a = assignment[indices[e]]
+            if a >= 0:
+                affinity[a] += 1
+        if directed:
+            for e in range(in_indptr[v], in_indptr[v + 1]):
+                a = assignment[in_indices[e]]
+                if a >= 0:
+                    affinity[a] += 1
+        # argmax by (score desc, load asc, part index asc) — exactly the
+        # numpy tier's lexsort((part_range, loads, -score)) tie-break.
+        best = 0
+        best_score = -1.0
+        best_load = 0.0
+        for p in range(num_parts):
+            penalty = 1.0 - loads[p] / capacity
+            if penalty < 0.0:
+                penalty = 0.0
+            score = affinity[p] * penalty
+            if (
+                p == 0
+                or score > best_score
+                or (score == best_score and loads[p] < best_load)
+            ):
+                best = p
+                best_score = score
+                best_load = loads[p]
+        assignment[v] = best
+        loads[best] += weight[v]
+    return assignment
+
+
+def ldg_assign(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    directed: bool,
+    order: np.ndarray,
+    weight: np.ndarray,
+    capacity: float,
+    num_parts: int,
+) -> np.ndarray:
+    return _ldg_assign_loop(
+        indptr, indices, in_indptr, in_indices, bool(directed),
+        np.asarray(order, dtype=np.int64),
+        np.asarray(weight, dtype=np.float64),
+        float(capacity), num_parts,
+    )

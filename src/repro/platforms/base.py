@@ -17,6 +17,10 @@ per-quantity weights — so aggregation cost follows the frontier, not
 structural arrays both paths share (degrees, remote degrees, the
 per-direction remote-traffic ratios) are built once per context from a
 single edge-list pass and cached.
+
+The aggregation bincounts and the shared edge pass route through
+:mod:`repro.kernels.dispatch` — numba-compiled when the compiled tier
+is loaded, pure numpy otherwise, bit-identical either way.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.core import telemetry
 from repro.des.faults import FaultInjector, FaultPlan
 from repro.graph.graph import Graph
 from repro.graph.partition import Partition
+from repro.kernels import dispatch as kernels
 from repro.platforms.scale import ScaleModel
 
 __all__ = [
@@ -213,16 +218,15 @@ class PartitionContext:
         self.out_deg = out_deg
         # One edge-list pass serves both directions: an arc (u, v) whose
         # endpoints live on different parts is simultaneously a remote
-        # *out*-neighbor of u and a remote *in*-neighbor of v, so the
-        # out- and in-remote-degree arrays are two bincounts over the
-        # same cut mask — the in-CSR is never re-expanded.
-        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.out_indptr))
-        dst = graph.out_indices.astype(np.int64)
-        remote = self.assign[src] != self.assign[dst]
-        self.remote_out = np.bincount(src[remote], minlength=n).astype(np.int64)
+        # *out*-neighbor of u and a remote *in*-neighbor of v, so both
+        # remote-degree arrays come out of one kernel pass over the
+        # out-CSR — the in-CSR is never re-expanded.
+        self.remote_out, remote_in = kernels.comm_degrees(
+            graph.out_indptr, graph.out_indices, self.assign, graph.directed
+        )
         if graph.directed:
             self.in_deg = np.asarray(graph.in_degree(), dtype=np.int64)
-            self.remote_in = np.bincount(dst[remote], minlength=n).astype(np.int64)
+            self.remote_in = remote_in
             self.both_deg = out_deg + self.in_deg
             self.remote_both = self.remote_out + self.remote_in
         else:
@@ -246,7 +250,7 @@ class PartitionContext:
         self._remote_ratio_cache: dict[str, np.ndarray] = {}
         total_in = float(self.in_deg.sum())
         self.in_share_per_part = (
-            np.bincount(self.assign, weights=self.in_deg, minlength=self.num_parts)
+            kernels.part_bincount(self.assign, self.in_deg, self.num_parts)
             / total_in
             if total_in > 0
             else np.full(self.num_parts, 1.0 / self.num_parts)
@@ -254,9 +258,7 @@ class PartitionContext:
 
     # -- aggregation -------------------------------------------------------------
     def _by_part(self, per_vertex: np.ndarray) -> np.ndarray:
-        return np.bincount(
-            self.assign, weights=per_vertex.astype(np.float64), minlength=self.num_parts
-        )
+        return kernels.part_bincount(self.assign, per_vertex, self.num_parts)
 
     def _comm_degrees(self, direction: str) -> tuple[np.ndarray, np.ndarray]:
         if direction == "out":
@@ -390,9 +392,7 @@ class PartitionContext:
         parts = self.assign[ids]
 
         def agg(values: np.ndarray) -> np.ndarray:
-            return np.bincount(
-                parts, weights=values.astype(np.float64), minlength=self.num_parts
-            )
+            return kernels.part_bincount(parts, values, self.num_parts)
 
         compute = agg(report.compute_edges) * compute_scale
         messages = agg(report.messages) * scale.e_mult

@@ -60,6 +60,7 @@ class TestBenchSnapshot:
         # break the CI snapshot.
         mod = _load("bench_snapshot")
         mod._ensure_benchmarks_importable()
+        from benchmarks.bench_kernels import measure_kernels, render_kernels
         from benchmarks.bench_sparse_reports import (
             measure_sparse_vs_dense,
             render_sparse_vs_dense,
@@ -69,6 +70,123 @@ class TestBenchSnapshot:
         assert callable(measure_sparse_vs_dense)
         assert callable(render_sparse_vs_dense)
         assert callable(measure_cold_vs_warm)
+        assert callable(measure_kernels)
+        assert callable(render_kernels)
+
+    def test_cores_recorded(self):
+        mod = _load("bench_snapshot")
+        assert mod._available_cores() >= 1
+
+
+def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
+              identical=True, validated=True):
+    """A minimal schema-3 document exercising every gate budget."""
+    micro = {
+        name: {"numpy_ms": wall, "active_ms": wall, "ratio": 1.0}
+        for name in (
+            "part_bincount", "comm_degrees", "cut_count",
+            "gather_neighbors", "gather_with_sources", "scatter_min",
+            "ldg_assign",
+        )
+    }
+    return {
+        "schema": 3,
+        "cores": cores,
+        "trace_cache": {
+            "cold_seconds": wall, "warm_seconds": wall, "speedup": ratio,
+        },
+        "sparse_reports": {
+            "sparse_wall": wall, "wall_ratio": ratio, "memory_ratio": 80.0,
+        },
+        "parallel_sweep": {
+            "cores": cores, "speedup": ratio, "identical": identical,
+        },
+        "kernels": {
+            "backend": backend,
+            "micro": micro,
+            "active_set_sweep": {"ratio": ratio},
+        },
+        "benchmark_mode": {
+            "wall_seconds": wall,
+            "cache_stats": {"record_seconds": wall},
+            "summary": {"all_validated": validated},
+        },
+        "benchmark_mode_xs": {
+            "wall_seconds": wall,
+            "summary": {"all_validated": validated},
+        },
+    }
+
+
+class TestPerfGate:
+    def test_identical_snapshots_pass(self):
+        mod = _load("perf_gate")
+        assert mod.run_gate(_snapshot(), _snapshot()) == []
+
+    def test_wall_regression_fails(self):
+        mod = _load("perf_gate")
+        current = _snapshot(wall=10.0)  # 10x the baseline, over 2.5x budget
+        failures = mod.run_gate(current, _snapshot(wall=1.0))
+        assert any("trace_cache.cold_seconds" in f for f in failures)
+        assert any("benchmark_mode_xs.wall_seconds" in f for f in failures)
+
+    def test_ratio_collapse_fails_on_big_machines(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(_snapshot(ratio=1.0), _snapshot(ratio=4.0))
+        assert any("parallel_sweep.speedup" in f for f in failures)
+        assert any("kernels.active_set_sweep.ratio" in f for f in failures)
+
+    def test_ratio_budgets_skipped_below_four_cores(self):
+        # Mirrors bench_parallel_sweep: a 1-core machine cannot
+        # reproduce parallel ratios, so only walls stay enforced.
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(ratio=1.0, cores=1), _snapshot(ratio=4.0)
+        )
+        assert failures == []
+
+    def test_kernel_ratio_skipped_without_numba_on_both(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(ratio=1.0, backend="numpy"), _snapshot(ratio=4.0)
+        )
+        assert not any("kernels" in f for f in failures)
+        assert any("parallel_sweep.speedup" in f for f in failures)
+
+    def test_correctness_flags_never_skipped(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(cores=1, identical=False, validated=False),
+            _snapshot(cores=1),
+        )
+        assert any("parallel_sweep.identical" in f for f in failures)
+        assert any("all_validated" in f for f in failures)
+
+    def test_old_schema_baseline_skips_missing_metrics(self):
+        mod = _load("perf_gate")
+        baseline = _snapshot()
+        del baseline["kernels"]
+        del baseline["benchmark_mode_xs"]
+        assert mod.run_gate(_snapshot(), baseline) == []
+
+    def test_metric_missing_from_current_fails(self):
+        mod = _load("perf_gate")
+        current = _snapshot()
+        del current["kernels"]
+        failures = mod.run_gate(current, _snapshot())
+        assert any("missing from current snapshot" in f for f in failures)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        import json
+
+        mod = _load("perf_gate")
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_snapshot()))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(_snapshot(wall=10.0)))
+        assert mod.main([str(good), str(good)]) == 0
+        assert mod.main([str(bad), str(good)]) == 1
+        capsys.readouterr()
 
 
 class TestExportFigures:
