@@ -1,0 +1,150 @@
+"""Harness observability benchmark: overhead, identity, and profile.
+
+Runs the ``bench_parallel_sweep`` grid (platforms x {bfs, conn, stats}
+x {amazon, wikitalk}, 10 repetitions with seeded jitter) with the
+:mod:`repro.obs` layer off and on, interleaved and min-of-two per mode
+so scheduler noise cancels, and asserts the observability contract:
+
+* **bit-identity** — observed results match unobserved ones exactly
+  (always checked);
+* **overhead** — enabling the layer costs < 3 % serial wall (checked
+  only on machines with >= 4 cores; a loaded 1-core container cannot
+  measure a 3 % delta above its own noise floor);
+* **profile** — a 4-worker observed sweep yields the worker-utilization
+  gauge and the p50/p99 per-cell wall quantiles that
+  ``bench_snapshot.py`` records into ``BENCH_harness.json`` and
+  ``perf_gate.py`` budgets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.bench_parallel_sweep import (
+    JITTER,
+    REPETITIONS,
+    SWEEP,
+    WORKERS,
+    _available_cores,
+)
+from benchmarks.conftest import run_once
+from repro import obs
+from repro.core.report import render_table
+from repro.core.runner import Runner
+from repro.datasets.registry import load_dataset
+from repro.platforms.registry import clear_context_caches
+
+#: serial sweeps per mode; the minimum is reported
+ROUNDS = 2
+#: enabled overhead budget on the serial grid (acceptance criterion)
+OVERHEAD_BUDGET = 0.03
+
+
+def _sweep_wall(observe: bool) -> tuple[float, "object"]:
+    runner = Runner(repetitions=REPETITIONS, jitter=JITTER)
+    if observe:
+        with obs.observed():
+            start = time.perf_counter()
+            exp = runner.run_grid(SWEEP, workers=1)
+            wall = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        exp = runner.run_grid(SWEEP, workers=1)
+        wall = time.perf_counter() - start
+    return wall, exp
+
+
+def _records_equal(a, b) -> bool:
+    return len(a) == len(b) and all(
+        ra.status == rb.status
+        and ra.execution_time == rb.execution_time
+        and ra.repetition_times == rb.repetition_times
+        for ra, rb in zip(a, b)
+    )
+
+
+def measure_harness_observability() -> tuple[dict, str]:
+    """Off-vs-on serial walls, identity, and the observed 4-worker
+    profile (shared with bench_snapshot)."""
+    for ds in SWEEP.datasets:
+        load_dataset(ds)
+    # One unmeasured warmup so every measured sweep sees identical warm
+    # partition/context memos — the comparison targets the obs layer,
+    # not first-touch costs.
+    _sweep_wall(observe=False)
+
+    off_walls: list[float] = []
+    on_walls: list[float] = []
+    off_exp = on_exp = None
+    for _ in range(ROUNDS):
+        wall, off_exp = _sweep_wall(observe=False)
+        off_walls.append(wall)
+        wall, on_exp = _sweep_wall(observe=True)
+        on_walls.append(wall)
+    off_wall = min(off_walls)
+    on_wall = min(on_walls)
+    overhead = on_wall / off_wall - 1.0 if off_wall else 0.0
+    identical = _records_equal(off_exp, on_exp)
+
+    # The observed parallel profile: utilization and per-cell quantiles.
+    clear_context_caches()
+    with obs.observed() as session:
+        runner = Runner(repetitions=REPETITIONS, jitter=JITTER)
+        runner.run_grid(SWEEP, workers=WORKERS)
+        cell_wall = session.metrics.histogram("runner.cell_wall_seconds")
+        utilization = session.metrics.gauges.get(
+            "sweep.worker_utilization", 0.0
+        )
+        data = {
+            "cells": len(SWEEP),
+            "off_seconds": off_wall,
+            "on_seconds": on_wall,
+            "overhead_fraction": overhead,
+            "identical": identical,
+            "utilization": utilization,
+            "cell_wall_p50_seconds": cell_wall.quantile(0.5),
+            "cell_wall_p99_seconds": cell_wall.quantile(0.99),
+            "events": session.events.emitted,
+            "cores": _available_cores(),
+        }
+    text = render_table(
+        ["mode", "wall", "detail"],
+        [
+            ["serial, obs off", f"{off_wall:.3f}s",
+             f"min of {ROUNDS}, interleaved"],
+            ["serial, obs on", f"{on_wall:.3f}s",
+             f"overhead {overhead * 100:+.2f}%"],
+            [f"parallel x{WORKERS}, obs on",
+             f"{data['cell_wall_p99_seconds']:.3f}s p99 cell",
+             f"utilization {utilization * 100:.0f}%, "
+             f"{data['events']} events"],
+            ["identical", "yes" if identical else "NO",
+             f"{data['cores']} core(s)"],
+        ],
+        title="Harness observability: off vs on, "
+        f"{len(SWEEP)} cells x {REPETITIONS} repetitions",
+    )
+    return data, text
+
+
+def test_observability_overhead(benchmark, fresh_context_memo):
+    data, _ = run_once(benchmark, measure_harness_observability)
+
+    # Identity is unconditional: watching the harness must never change
+    # what it produces.
+    assert data["identical"], "observed sweep diverged from unobserved"
+    assert data["events"] > 0
+    assert 0.0 < data["utilization"] <= 1.0
+    assert data["cell_wall_p99_seconds"] >= data["cell_wall_p50_seconds"]
+
+    if data["cores"] < WORKERS:
+        pytest.skip(
+            f"only {data['cores']} core(s) available; the {OVERHEAD_BUDGET:.0%} "
+            "overhead gate needs a quiet multi-core machine"
+        )
+    assert data["overhead_fraction"] < OVERHEAD_BUDGET, (
+        f"observability overhead {data['overhead_fraction']:.1%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%}"
+    )

@@ -5,9 +5,10 @@ Runs the harness micro-benchmarks — the cold-vs-warm trace-cache
 sweep, the sparse-vs-dense report sweep, the serial-vs-parallel
 grid sweep, the superstep-kernel tier (per-kernel micro walls plus
 the amazon active-set sweep, numpy vs the active dispatch backend),
-and validated benchmark-mode smokes at the two smallest scale
-factors — and writes their wall times, trace-memory numbers, and
-validation summary as one JSON document.  CI uploads the file as a
+validated benchmark-mode smokes at the two smallest scale factors,
+and the harness-observability off-vs-on sweep (overhead, worker
+utilization, per-cell wall quantiles) — and writes their wall times,
+trace-memory numbers, and validation summary as one JSON document.  CI uploads the file as a
 build artifact and ``scripts/perf_gate.py`` compares it against the
 committed reference, so every PR leaves a gated perf data point; the
 committed copy at the repo root is the reference snapshot for the
@@ -76,6 +77,7 @@ def collect_snapshot() -> dict:
     """Run every bench and return the combined snapshot document."""
     _ensure_benchmarks_importable()
     from benchmarks.bench_kernels import measure_kernels, render_kernels
+    from benchmarks.bench_obs_overhead import measure_harness_observability
     from benchmarks.bench_sparse_reports import (
         measure_sparse_vs_dense,
         render_sparse_vs_dense,
@@ -87,12 +89,14 @@ def collect_snapshot() -> dict:
     sparse_data = measure_sparse_vs_dense()
     parallel_data, parallel_text = measure_parallel_sweep()
     kernels_data = measure_kernels()
+    obs_data, obs_text = measure_harness_observability()
     benchmark_data = measure_benchmark_mode("tiny")
     benchmark_xs_data = measure_benchmark_mode("xs")
     print(trace_text)
     print(render_sparse_vs_dense(sparse_data))
     print(parallel_text)
     print(render_kernels(kernels_data))
+    print(obs_text)
     for label, section in (("tiny", benchmark_data), ("xs", benchmark_xs_data)):
         print(
             f"benchmark mode ({label}): "
@@ -101,7 +105,7 @@ def collect_snapshot() -> dict:
             f"{section['wall_seconds']:.2f}s"
         )
     return {
-        "schema": 3,
+        "schema": 4,
         "python": _platform.python_version(),
         "machine": _platform.machine(),
         "cores": _available_cores(),
@@ -109,6 +113,7 @@ def collect_snapshot() -> dict:
         "sparse_reports": sparse_data,
         "parallel_sweep": parallel_data,
         "kernels": kernels_data,
+        "harness_observability": obs_data,
         "benchmark_mode": benchmark_data,
         "benchmark_mode_xs": benchmark_xs_data,
     }

@@ -19,9 +19,17 @@ kinds of budget:
   The compiled-kernel sweep ratio is additionally skipped unless
   *both* snapshots ran on the numba backend: numpy-fallback ratios
   hover at ~1x by construction and carry no signal.
+* **overhead budget** — the harness-observability layer may not cost
+  more than ``OVERHEAD_CEILING`` of serial sweep wall when enabled.
+  An absolute ceiling (not baseline-relative): the contract is "near
+  free", not "no slower than before".  Skipped below
+  ``MIN_CORES_FOR_RATIOS`` cores — a loaded small container cannot
+  resolve a 3 % delta above its own scheduling noise — and skipped
+  when the baseline predates the metric (older schema).
 * **correctness flags** — never skipped: the parallel sweep must stay
-  bit-identical to the serial one and every benchmark-mode cell must
-  validate, on any machine.
+  bit-identical to the serial one, the observed sweep bit-identical to
+  the unobserved one, and every benchmark-mode cell must validate, on
+  any machine.
 
 A metric present in the budget table but missing from the *baseline*
 snapshot is reported as a skip, not a failure, so the gate tolerates
@@ -45,6 +53,9 @@ RATIO_FLOOR = 0.5
 #: memory ratios are deterministic (trace bytes, not walls) — hold tighter
 MEMORY_RATIO_FLOOR = 0.9
 MIN_CORES_FOR_RATIOS = 4
+#: enabled harness observability may cost at most this fraction of
+#: serial sweep wall (absolute, not baseline-relative)
+OVERHEAD_CEILING = 0.03
 
 #: dotted paths of wall metrics (seconds / milliseconds, lower=better)
 WALL_BUDGETS = (
@@ -61,6 +72,7 @@ WALL_BUDGETS = (
     "kernels.micro.gather_with_sources.active_ms",
     "kernels.micro.scatter_min.active_ms",
     "kernels.micro.ldg_assign.active_ms",
+    "harness_observability.cell_wall_p99_seconds",
 )
 
 #: dotted paths of speedup ratios (higher=better) -> floor factor
@@ -70,11 +82,18 @@ RATIO_BUDGETS = {
     "sparse_reports.memory_ratio": MEMORY_RATIO_FLOOR,
     "parallel_sweep.speedup": RATIO_FLOOR,
     "kernels.active_set_sweep.ratio": RATIO_FLOOR,
+    "harness_observability.utilization": RATIO_FLOOR,
+}
+
+#: dotted paths of overhead fractions (lower=better) -> absolute ceiling
+OVERHEAD_BUDGETS = {
+    "harness_observability.overhead_fraction": OVERHEAD_CEILING,
 }
 
 #: dotted paths that must be truthy in the current snapshot
 CORRECTNESS_FLAGS = (
     "parallel_sweep.identical",
+    "harness_observability.identical",
     "benchmark_mode.summary.all_validated",
     "benchmark_mode_xs.summary.all_validated",
 )
@@ -167,6 +186,27 @@ def run_gate(current: dict, baseline: dict) -> list[str]:
             gate.ok(f"{path}: {cur:g} >= {floor:g} (baseline {base:g})")
         else:
             gate.fail(f"{path}: {cur:g} below {floor:g} (baseline {base:g})")
+
+    for path, ceiling in OVERHEAD_BUDGETS.items():
+        base = _lookup(baseline, path)
+        cur = _lookup(current, path)
+        if base is None:
+            gate.skip(f"{path}: not in baseline snapshot")
+            continue
+        if cur is None:
+            gate.fail(f"{path}: missing from current snapshot")
+            continue
+        if not ratios_comparable:
+            gate.skip(
+                f"{path}: overhead budget needs >= "
+                f"{MIN_CORES_FOR_RATIOS} cores on both machines "
+                f"(have {cores})"
+            )
+            continue
+        if cur <= ceiling:
+            gate.ok(f"{path}: {cur:g} <= {ceiling:g} ceiling")
+        else:
+            gate.fail(f"{path}: {cur:g} exceeds {ceiling:g} ceiling")
 
     for path in CORRECTNESS_FLAGS:
         cur = _lookup(current, path)

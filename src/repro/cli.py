@@ -22,6 +22,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.algorithms.base import ALGORITHM_NAMES
@@ -120,6 +121,27 @@ def _scale_arg(value: str) -> str | float:
             f"{', '.join(names)} (see `graphbench list scale-factors`)"
         )
     return v
+
+
+@contextlib.contextmanager
+def _harness_events(path: str | None):
+    """Record harness observability (events + metrics) to ``path`` for
+    the enclosed block; a no-op when no ``--events`` was given."""
+    if not path:
+        yield None
+        return
+    from repro import obs
+
+    session = obs.start(events_path=path)
+    try:
+        yield session
+    finally:
+        obs.stop()
+        print()
+        print(
+            f"wrote {session.events.emitted} harness events to {path} "
+            f"(render with `graphbench stats --events {path}`)"
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -395,6 +417,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    with _harness_events(args.events):
+        return _chaos_impl(args)
+
+
+def _chaos_impl(args: argparse.Namespace) -> int:
     from repro.core.export import export
     from repro.core.results import ExperimentResult
     from repro.des.faults import FaultPlan, named_plan
@@ -475,6 +502,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_benchmark(args: argparse.Namespace) -> int:
+    with _harness_events(args.events):
+        return _benchmark_impl(args)
+
+
+def _benchmark_impl(args: argparse.Namespace) -> int:
     from repro.core.benchmark import run_benchmark
     from repro.core.export import export
 
@@ -528,6 +560,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    with _harness_events(args.events):
+        return _sweep_impl(args)
+
+
+def _sweep_impl(args: argparse.Namespace) -> int:
     if args.mode in ("horizontal", "vertical"):
         if args.dataset is None:
             print("sweep: --dataset is required for scalability modes",
@@ -589,6 +626,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print()
         print(f"wrote {n} JSONL records to {args.json}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.render import load_events_jsonl, render_stats_from_file
+
+    if args.events is None and not args.demo:
+        print(
+            "stats: pass --events PATH (written by `sweep`/`benchmark`/"
+            "`chaos --events PATH`) or --demo for a live sample",
+            file=sys.stderr,
+        )
+        return 2
+    if args.demo:
+        from repro import obs
+        from repro.obs.render import render_session
+
+        with obs.observed(events_path=args.events) as session:
+            sweep = SweepSpec.make(
+                "stats-demo",
+                platforms=("giraph", "graphlab"),
+                algorithms=("bfs", "conn"),
+                datasets=("amazon",),
+            )
+            Runner(scale=args.scale).run_grid(sweep, workers=args.workers)
+            if args.prometheus:
+                print(session.metrics.to_prometheus(), end="")
+            else:
+                print(render_session(session))
+        return 0
+    if args.prometheus:
+        metrics, _counts, _lines = load_events_jsonl(args.events)
+        print(metrics.to_prometheus(), end="")
+        return 0
+    print(render_stats_from_file(args.events))
     return 0
 
 
@@ -689,6 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--json", metavar="PATH",
                     help="export baseline+faulted accounting as JSON "
                     "Lines")
+    ch.add_argument("--events", metavar="PATH",
+                    help="stream harness observability events to a "
+                    "JSONL file")
     ch.set_defaults(func=_cmd_chaos)
 
     li = sub.add_parser(
@@ -730,6 +805,9 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--strict", action="store_true",
                     help="also fail (exit 1) on crashed/DNF cells, not "
                     "just on validation failures")
+    be.add_argument("--events", metavar="PATH",
+                    help="stream harness observability events to a "
+                    "JSONL file")
     be.set_defaults(func=_cmd_benchmark)
 
     sw = sub.add_parser(
@@ -764,7 +842,29 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--json", metavar="PATH",
                     help="export merged sweep telemetry as JSON Lines "
                     "(grid mode)")
+    sw.add_argument("--events", metavar="PATH",
+                    help="stream harness observability events to a "
+                    "JSONL file")
     sw.set_defaults(func=_cmd_sweep)
+
+    st = sub.add_parser(
+        "stats",
+        help="render harness observability: histogram quantiles, "
+        "worker utilization, cache hit rates, event counts",
+    )
+    st.add_argument("--events", metavar="PATH",
+                    help="events JSONL file written by `sweep`/"
+                    "`benchmark`/`chaos --events`")
+    st.add_argument("--demo", action="store_true",
+                    help="run a small observed sweep live instead of "
+                    "reading a file (combine with --events to keep the "
+                    "JSONL)")
+    st.add_argument("--workers", type=int, default=1,
+                    help="worker processes for --demo (default 1)")
+    st.add_argument("--prometheus", action="store_true",
+                    help="print the Prometheus text exposition instead "
+                    "of tables")
+    st.set_defaults(func=_cmd_stats)
 
     fi = sub.add_parser(
         "findings", help="verify the paper's key findings end to end"

@@ -189,9 +189,15 @@ def run_benchmark(
     independent algorithm execution (`not` the cached trace the
     platforms replayed), under the workload's declared semantics.
     Crashed and DNF cells appear in the report's failure list — they
-    produce no output, so they get no validation verdict.
+    produce no output, so they get no validation verdict.  Completed
+    cells are also checked against the workload's
+    :attr:`~repro.core.workloads.Workload.target_wall_budget`; an
+    over-budget cell is reported WARN, never FAIL.
     """
+    from repro import obs
     from repro.platforms.registry import get_platform
+
+    session = obs.active()
 
     wl_names = _normalize_workloads(workloads)
     platform_names = tuple(platforms) if platforms else ALL_PLATFORMS
@@ -250,6 +256,12 @@ def run_benchmark(
                         status=rec.status.value,
                         failure_reason=rec.failure_reason,
                     ))
+                    if session is not None:
+                        session.emit(
+                            "gate_verdict",
+                            workload=wl.name, platform=plat, dataset=ds,
+                            status=rec.status.value, verdict=None,
+                        )
                     continue
                 if reference is None:
                     reference = reference_output(
@@ -257,14 +269,26 @@ def run_benchmark(
                     )
                 assert rec.result is not None
                 verdict = wl.validate(reference, rec.result.output)
-                report.cells.append(BenchmarkCell(
+                cell = BenchmarkCell(
                     workload=wl.name,
                     platform=plat,
                     dataset=ds,
                     status=rec.status.value,
                     execution_time=rec.execution_time,
                     verdict=verdict,
-                ))
+                    wall_budget=wl.target_wall_budget,
+                )
+                report.cells.append(cell)
+                if session is not None:
+                    session.metrics.count("benchmark.cells_validated")
+                    if not verdict:
+                        session.metrics.count("benchmark.validation_failures")
+                    session.emit(
+                        "gate_verdict",
+                        workload=wl.name, platform=plat, dataset=ds,
+                        status=rec.status.value, verdict=verdict.status,
+                        over_budget=cell.over_budget,
+                    )
 
     report.cache_stats = runner.cache_stats()
     return report

@@ -191,10 +191,20 @@ def export_sweep_telemetry_jsonl(
             for k, v in (extra_counters or {}).items()
             if isinstance(v, (int, float))
         )
+        # provenance: which worker processes contributed to the merge —
+        # per-session lines above already carry their own worker_id, so
+        # a reader can attribute any merged total back to its parts
+        worker_ids = sorted({s.worker_id for s in sessions})
         for name, value in sorted(merged.items()):
             fh.write(
                 json.dumps(
-                    {"type": "merged_counter", "name": name, "value": value}
+                    {
+                        "type": "merged_counter",
+                        "schema": telemetry.TELEMETRY_SCHEMA,
+                        "name": name,
+                        "value": value,
+                        "worker_ids": worker_ids,
+                    }
                 )
                 + "\n"
             )

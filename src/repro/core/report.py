@@ -149,6 +149,8 @@ class BenchmarkCell:
     #: validation outcome (None for crashed/DNF cells — nothing to check)
     verdict: "ValidationVerdict | None" = None
     failure_reason: str = ""
+    #: the workload's target makespan (seconds), or None for no target
+    wall_budget: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -159,14 +161,27 @@ class BenchmarkCell:
         """True when the cell ran *and* its output validated PASS."""
         return self.ok and self.verdict is not None and bool(self.verdict)
 
+    @property
+    def over_budget(self) -> bool:
+        """True when the cell completed but exceeded the workload's
+        target wall budget — a soft WARN, never a failure (the paper's
+        one-hour guideline is a target, not a validity criterion)."""
+        return (
+            self.ok
+            and self.execution_time is not None
+            and self.wall_budget is not None
+            and self.execution_time > self.wall_budget
+        )
+
     def describe(self) -> str:
         """Cell text for the per-workload grid table."""
         if not self.ok:
             return self.status.upper().replace("CRASHED", "CRASH")
         time = format_seconds(self.execution_time)
+        warn = " WARN" if self.over_budget else ""
         if self.verdict is None:
-            return time
-        return f"{time} {self.verdict.status}"
+            return f"{time}{warn}"
+        return f"{time} {self.verdict.status}{warn}"
 
 
 @dataclasses.dataclass
@@ -227,6 +242,11 @@ class BenchmarkReport:
             if c.ok and c.verdict is not None and not c.verdict
         ]
 
+    def budget_warnings(self) -> list[BenchmarkCell]:
+        """Cells that completed but exceeded their workload's target
+        wall budget (WARN, not FAIL — they don't affect exit status)."""
+        return [c for c in self.cells if c.over_budget]
+
     @property
     def all_validated(self) -> bool:
         """True when every completed cell's output validated PASS
@@ -242,6 +262,7 @@ class BenchmarkReport:
             "validated_pass": len(passed),
             "validated_fail": len(self.validation_failures()),
             "failures": len(self.failures()),
+            "budget_warnings": len(self.budget_warnings()),
             "all_validated": self.all_validated,
         }
 
@@ -257,6 +278,8 @@ class BenchmarkReport:
                 "execution_time": c.execution_time,
                 "validation": None,
                 "failure_reason": c.failure_reason or None,
+                "wall_budget": c.wall_budget,
+                "over_budget": c.over_budget,
             }
             if c.verdict is not None:
                 out["validation"] = {
@@ -343,10 +366,22 @@ class BenchmarkReport:
                 ["validated PASS", s["validated_pass"]],
                 ["validated FAIL", s["validated_fail"]],
                 ["failures (crash/DNF)", s["failures"]],
+                ["over wall budget (WARN)", s["budget_warnings"]],
                 ["all outputs valid", "yes" if s["all_validated"] else "NO"],
             ],
             title="Validation summary",
         ))
+
+        over = self.budget_warnings()
+        if over:
+            chunks.append("")
+            chunks.append("Wall-budget warnings (soft target, not a failure):")
+            for c in over:
+                chunks.append(
+                    f"  {c.workload}/{c.platform}/{c.dataset}: "
+                    f"{format_seconds(c.execution_time)} over the "
+                    f"{format_seconds(c.wall_budget)} target"
+                )
 
         bad = self.validation_failures()
         if bad:

@@ -40,11 +40,15 @@ spec, emit a :class:`DeprecationWarning`, and delegate.
 from __future__ import annotations
 
 import dataclasses
+import gc
+import resource
+import time
 import typing as _t
 import warnings
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.spec import ClusterSpec, das4_cluster
 from repro.core.results import ExperimentResult, RunRecord, RunStatus
 from repro.core.spec import RunSpec, SweepSpec, derive_cell_seed
@@ -108,7 +112,69 @@ class Runner:
         repetition; it becomes part of the trace-cache key, so a cached
         fault-free trace is never replayed in place of a faulted run
         (and vice versa).
+
+        With an ambient :mod:`repro.obs` session the cell is also
+        profiled for real (harness) wall-clock, peak RSS and GC
+        activity; the simulation itself — and therefore the returned
+        record — is bit-identical either way.
         """
+        session = obs.active()
+        if session is None:
+            return self._run_impl(spec)
+        return self._run_observed(session, spec)
+
+    def _run_observed(
+        self, session: obs.Observability, spec: RunSpec
+    ) -> RunRecord:
+        """Profile one cell for the active observability session."""
+        session.emit("run_started", cell=spec.describe())
+        gc_before = sum(s["collections"] for s in gc.get_stats())
+        start = time.perf_counter()
+        record = self._run_impl(spec)
+        wall = time.perf_counter() - start
+        metrics = session.metrics
+        metrics.count("runner.cells_total")
+        metrics.count(f"runner.cells_{record.status.value}")
+        metrics.observe("runner.cell_wall_seconds", wall)
+        metrics.count(
+            "runner.gc_collections",
+            sum(s["collections"] for s in gc.get_stats()) - gc_before,
+        )
+        # ru_maxrss is KiB on Linux (bytes on macOS; the factor is only
+        # cosmetic there).
+        metrics.gauge_max(
+            "runner.peak_rss_bytes",
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024.0,
+        )
+        result = record.result
+        if result is not None and (
+            result.task_retries or result.job_restarts
+        ):
+            metrics.count("runner.fault_retries", result.task_retries)
+            metrics.count("runner.job_restarts", result.job_restarts)
+            session.emit(
+                "retry",
+                cell=spec.describe(),
+                task_retries=result.task_retries,
+                job_restarts=result.job_restarts,
+                recovery_seconds=round(result.recovery_seconds, 6),
+            )
+        if record.status is not RunStatus.OK:
+            session.emit(
+                "crash",
+                cell=spec.describe(),
+                status=record.status.value,
+                reason=record.failure_reason,
+            )
+        session.emit(
+            "run_finished",
+            cell=spec.describe(),
+            status=record.status.value,
+            wall_seconds=round(wall, 6),
+        )
+        return record
+
+    def _run_impl(self, spec: RunSpec) -> RunRecord:
         plat = (
             get_platform(spec.platform)
             if isinstance(spec.platform, str)
@@ -290,7 +356,21 @@ class Runner:
             from repro.core.sweep import run_sweep
 
             return run_sweep(self, sweep, workers=num_workers)
+        session = obs.active()
+        specs = list(sweep.cells())
+        if session is not None:
+            session.emit(
+                "sweep_started",
+                sweep=sweep.name, cells=len(specs), workers=1,
+            )
+        start = time.perf_counter()
         exp = ExperimentResult(sweep.name)
-        for spec in sweep.cells():
+        for spec in specs:
             exp.add(self.run(spec))
+        if session is not None:
+            session.emit(
+                "sweep_finished",
+                sweep=sweep.name, cells=len(specs), workers=1,
+                wall_seconds=round(time.perf_counter() - start, 6),
+            )
         return exp

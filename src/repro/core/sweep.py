@@ -50,8 +50,10 @@ import multiprocessing
 import pathlib
 import shutil
 import tempfile
+import time
 import typing as _t
 
+from repro import obs
 from repro.core import telemetry
 from repro.core.results import ExperimentResult, RunRecord
 from repro.core.spec import RunSpec, SweepSpec
@@ -77,20 +79,28 @@ class _WorkerConfig:
     max_entries: int
     spill_dir: str | None
     telemetry: bool
+    observability: bool = False
 
 
 _WORKER_RUNNER: "Runner | None" = None
+_WORKER_OBS: bool = False
 
 
 def _init_worker(config: _WorkerConfig) -> None:
     """Process-pool initializer: build this worker's runner."""
-    global _WORKER_RUNNER
+    global _WORKER_RUNNER, _WORKER_OBS
     from repro.core.runner import Runner
     from repro.core.trace_cache import TraceCache
 
     # Spawned workers start with telemetry off; forked workers inherit
     # the parent's flag.  Either way, pin it to the parent's setting.
     telemetry.set_enabled(config.telemetry)
+    # A forked worker also inherits the parent's observability session
+    # object (including its JSONL file handle).  Detach it — workers
+    # record each batch into a fresh session and ship the snapshot back
+    # instead of writing into the parent's sink.
+    obs.detach()
+    _WORKER_OBS = config.observability
     _WORKER_RUNNER = Runner(
         repetitions=config.repetitions,
         jitter=config.jitter,
@@ -116,10 +126,33 @@ def _run_one(item: tuple[int, RunSpec]) -> tuple[int, RunRecord, dict]:
     return index, record, delta
 
 
-def _run_group(items: list[tuple[int, RunSpec]]) -> list[tuple[int, RunRecord, dict]]:
+def _run_group(
+    items: list[tuple[int, RunSpec]],
+) -> tuple[list[tuple[int, RunRecord, dict]], dict | None]:
     """Execute one workload batch in a worker (cells sharing a trace
-    recording and partition contexts)."""
-    return [_run_one(item) for item in items]
+    recording and partition contexts).
+
+    With observability on, the batch records into a fresh per-batch
+    session and its snapshot rides back for the parent to absorb — an
+    exact delta, so nothing is double-counted across batches.
+    """
+    if not _WORKER_OBS:
+        return [_run_one(item) for item in items], None
+    session = obs.Observability(role="worker")
+    start = time.perf_counter()
+    with obs.scoped(session):
+        results = [_run_one(item) for item in items]
+    busy = time.perf_counter() - start
+    metrics = session.metrics
+    metrics.count("sweep.worker_busy_seconds", busy)
+    metrics.count("sweep.batches_total")
+    metrics.observe("sweep.batch_size", float(len(items)))
+    session.emit(
+        "worker_heartbeat",
+        batch_size=len(items),
+        busy_seconds=round(busy, 6),
+    )
+    return results, session.snapshot()
 
 
 def _workload_tasks(
@@ -195,6 +228,7 @@ def run_sweep(
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
         )
+        session = obs.active()
         config = _WorkerConfig(
             repetitions=runner.repetitions,
             jitter=runner.jitter,
@@ -204,19 +238,69 @@ def run_sweep(
             max_entries=cache.max_entries,
             spill_dir=str(cache.spill_dir) if cache.spill_dir else None,
             telemetry=telemetry.is_enabled(),
+            observability=session is not None,
         )
         tasks = _workload_tasks(specs, workers)
+        pool_workers = min(workers, len(tasks))
+        if session is not None:
+            session.emit(
+                "sweep_started",
+                sweep=sweep.name, cells=len(specs),
+                workers=pool_workers, tasks=len(tasks),
+            )
+            session.metrics.gauge_max(
+                "sweep.task_queue_depth", float(len(tasks))
+            )
+            for task_index, task in enumerate(tasks):
+                session.emit(
+                    "cell_dispatched",
+                    task=task_index, cells=len(task),
+                    workload=task[0][1].describe(),
+                )
+            # Forked workers inherit the sink's fd and buffer; flush
+            # now so no parent bytes can be replayed from a child.
+            session.events.flush()
+        busy_before = (
+            session.metrics.counters.get("sweep.worker_busy_seconds", 0.0)
+            if session is not None
+            else 0.0
+        )
+        pool_start = time.perf_counter()
         results: list[RunRecord | None] = [None] * len(specs)
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)),
+            max_workers=pool_workers,
             mp_context=ctx,
             initializer=_init_worker,
             initargs=(config,),
         ) as pool:
-            for batch in pool.map(_run_group, tasks, chunksize=1):
+            for batch, snapshot in pool.map(_run_group, tasks, chunksize=1):
                 for index, record, delta in batch:
                     results[index] = record
                     cache.merge_counters(delta)
+                if session is not None and snapshot is not None:
+                    session.absorb(snapshot)
+        if session is not None:
+            pool_wall = time.perf_counter() - pool_start
+            busy = (
+                session.metrics.counters.get("sweep.worker_busy_seconds", 0.0)
+                - busy_before
+            )
+            utilization = (
+                busy / (pool_workers * pool_wall) if pool_wall > 0 else 0.0
+            )
+            session.metrics.gauge("sweep.worker_utilization", utilization)
+            session.metrics.observe("sweep.pool_wall_seconds", pool_wall)
+            # Rate gauges merge as maxima, which is meaningless for a
+            # ratio — recompute from the merged counters instead.
+            session.metrics.gauge(
+                "trace_cache.hit_rate", runner.trace_cache.hit_rate
+            )
+            session.emit(
+                "sweep_finished",
+                sweep=sweep.name, cells=len(specs), workers=pool_workers,
+                wall_seconds=round(pool_wall, 6),
+                utilization=round(utilization, 4),
+            )
         for record in results:
             assert record is not None
             exp.add(record)

@@ -35,9 +35,11 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
 import typing as _t
 
 __all__ = [
+    "TELEMETRY_SCHEMA",
     "Span",
     "Telemetry",
     "CostBreakdown",
@@ -50,6 +52,12 @@ __all__ = [
     "merge_counters",
     "set_enabled",
 ]
+
+
+#: version stamped on every JSONL meta/counter record (bump on
+#: field-shape changes; shares numbering discipline with
+#: ``repro.obs.events.EVENT_SCHEMA`` so one reader can parse both)
+TELEMETRY_SCHEMA: int = 1
 
 
 @dataclasses.dataclass
@@ -125,6 +133,9 @@ class Telemetry:
 
     def __init__(self, **attrs: _t.Any) -> None:
         self.attrs: dict[str, _t.Any] = dict(attrs)
+        #: pid of the recording process — sweep workers record sessions
+        #: in their own processes, and the merged JSONL keeps saying so
+        self.worker_id: int = os.getpid()
         self.spans: list[Span] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
@@ -310,14 +321,33 @@ class Telemetry:
 
     def to_jsonl_dicts(self) -> _t.Iterator[dict[str, _t.Any]]:
         """All session records as JSONL-ready dicts: a meta line, every
-        span, then counters and gauges."""
-        yield {"type": "meta", **self.attrs}
+        span, then counters and gauges.
+
+        The meta line carries ``schema`` (:data:`TELEMETRY_SCHEMA`) and
+        the recording process's ``worker_id``; counter and gauge lines
+        repeat ``worker_id`` so rows stay attributable after several
+        sessions are merged into one file — the same provenance fields
+        harness events (:mod:`repro.obs.events`) carry, so one reader
+        parses both streams.
+        """
+        yield {
+            "type": "meta",
+            "schema": TELEMETRY_SCHEMA,
+            "worker_id": self.worker_id,
+            **self.attrs,
+        }
         for s in self.spans:
             yield s.to_dict()
         for name, value in sorted(self.counters.items()):
-            yield {"type": "counter", "name": name, "value": value}
+            yield {
+                "type": "counter", "name": name, "value": value,
+                "worker_id": self.worker_id,
+            }
         for name, value in sorted(self.gauges.items()):
-            yield {"type": "gauge", "name": name, "value": value}
+            yield {
+                "type": "gauge", "name": name, "value": value,
+                "worker_id": self.worker_id,
+            }
 
 
 def merge_counters(sessions: _t.Iterable["Telemetry"]) -> dict[str, float]:

@@ -36,6 +36,7 @@ import pickle
 import time
 import typing as _t
 
+from repro import obs
 from repro.algorithms.base import Algorithm, SuperstepTrace, record_trace
 from repro.graph.graph import Graph
 
@@ -153,6 +154,10 @@ class TraceCache:
             pickle.dump((key, trace), fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
         self.disk_stores += 1
+        session = obs.active()
+        if session is not None:
+            session.metrics.count("trace_cache.disk_stores")
+            session.emit("cache_spill", path=path.name)
 
     def spill_all(self) -> int:
         """Write every spillable in-memory entry to the spill
@@ -243,15 +248,37 @@ class TraceCache:
         from repro.core import telemetry
 
         tele = telemetry.active()
+        session = obs.active()
+        disk_hits_before = self.disk_hits
         trace = self.lookup(key, graph)
         if trace is not None:
             self.hits += 1
             if tele is not None:
                 tele.count("trace_cache.hits")
+            if session is not None:
+                layer = (
+                    "disk" if self.disk_hits > disk_hits_before else "memory"
+                )
+                session.metrics.count("trace_cache.hits")
+                session.metrics.count(f"trace_cache.{layer}_hits")
+                session.metrics.gauge("trace_cache.hit_rate", self.hit_rate)
+                session.emit(
+                    "cache_hit",
+                    layer=layer,
+                    algorithm=algo.name,
+                    dataset=dataset or graph.name,
+                )
             return trace, 0.0
         self.misses += 1
         if tele is not None:
             tele.count("trace_cache.misses")
+        if session is not None:
+            session.metrics.count("trace_cache.misses")
+            session.emit(
+                "cache_miss",
+                algorithm=algo.name,
+                dataset=dataset or graph.name,
+            )
         wall0 = time.perf_counter()
         merged = {**algo.default_params(graph), **(params or {})}
         prog = algo.program(graph, **merged)
@@ -259,6 +286,9 @@ class TraceCache:
         wall = time.perf_counter() - wall0
         self.record_seconds += wall
         self.store(key, graph, trace)
+        if session is not None:
+            session.metrics.observe("trace_cache.record_wall_seconds", wall)
+            session.metrics.gauge("trace_cache.hit_rate", self.hit_rate)
         return trace, wall
 
     # -- observability -----------------------------------------------------

@@ -188,6 +188,11 @@ class Workload:
     epsilon: float = 1e-4
     #: parameter overrides applied on top of the algorithm defaults
     params: tuple[tuple[str, object], ...] = ()
+    #: target simulated makespan in seconds, or ``None`` for no target.
+    #: The paper caps every experiment at one hour of processing
+    #: (Section 3.2); benchmark mode reports a cell over this budget as
+    #: a WARN in the verdict table — a soft target, never a FAIL.
+    target_wall_budget: float | None = 3600.0
 
     def __post_init__(self) -> None:
         if self.semantics not in VALIDATION_SEMANTICS:
@@ -195,6 +200,8 @@ class Workload:
                 f"unknown validation semantics {self.semantics!r}; choose "
                 f"from {', '.join(VALIDATION_SEMANTICS)}"
             )
+        if self.target_wall_budget is not None and self.target_wall_budget <= 0:
+            raise ValueError("target_wall_budget must be positive or None")
 
     def params_dict(self) -> dict[str, object]:
         return dict(self.params)

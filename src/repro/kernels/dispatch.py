@@ -30,9 +30,11 @@ from __future__ import annotations
 import contextlib
 import logging
 import os
+import time
 
 import numpy as np
 
+from repro import obs
 from repro.kernels import _compiled, _numpy
 
 __all__ = [
@@ -224,6 +226,26 @@ def use_backend(name: str):
 
 # -- dispatch wrappers (the hot-path API) ------------------------------------
 
+def _call(name: str, *args):
+    """Route one kernel call through the active tier.
+
+    The single ``is None`` check is the whole observability cost when
+    the layer is off; when a session is ambient, the call is timed and
+    folded into per-kernel, per-backend counters
+    (``kernels.<backend>.<name>.calls`` / ``.wall_seconds``).
+    """
+    session = obs.active()
+    if session is None:
+        return _ACTIVE[name](*args)
+    start = time.perf_counter()
+    result = _ACTIVE[name](*args)
+    wall = time.perf_counter() - start
+    metrics = session.metrics
+    metrics.count(f"kernels.{_BACKEND}.{name}.calls")
+    metrics.count(f"kernels.{_BACKEND}.{name}.wall_seconds", wall)
+    return result
+
+
 def part_bincount(
     parts: np.ndarray, weights: np.ndarray, num_parts: int
 ) -> np.ndarray:
@@ -232,8 +254,9 @@ def part_bincount(
     Accumulation is in element order — the same order (and therefore
     the same float64 sums) as ``np.bincount(parts, weights=...)``.
     """
-    return _ACTIVE["part_bincount"](
-        parts, np.asarray(weights, dtype=np.float64), int(num_parts)
+    return _call(
+        "part_bincount",
+        parts, np.asarray(weights, dtype=np.float64), int(num_parts),
     )
 
 
@@ -246,7 +269,7 @@ def comm_degrees(
     """Per-vertex ``(remote_out, remote_in)`` cut-arc counts from one
     pass over the CSR (``remote_in`` aliases ``remote_out`` on
     undirected graphs)."""
-    return _ACTIVE["comm_degrees"](indptr, indices, assign, bool(directed))
+    return _call("comm_degrees", indptr, indices, assign, bool(directed))
 
 
 def cut_count(
@@ -254,7 +277,7 @@ def cut_count(
 ) -> int:
     """Number of CSR arcs crossing parts (before any undirected
     halving)."""
-    return int(_ACTIVE["cut_count"](indptr, indices, assign))
+    return int(_call("cut_count", indptr, indices, assign))
 
 
 def gather_neighbors(
@@ -262,7 +285,7 @@ def gather_neighbors(
 ) -> np.ndarray:
     """Concatenated adjacency slices of ``vertices`` (frontier
     expansion); output dtype matches ``indices``."""
-    return _ACTIVE["gather_neighbors"](indptr, indices, vertices)
+    return _call("gather_neighbors", indptr, indices, vertices)
 
 
 def gather_with_sources(
@@ -270,14 +293,14 @@ def gather_with_sources(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Like :func:`gather_neighbors` plus the int64 source vertex of
     every gathered entry."""
-    return _ACTIVE["gather_with_sources"](indptr, indices, vertices)
+    return _call("gather_with_sources", indptr, indices, vertices)
 
 
 def scatter_min(
     target: np.ndarray, idx: np.ndarray, values: np.ndarray
 ) -> None:
     """In-place ``np.minimum.at(target, idx, values)``."""
-    _ACTIVE["scatter_min"](target, idx, values)
+    _call("scatter_min", target, idx, values)
 
 
 def ldg_assign(
@@ -292,7 +315,8 @@ def ldg_assign(
     num_parts: int,
 ) -> np.ndarray:
     """The LDG streaming-partitioner inner loop; int32 assignment."""
-    return _ACTIVE["ldg_assign"](
+    return _call(
+        "ldg_assign",
         indptr, indices, in_indptr, in_indices, bool(directed),
         order, weight, float(capacity), int(num_parts),
     )

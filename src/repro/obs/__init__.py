@@ -1,0 +1,221 @@
+"""Harness runtime observability (``repro.obs``).
+
+This package watches the *harness itself* — real wall-clock, RSS, GC,
+worker utilization, cache behaviour — as opposed to
+:mod:`repro.core.telemetry`, which attributes *simulated* cost. The
+split matters: telemetry answers "where did the modeled seconds go?",
+this layer answers "how healthy was the process that modeled them?"
+(the paper's Figs. 5–10 and 15–16 are only trustworthy because the
+monitoring harness around the platforms was itself observable, and
+LDBC Graphalytics bakes the same requirement into its driver).
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  mergeable log-bucket histograms with p50/p90/p99 estimation, plus
+  Prometheus text exposition and JSON export;
+* :mod:`repro.obs.events` — a schema-versioned, ring-buffered
+  structured event stream with an optional append-only JSONL sink;
+* this module — the ambient **session**: :class:`Observability`
+  bundles one registry and one stream, and a single module-global slot
+  (mirroring telemetry's design) lets every instrumentation site in
+  the runner, sweep executor, trace cache and kernel dispatch reduce
+  to one ``is None`` check when the layer is off.
+
+Zero-perturbation contract: observability reads clocks and process
+counters, never the simulation — enabling it must leave every
+``JobResult`` bit-identical (property-tested per platform x
+{bfs, conn, sssp} x workers in ``tests/test_obs.py``), and it is off
+by default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import typing as _t
+
+from repro.obs.events import EVENT_KINDS, EVENT_SCHEMA, Event, EventStream
+from repro.obs.metrics import LOG_BASE, Histogram, MetricsRegistry
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventStream",
+    "Histogram",
+    "LOG_BASE",
+    "MetricsRegistry",
+    "Observability",
+    "active",
+    "detach",
+    "is_active",
+    "observed",
+    "scoped",
+    "start",
+    "stop",
+]
+
+
+class Observability:
+    """One observability session: a metrics registry + an event stream.
+
+    ``role`` distinguishes the parent (``"main"``) from sweep workers
+    (``"worker"``); ``worker_id`` is the recording process's pid and is
+    stamped on every event, so merged streams keep their provenance —
+    the same field :class:`repro.core.telemetry.Telemetry` sessions
+    carry, making harness events and cost telemetry co-parseable.
+    """
+
+    def __init__(
+        self,
+        *,
+        events_path: str | os.PathLike | None = None,
+        ring_size: int = 4096,
+        role: str = "main",
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.events = EventStream(events_path, ring_size=ring_size)
+        self.role = role
+        self.worker_id = os.getpid()
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, kind: str, **fields: _t.Any) -> Event:
+        """Emit one event stamped with this session's ``worker_id``."""
+        return self.events.emit(kind, worker_id=self.worker_id, **fields)
+
+    # -- worker merge ------------------------------------------------------
+    def snapshot(self) -> dict[str, _t.Any]:
+        """A picklable delta for the worker→parent merge: the metrics
+        snapshot plus every ring event (as dataclasses)."""
+        return {
+            "schema": EVENT_SCHEMA,
+            "worker_id": self.worker_id,
+            "metrics": self.metrics.to_dict(),
+            "events": list(self.events.events()),
+        }
+
+    def absorb(self, snapshot: dict[str, _t.Any]) -> None:
+        """Fold a worker snapshot in: counters/histograms merge
+        exactly, gauges take maxima, events append (their original
+        timestamps and worker ids preserved, and re-written to this
+        session's JSONL sink when one is attached)."""
+        self.metrics.merge(snapshot.get("metrics", {}))
+        for event in snapshot.get("events", ()):
+            self.events.append(event)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Write the final metrics snapshot to the JSONL sink (one
+        ``"kind": "metric"`` record per metric, schema-stamped like the
+        events) and close it."""
+        for name, value in sorted(self.metrics.counters.items()):
+            self.events.write_record({
+                "schema": EVENT_SCHEMA, "kind": "metric",
+                "metric_type": "counter", "name": name, "value": value,
+            })
+        for name, value in sorted(self.metrics.gauges.items()):
+            self.events.write_record({
+                "schema": EVENT_SCHEMA, "kind": "metric",
+                "metric_type": "gauge", "name": name, "value": value,
+            })
+        for name, hist in sorted(self.metrics.histograms.items()):
+            self.events.write_record({
+                "schema": EVENT_SCHEMA, "kind": "metric",
+                "metric_type": "histogram", "name": name,
+                **hist.to_dict(),
+            })
+        self.events.close()
+
+
+# -- module-global session management ----------------------------------------
+#
+# One ambient session per process, read by every instrumentation site
+# via `active()` — the single `is None` check that keeps the layer free
+# when disabled.  Sweep workers run their own session (role="worker")
+# and return snapshot deltas for the parent to absorb.
+
+_active: Observability | None = None
+
+
+def active() -> Observability | None:
+    """The session currently recording, or ``None`` (the fast path)."""
+    return _active
+
+
+def is_active() -> bool:
+    """Whether an observability session is recording."""
+    return _active is not None
+
+
+def start(
+    *,
+    events_path: str | os.PathLike | None = None,
+    ring_size: int = 4096,
+    role: str = "main",
+) -> Observability:
+    """Begin a session and install it as the ambient one.
+
+    An already-active session is closed first — sessions never nest
+    (the runner and sweep instrumentation all feed whichever session
+    is ambient).
+    """
+    global _active
+    if _active is not None:
+        _active.close()
+    _active = Observability(
+        events_path=events_path, ring_size=ring_size, role=role
+    )
+    return _active
+
+
+def detach() -> None:
+    """Drop the ambient session *without* closing it.
+
+    Forked sweep workers inherit the parent's session object — and its
+    open JSONL file handle.  They must neither record into it nor flush
+    it (the fd offset is shared with the parent), so the worker
+    initializer detaches and batches record into fresh per-batch
+    sessions via :func:`scoped` instead.
+    """
+    global _active
+    _active = None
+
+
+def stop() -> Observability | None:
+    """Close and uninstall the ambient session; returns it (its ring
+    and metrics stay readable after the JSONL sink closes)."""
+    global _active
+    session, _active = _active, None
+    if session is not None:
+        session.close()
+    return session
+
+
+@contextlib.contextmanager
+def observed(
+    *,
+    events_path: str | os.PathLike | None = None,
+    ring_size: int = 4096,
+) -> _t.Iterator[Observability]:
+    """Context manager: record observability for the enclosed block."""
+    session = start(events_path=events_path, ring_size=ring_size)
+    try:
+        yield session
+    finally:
+        if _active is session:
+            stop()
+
+
+@contextlib.contextmanager
+def scoped(session: Observability) -> _t.Iterator[Observability]:
+    """Temporarily make ``session`` the ambient one (the sweep workers
+    collect each batch into a fresh session so the parent can absorb
+    exact per-batch deltas)."""
+    global _active
+    prev = _active
+    _active = session
+    try:
+        yield session
+    finally:
+        _active = prev

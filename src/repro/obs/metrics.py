@@ -1,0 +1,293 @@
+"""Harness metrics registry: counters, gauges, streaming histograms.
+
+The paper's methodology (Section 3.2) separates the *measured system*
+from the *measuring harness*; LDBC Graphalytics later made the second
+half explicit — a benchmark driver must report its own execution
+health next to the results it produces.  This module is the harness
+half: **real** wall-clock, RSS, utilization and cache behaviour of the
+processes running the simulation, cleanly separated from the
+*simulated*-cost telemetry in :mod:`repro.core.telemetry`.
+
+Three metric families:
+
+* **counters** — monotone float totals (cells run, cache hits, kernel
+  calls, cumulative kernel wall);
+* **gauges** — last-written values (hit rates, worker utilization);
+  cross-process merges take the elementwise **maximum**, which is the
+  correct fold for the peak-style gauges workers report — rates and
+  utilizations derived from counters should be recomputed by the
+  parent after merging, not merged themselves;
+* **histograms** — streaming log-bucket distributions
+  (:class:`Histogram`): observations land in geometric buckets of
+  fixed width :data:`LOG_BASE`, so p50/p90/p99 estimates carry a
+  bounded *relative* error (one half-bucket, ~9 %) at O(#buckets)
+  memory, and two histograms recorded in different processes merge by
+  summing bucket counts — exactly associative, order-independent.
+
+The registry serializes to JSON (:meth:`MetricsRegistry.to_dict` /
+:meth:`from_dict`) for the worker→parent merge and the events-JSONL
+tail, and renders a Prometheus-style text exposition
+(:meth:`MetricsRegistry.to_prometheus`) for the ``graphbench serve``
+scrape endpoint this layer is building toward.
+
+Like :mod:`repro.core.telemetry`, this module imports nothing from
+:mod:`repro` so every layer can emit into it without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import typing as _t
+
+__all__ = [
+    "LOG_BASE",
+    "Histogram",
+    "MetricsRegistry",
+    "prometheus_name",
+]
+
+#: geometric bucket width: 2**0.25 per bucket (~19 % wide, so a
+#: quantile estimate is within ~9 % of the true order statistic)
+LOG_BASE: float = 2.0 ** 0.25
+
+_LOG_OF_BASE = math.log(LOG_BASE)
+
+#: summary quantiles rendered by the Prometheus exposition
+_EXPOSED_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """A mergeable streaming histogram over fixed log-spaced buckets.
+
+    Positive observations fall into bucket ``floor(log(v) / log(base))``
+    — i.e. bucket ``i`` covers ``[base**i, base**(i+1))``.  Zero and
+    negative observations (clock quantization can floor a tiny wall to
+    0.0) land in a dedicated underflow bucket that estimates as 0.0.
+
+    Quantile estimates return the geometric midpoint of the bucket
+    holding the ``ceil(q * count)``-th order statistic, so the estimate
+    is within a factor ``sqrt(base)`` of that statistic.  Merging sums
+    bucket counts: associative, commutative, and independent of the
+    process that recorded each observation.
+    """
+
+    __slots__ = ("buckets", "zeros", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        #: bucket index -> observation count
+        self.buckets: dict[int, int] = {}
+        #: observations <= 0 (underflow bucket)
+        self.zeros: int = 0
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The log-bucket index of a positive ``value``."""
+        return math.floor(math.log(value) / _LOG_OF_BASE)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if v <= 0.0:
+            self.zeros += 1
+            return
+        i = self.bucket_index(v)
+        self.buckets[i] = self.buckets.get(i, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``).
+
+        Returns the geometric midpoint ``base**(i + 0.5)`` of the
+        bucket containing the ``ceil(q * count)``-th smallest
+        observation — within a factor ``sqrt(base)`` of that order
+        statistic.  Returns ``nan`` for an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile q must be in (0, 1], got {q!r}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if seen >= rank:
+                return LOG_BASE ** (i + 0.5)
+        return self.max  # pragma: no cover - counts always sum to count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def merge(self, other: "Histogram | dict") -> None:
+        """Fold another histogram (or its :meth:`to_dict` form) in."""
+        if isinstance(other, dict):
+            other = Histogram.from_dict(other)
+        for i, c in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + c
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, _t.Any]:
+        """A JSON-serializable snapshot (bucket keys become strings)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "zeros": self.zeros,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, _t.Any]) -> "Histogram":
+        h = cls()
+        h.count = int(data.get("count", 0))
+        h.total = float(data.get("total", 0.0))
+        h.zeros = int(data.get("zeros", 0))
+        h.min = math.inf if data.get("min") is None else float(data["min"])
+        h.max = -math.inf if data.get("max") is None else float(data["max"])
+        h.buckets = {
+            int(i): int(c) for i, c in (data.get("buckets") or {}).items()
+        }
+        return h
+
+
+def prometheus_name(name: str, prefix: str = "graphbench") -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+class MetricsRegistry:
+    """One process's harness metrics: counters, gauges, histograms.
+
+    All three families are name-addressed; instrumentation sites call
+    :meth:`count` / :meth:`gauge` / :meth:`observe` directly — metrics
+    spring into existence on first touch, so hot paths never pay a
+    registration step.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- emission ----------------------------------------------------------
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Increment counter ``name`` by ``delta``."""
+        self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins within a process)."""
+        self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if it is higher (peaks)."""
+        v = float(value)
+        if v > self.gauges.get(name, -math.inf):
+            self.gauges[name] = v
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created empty on first access)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    # -- merging -----------------------------------------------------------
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its :meth:`to_dict` snapshot) in.
+
+        Counters sum and histograms merge bucketwise — both exact and
+        order-independent.  Gauges take the elementwise maximum (the
+        peak-style fold); rate gauges should be recomputed from the
+        merged counters by whoever owns the merged registry.
+        """
+        if isinstance(other, MetricsRegistry):
+            other = other.to_dict()
+        for name, value in other.get("counters", {}).items():
+            self.count(name, float(value))
+        for name, value in other.get("gauges", {}).items():
+            self.gauge_max(name, float(value))
+        for name, data in other.get("histograms", {}).items():
+            self.histogram(name).merge(data)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, _t.Any]:
+        """A picklable/JSON-serializable snapshot of everything."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: h.to_dict() for name, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, _t.Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters = {
+            str(k): float(v) for k, v in data.get("counters", {}).items()
+        }
+        reg.gauges = {
+            str(k): float(v) for k, v in data.get("gauges", {}).items()
+        }
+        reg.histograms = {
+            str(k): Histogram.from_dict(v)
+            for k, v in data.get("histograms", {}).items()
+        }
+        return reg
+
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    # -- exposition --------------------------------------------------------
+    def to_prometheus(self, prefix: str = "graphbench") -> str:
+        """The Prometheus text exposition of every metric.
+
+        Counters and gauges render as single samples; histograms render
+        as Prometheus *summaries* (quantile samples plus ``_sum`` and
+        ``_count``) so a scraper gets p50/p90/p99 without re-bucketing.
+        """
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            pname = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {self.counters[name]:g}")
+        for name in sorted(self.gauges):
+            pname = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {self.gauges[name]:g}")
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            pname = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} summary")
+            for q in _EXPOSED_QUANTILES:
+                value = h.quantile(q) if h.count else math.nan
+                lines.append(f'{pname}{{quantile="{q:g}"}} {value:g}')
+            lines.append(f"{pname}_sum {h.total:g}")
+            lines.append(f"{pname}_count {h.count}")
+        return "\n".join(lines) + "\n" if lines else ""

@@ -385,6 +385,68 @@ class TestRunBenchmark:
         assert report.get("pr", "neo4j", "kgs") is None
 
 
+class TestWallBudget:
+    """Satellite: per-workload target wall budgets WARN, never FAIL."""
+
+    def _cell(self, execution_time, wall_budget):
+        return BenchmarkCell(
+            workload="bfs", platform="giraph", dataset="kgs", status="ok",
+            execution_time=execution_time,
+            verdict=ValidationVerdict(True, "exact", "bit-identical"),
+            wall_budget=wall_budget,
+        )
+
+    def test_every_workload_declares_the_paper_hour(self):
+        # Section 3.2: experiments are capped at one hour of processing
+        for name in WORKLOAD_NAMES:
+            assert get_workload(name).target_wall_budget == 3600.0
+
+    def test_budget_must_be_positive_or_none(self):
+        with pytest.raises(ValueError, match="target_wall_budget"):
+            Workload(
+                "bad", "bfs", "Bad", "x", semantics="exact",
+                target_wall_budget=0.0,
+            )
+        wl = Workload(
+            "free", "bfs", "Free", "x", semantics="exact",
+            target_wall_budget=None,
+        )
+        assert wl.target_wall_budget is None
+
+    def test_over_budget_is_a_warn_not_a_fail(self):
+        over = self._cell(4000.0, 3600.0)
+        assert over.over_budget
+        assert over.validated  # WARN does not flip validation
+        assert over.describe().endswith("WARN")
+        under = self._cell(100.0, 3600.0)
+        unbudgeted = self._cell(4000.0, None)
+        assert not under.over_budget and not unbudgeted.over_budget
+        assert "WARN" not in under.describe()
+
+    def test_report_counts_and_renders_warnings(self):
+        report = run_benchmark(
+            workloads=("bfs",), platforms=("giraph",), datasets=("kgs",),
+            scale="tiny", name="budget-unit",
+        )
+        (cell,) = report.cells
+        assert cell.wall_budget == 3600.0
+        assert not cell.over_budget  # tiny scale is far under an hour
+        assert report.summary()["budget_warnings"] == 0
+
+        import dataclasses
+
+        report.cells[0] = dataclasses.replace(cell, wall_budget=1e-9)
+        assert report.budget_warnings() == [report.cells[0]]
+        assert report.summary()["budget_warnings"] == 1
+        assert report.all_validated  # still not a failure
+        text = report.render()
+        assert "Wall-budget warnings" in text
+        assert "WARN" in text
+        doc = report.to_dict()
+        assert doc["cells"][0]["over_budget"] is True
+        assert doc["cells"][0]["wall_budget"] == 1e-9
+
+
 @pytest.mark.slow
 def test_full_tiny_grid_all_completed_cells_pass():
     """The acceptance sweep: every workload on every platform and

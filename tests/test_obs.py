@@ -1,0 +1,540 @@
+"""Harness observability (``repro.obs``): metrics, events, and the
+zero-perturbation contract.
+
+Three contracts under test:
+
+* **histogram math** — log-bucket quantiles stay within one half-bucket
+  (a factor ``sqrt(LOG_BASE)``) of the exact order statistic, and
+  merging is associative/commutative/serialization-stable, so the
+  worker->parent fold loses nothing (property-tested with hypothesis);
+* **zero perturbation** — enabling observability leaves every sweep
+  record bit-identical, across all platforms x {bfs, conn, sssp} and
+  serial vs. 4-worker execution;
+* **cross-process merge** — worker sessions snapshot back to the
+  parent with counters summed, gauges folded as maxima, events keeping
+  their own worker ids, and rate gauges recomputed parent-side.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.runner import Runner
+from repro.core.spec import RunSpec, SweepSpec
+from repro.des.faults import named_plan
+from repro.obs.metrics import (
+    LOG_BASE,
+    Histogram,
+    MetricsRegistry,
+    prometheus_name,
+)
+from repro.obs.render import (
+    load_events_jsonl,
+    render_session,
+    render_stats_from_file,
+)
+from repro.platforms.registry import PLATFORM_NAMES
+from tests.test_spec_sweep import records_equal
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """No test may leave an ambient session behind (it would silently
+    instrument every later test in the process)."""
+    yield
+    assert obs.active() is None, "test leaked an ambient obs session"
+    obs.detach()
+
+
+# -- histogram properties (hypothesis) --------------------------------------
+
+positive_values = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+observations = st.lists(
+    positive_values | st.just(0.0), min_size=0, max_size=200
+)
+
+
+def _hist_of(values) -> Histogram:
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _same_distribution(a: Histogram, b: Histogram) -> None:
+    assert a.buckets == b.buckets
+    assert a.zeros == b.zeros
+    assert a.count == b.count
+    assert a.min == b.min and a.max == b.max
+    # totals are float sums folded in different orders
+    assert math.isclose(a.total, b.total, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(observations, st.integers(0, 200), st.integers(0, 200))
+@settings(max_examples=60, deadline=None)
+def test_histogram_merge_associative_and_commutative(values, cut_a, cut_b):
+    i, j = sorted((cut_a % (len(values) + 1), cut_b % (len(values) + 1)))
+    parts = [values[:i], values[i:j], values[j:]]
+
+    whole = _hist_of(values)
+
+    left = _hist_of(parts[0])        # (a + b) + c
+    left.merge(_hist_of(parts[1]))
+    left.merge(_hist_of(parts[2]))
+
+    right = _hist_of(parts[2])       # c + (b + a): reversed order
+    mid = _hist_of(parts[1])
+    mid.merge(_hist_of(parts[0]))
+    right.merge(mid)
+
+    _same_distribution(left, whole)
+    _same_distribution(right, whole)
+
+
+@given(
+    st.lists(positive_values, min_size=1, max_size=300),
+    st.sampled_from([0.5, 0.9, 0.99, 1.0]),
+)
+@settings(max_examples=100, deadline=None)
+def test_histogram_quantile_within_half_bucket(values, q):
+    """The estimate is the geometric midpoint of the bucket holding the
+    ceil(q*n)-th order statistic, so it sits within a factor
+    sqrt(LOG_BASE) of numpy's inverted-CDF percentile (the same order
+    statistic)."""
+    h = _hist_of(values)
+    est = h.quantile(q)
+    exact = float(np.percentile(values, q * 100, method="inverted_cdf"))
+    # one extra bucket of slack: floor(log(v)/log(base)) can land the
+    # boundary value one bucket low through float rounding
+    tol = math.sqrt(LOG_BASE) * LOG_BASE
+    assert exact / tol <= est <= exact * tol
+
+
+@given(observations)
+@settings(max_examples=60, deadline=None)
+def test_histogram_json_round_trip(values):
+    h = _hist_of(values)
+    clone = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+    assert clone.to_dict() == h.to_dict()
+    if h.count:
+        for q in (0.5, 0.99):
+            assert clone.quantile(q) == h.quantile(q)
+        assert clone.mean == h.mean
+
+
+def test_histogram_zeros_and_empty_edge_cases():
+    h = Histogram()
+    assert math.isnan(h.quantile(0.5))
+    assert math.isnan(h.mean)
+    h.observe(0.0)
+    h.observe(0.0)
+    h.observe(4.0)
+    assert h.quantile(0.5) == 0.0       # rank 2 of 3 is an underflow
+    assert h.quantile(1.0) > 0.0
+    with pytest.raises(ValueError):
+        h.quantile(0.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+# -- registry merge semantics ------------------------------------------------
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), st.floats(0, 1e6), max_size=3
+    ),
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), st.floats(0, 1e6), max_size=3
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_registry_merge_counters_sum_gauges_max(left, right):
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for name, v in left.items():
+        a.count(name, v)
+        a.gauge(name, v)
+    for name, v in right.items():
+        b.count(name, v)
+        b.gauge(name, v)
+    a.merge(b.to_dict())  # the cross-process (serialized) path
+    for name in set(left) | set(right):
+        want = left.get(name, 0.0) + right.get(name, 0.0)
+        assert math.isclose(a.counters[name], want, rel_tol=1e-12)
+        assert a.gauges[name] == max(
+            left.get(name, -math.inf), right.get(name, -math.inf)
+        )
+
+
+def test_registry_histogram_merge_and_round_trip():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for v in (0.1, 0.2, 0.4):
+        a.observe("wall", v)
+    for v in (0.8, 1.6):
+        b.observe("wall", v)
+    a.merge(b)
+    assert a.histogram("wall").count == 5
+    clone = MetricsRegistry.from_dict(json.loads(json.dumps(a.to_dict())))
+    assert clone.to_dict() == a.to_dict()
+    assert not a.is_empty() and MetricsRegistry().is_empty()
+
+
+def test_prometheus_exposition():
+    reg = MetricsRegistry()
+    reg.count("runner.cells_total", 3)
+    reg.gauge("sweep.worker_utilization", 0.75)
+    reg.observe("runner.cell_wall_seconds", 0.5)
+    text = reg.to_prometheus()
+    assert "# TYPE graphbench_runner_cells_total counter" in text
+    assert "graphbench_runner_cells_total 3" in text
+    assert "# TYPE graphbench_sweep_worker_utilization gauge" in text
+    assert 'graphbench_runner_cell_wall_seconds{quantile="0.99"}' in text
+    assert "graphbench_runner_cell_wall_seconds_count 1" in text
+    assert prometheus_name("a.b-c/d") == "graphbench_a_b_c_d"
+    assert MetricsRegistry().to_prometheus() == ""
+
+
+# -- event stream -------------------------------------------------------------
+
+def test_event_stream_rejects_unknown_kind_and_tiny_ring():
+    stream = obs.EventStream()
+    with pytest.raises(ValueError, match="unknown event kind"):
+        stream.emit("made_up_kind")
+    with pytest.raises(ValueError):
+        obs.EventStream(ring_size=0)
+
+
+def test_event_ring_bounded_but_counts_everything():
+    stream = obs.EventStream(ring_size=4)
+    for _ in range(10):
+        stream.emit("cache_hit", layer="memory")
+    assert len(stream) == 4
+    assert stream.emitted == 10
+    assert stream.by_kind() == {"cache_hit": 4}
+    ts = [e.ts for e in stream.events()]
+    assert ts == sorted(ts)  # monotonic stamps, oldest first
+
+
+def test_event_jsonl_sink_schema_stamped(tmp_path):
+    path = tmp_path / "events.jsonl"
+    session = obs.Observability(events_path=path)
+    session.emit("run_started", cell="giraph/bfs/amazon")
+    session.metrics.count("runner.cells_total")
+    session.metrics.observe("runner.cell_wall_seconds", 0.25)
+    session.close()
+    session.close()  # idempotent
+
+    records = [json.loads(x) for x in path.read_text().splitlines()]
+    assert all(r["schema"] == obs.EVENT_SCHEMA for r in records)
+    kinds = [r["kind"] for r in records]
+    assert kinds[0] == "run_started"
+    assert records[0]["worker_id"] == session.worker_id
+    # the metrics tail lets a post-hoc reader rebuild the registry
+    assert kinds.count("metric") == 2
+    metrics, counts, lines = load_events_jsonl(path)
+    assert lines == len(records)
+    assert counts == {"run_started": 1}
+    assert metrics.counters["runner.cells_total"] == 1.0
+    assert metrics.histogram("runner.cell_wall_seconds").count == 1
+
+
+def test_load_events_jsonl_tolerates_unknown_kinds(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        json.dumps({"schema": 99, "kind": "from_the_future", "ts": 1}) + "\n"
+        + "\n"  # blank lines are skipped
+        + json.dumps({"schema": 1, "kind": "cache_hit", "ts": 2}) + "\n"
+    )
+    _metrics, counts, lines = load_events_jsonl(path)
+    assert lines == 2
+    assert counts == {"from_the_future": 1, "cache_hit": 1}
+
+
+# -- ambient session lifecycle ------------------------------------------------
+
+def test_start_stop_observed_scoped_detach(tmp_path):
+    assert obs.active() is None and not obs.is_active()
+    with obs.observed() as outer:
+        assert obs.active() is outer
+        inner = obs.Observability(role="worker")
+        with obs.scoped(inner):
+            assert obs.active() is inner
+        assert obs.active() is outer
+    assert obs.active() is None
+
+    path = tmp_path / "events.jsonl"
+    session = obs.start(events_path=path)
+    session.emit("cache_miss")
+    obs.detach()  # drops without closing: the sink must stay open
+    assert obs.active() is None
+    session.emit("cache_hit", layer="memory")
+    session.close()
+    kinds = [json.loads(x)["kind"] for x in path.read_text().splitlines()]
+    assert kinds[:2] == ["cache_miss", "cache_hit"]
+
+    replacement = obs.start()
+    assert obs.start() is not replacement  # restart closes the old one
+    assert obs.stop() is not None
+    assert obs.stop() is None
+
+
+def test_snapshot_absorb_preserves_provenance():
+    parent = obs.Observability(role="main")
+    worker = obs.Observability(role="worker")
+    worker.metrics.count("runner.cells_total", 2)
+    worker.metrics.gauge_max("runner.peak_rss_bytes", 123.0)
+    worker.emit("worker_heartbeat", batch_size=2)
+    parent.absorb(worker.snapshot())
+    assert parent.metrics.counters["runner.cells_total"] == 2.0
+    assert parent.metrics.gauges["runner.peak_rss_bytes"] == 123.0
+    (event,) = parent.events.events()
+    assert event.kind == "worker_heartbeat"
+    assert event.fields["worker_id"] == worker.worker_id
+
+
+# -- zero perturbation: observed results bit-identical ------------------------
+
+#: all platforms x the three ISSUE-named algorithms on one dataset
+IDENTITY_GRID = SweepSpec.make(
+    "test:obs-identity",
+    platforms=PLATFORM_NAMES,
+    algorithms=("bfs", "conn", "sssp"),
+    datasets=("amazon",),
+)
+
+
+class TestZeroPerturbation:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_results_bit_identical_with_observability(self, workers):
+        plain = Runner(jitter=0.02, repetitions=2).run_grid(
+            IDENTITY_GRID, workers=workers
+        )
+        with obs.observed() as session:
+            watched = Runner(jitter=0.02, repetitions=2).run_grid(
+                IDENTITY_GRID, workers=workers
+            )
+        assert len(plain) == len(watched) == len(IDENTITY_GRID)
+        for a, b in zip(plain, watched):
+            assert records_equal(a, b), (
+                f"observability perturbed "
+                f"{a.platform}/{a.algorithm}/{a.dataset} "
+                f"(workers={workers})"
+            )
+        # and the session actually observed the sweep
+        assert session.metrics.counters["runner.cells_total"] == len(plain)
+
+    def test_off_by_default(self):
+        record = Runner().run(RunSpec("giraph", "bfs", "amazon"))
+        assert record.ok
+        assert obs.active() is None
+
+
+# -- instrumentation sites ----------------------------------------------------
+
+class TestInstrumentation:
+    def test_serial_runner_metrics_and_events(self):
+        with obs.observed() as session:
+            exp = Runner(repetitions=2).run_grid(
+                SweepSpec.make(
+                    "test:obs-serial",
+                    platforms=("giraph", "graphlab"),
+                    algorithms=("bfs",),
+                    datasets=("amazon",),
+                )
+            )
+        assert all(r.ok for r in exp)
+        m = session.metrics
+        assert m.counters["runner.cells_total"] == 2.0
+        assert m.counters["runner.cells_ok"] == 2.0
+        assert m.histogram("runner.cell_wall_seconds").count == 2
+        assert m.gauges["runner.peak_rss_bytes"] > 0
+        kinds = session.events.by_kind()
+        assert kinds["run_started"] == kinds["run_finished"] == 2
+        assert kinds["sweep_started"] == kinds["sweep_finished"] == 1
+
+    def test_parallel_sweep_merges_worker_sessions(self):
+        sweep = SweepSpec.make(
+            "test:obs-parallel",
+            platforms=("giraph", "graphlab"),
+            algorithms=("bfs",),
+            datasets=("amazon", "wikitalk"),
+        )
+        with obs.observed() as session:
+            exp = Runner(repetitions=2).run_grid(sweep, workers=2)
+        assert all(r.ok for r in exp)
+        m = session.metrics
+        # every worker-side cell merged back exactly
+        assert m.counters["runner.cells_total"] == 4.0
+        assert m.histogram("runner.cell_wall_seconds").count == 4
+        assert m.counters["sweep.batches_total"] >= 1
+        util = m.gauges["sweep.worker_utilization"]
+        assert 0.0 < util <= 1.0
+        kinds = session.events.by_kind()
+        assert kinds["worker_heartbeat"] >= 1
+        assert kinds["cell_dispatched"] >= 1
+        assert kinds["run_finished"] == 4
+        # events retain the recording process's id: with forked
+        # workers, run events come from child pids, sweep events from
+        # the parent
+        sweep_ids = {
+            e.fields["worker_id"]
+            for e in session.events.events()
+            if e.kind in ("sweep_started", "sweep_finished")
+        }
+        assert sweep_ids == {session.worker_id}
+
+    def test_trace_cache_metrics_and_events(self):
+        with obs.observed() as session:
+            runner = Runner(repetitions=2)
+            spec = RunSpec("giraph", "bfs", "amazon")
+            runner.run(spec)
+            runner.run(spec)  # second run replays the recorded trace
+        m = session.metrics
+        assert m.counters.get("trace_cache.misses", 0) >= 1
+        assert m.counters.get("trace_cache.hits", 0) >= 1
+        assert 0.0 < m.gauges["trace_cache.hit_rate"] <= 1.0
+        assert m.histogram("trace_cache.record_wall_seconds").count >= 1
+        kinds = session.events.by_kind()
+        assert kinds.get("cache_miss", 0) >= 1
+        assert kinds.get("cache_hit", 0) >= 1
+
+    def test_kernel_dispatch_counters(self):
+        from repro.kernels import dispatch
+
+        indptr = np.array([0, 2, 3, 3], dtype=np.int64)
+        indices = np.array([1, 2, 2], dtype=np.int32)
+        frontier = np.array([0], dtype=np.int64)
+        plain = dispatch.gather_neighbors(indptr, indices, frontier)
+        with obs.observed() as session:
+            watched = dispatch.gather_neighbors(indptr, indices, frontier)
+        assert np.array_equal(plain, watched)
+        backend = dispatch.active_backend()
+        m = session.metrics
+        assert m.counters[f"kernels.{backend}.gather_neighbors.calls"] == 1.0
+        wall = m.counters[f"kernels.{backend}.gather_neighbors.wall_seconds"]
+        assert wall >= 0.0
+
+    def test_crash_and_retry_events(self):
+        crash = RunSpec(
+            "giraph", "bfs", "amazon",
+            fault_plan=named_plan("crash", at=2.0, node=1),
+        )
+        recover = RunSpec(
+            "hadoop", "bfs", "amazon",
+            fault_plan=named_plan("crash", at=2.0, node=1),
+        )
+        with obs.observed() as session:
+            crashed = Runner().run(crash)     # giraph aborts on node loss
+            recovered = Runner().run(recover)  # hadoop retries the tasks
+        assert not crashed.ok
+        assert recovered.ok
+        m = session.metrics
+        assert m.counters["runner.cells_crashed"] == 1.0
+        assert m.counters.get("runner.fault_retries", 0) >= 1
+        kinds = session.events.by_kind()
+        assert kinds.get("crash", 0) >= 1
+        assert kinds.get("retry", 0) >= 1
+
+    def test_benchmark_gate_verdict_events(self):
+        from repro.core.benchmark import run_benchmark
+
+        with obs.observed() as session:
+            report = run_benchmark(
+                workloads=("bfs",), platforms=("giraph", "graphlab"),
+                datasets=("kgs",), scale="tiny",
+            )
+        assert report.all_validated
+        m = session.metrics
+        assert m.counters["benchmark.cells_validated"] == 2.0
+        verdicts = [
+            e for e in session.events.events() if e.kind == "gate_verdict"
+        ]
+        assert len(verdicts) == 2
+        for e in verdicts:
+            assert e.fields["verdict"] == "PASS"
+            assert e.fields["over_budget"] is False
+
+
+# -- rendering and the stats CLI ----------------------------------------------
+
+class TestRendering:
+    def test_render_session_tables(self):
+        with obs.observed() as session:
+            Runner(repetitions=2).run(RunSpec("giraph", "bfs", "amazon"))
+        text = render_session(session)
+        assert "distributions" in text
+        assert "runner.cell_wall_seconds" in text
+        assert "p99" in text
+        assert "run_started" in text
+
+    def test_render_empty_session(self):
+        assert "no metrics or events" in render_session(obs.Observability())
+
+    def test_render_stats_from_file_round_trips_quantiles(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.observed(events_path=path) as session:
+            Runner(repetitions=2).run_grid(
+                SweepSpec.make(
+                    "test:obs-render",
+                    platforms=("giraph",),
+                    algorithms=("bfs", "conn"),
+                    datasets=("amazon",),
+                )
+            )
+            live = dict(session.metrics.counters)
+        text = render_stats_from_file(path)
+        assert "events file:" in text
+        assert "runner.cell_wall_seconds" in text
+        metrics, _counts, _lines = load_events_jsonl(path)
+        assert metrics.counters == live
+        assert (
+            metrics.histogram("runner.cell_wall_seconds").quantile(0.99)
+            == session.metrics.histogram(
+                "runner.cell_wall_seconds"
+            ).quantile(0.99)
+        )
+
+    def test_stats_cli_post_hoc_and_prometheus(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        rc = main([
+            "sweep", "--mode", "grid", "--platforms", "giraph",
+            "--algorithms", "bfs", "--datasets", "amazon",
+            "--workers", "2", "--events", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "harness events" in out
+        assert path.exists()
+
+        assert main(["stats", "--events", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events file:" in out
+        assert "runner.cell_wall_seconds" in out
+
+        assert main(["stats", "--events", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE graphbench_runner_cells_total counter" in out
+
+    def test_stats_cli_requires_a_source(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats"]) == 2
+        assert "--events" in capsys.readouterr().err
+
+    def test_stats_cli_demo(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "runner.cell_wall_seconds" in out
+        assert "sweep_finished" in out

@@ -79,8 +79,9 @@ class TestBenchSnapshot:
 
 
 def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
-              identical=True, validated=True):
-    """A minimal schema-3 document exercising every gate budget."""
+              identical=True, validated=True, obs_identical=True,
+              overhead=0.01, utilization=0.9):
+    """A minimal schema-4 document exercising every gate budget."""
     micro = {
         name: {"numpy_ms": wall, "active_ms": wall, "ratio": 1.0}
         for name in (
@@ -90,7 +91,7 @@ def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
         )
     }
     return {
-        "schema": 3,
+        "schema": 4,
         "cores": cores,
         "trace_cache": {
             "cold_seconds": wall, "warm_seconds": wall, "speedup": ratio,
@@ -114,6 +115,18 @@ def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
         "benchmark_mode_xs": {
             "wall_seconds": wall,
             "summary": {"all_validated": validated},
+        },
+        "harness_observability": {
+            "cells": 8,
+            "off_seconds": wall,
+            "on_seconds": wall * (1.0 + overhead),
+            "overhead_fraction": overhead,
+            "identical": obs_identical,
+            "utilization": utilization,
+            "cell_wall_p50_seconds": wall / 10.0,
+            "cell_wall_p99_seconds": wall,
+            "events": 100,
+            "cores": cores,
         },
     }
 
@@ -175,6 +188,53 @@ class TestPerfGate:
         del current["kernels"]
         failures = mod.run_gate(current, _snapshot())
         assert any("missing from current snapshot" in f for f in failures)
+
+    def test_obs_overhead_ceiling_fails(self):
+        # The overhead budget is an absolute ceiling, not
+        # baseline-relative: a cheap baseline cannot excuse 5 %.
+        mod = _load("perf_gate")
+        failures = mod.run_gate(_snapshot(overhead=0.05), _snapshot())
+        assert any(
+            "harness_observability.overhead_fraction" in f for f in failures
+        )
+
+    def test_obs_overhead_skipped_below_four_cores(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(overhead=0.5, cores=1), _snapshot()
+        )
+        assert not any("overhead_fraction" in f for f in failures)
+
+    def test_obs_utilization_skipped_below_four_cores(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(utilization=0.1, cores=1), _snapshot()
+        )
+        assert not any("utilization" in f for f in failures)
+
+    def test_obs_identity_flag_never_skipped(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(cores=1, obs_identical=False), _snapshot(cores=1)
+        )
+        assert any("harness_observability.identical" in f for f in failures)
+
+    def test_obs_metrics_missing_from_current_fails(self):
+        mod = _load("perf_gate")
+        current = _snapshot()
+        del current["harness_observability"]
+        failures = mod.run_gate(current, _snapshot())
+        assert any(
+            "harness_observability" in f and "missing from current" in f
+            for f in failures
+        )
+
+    def test_obs_missing_from_baseline_skips(self):
+        # a schema-3 baseline predates the observability section
+        mod = _load("perf_gate")
+        baseline = _snapshot()
+        del baseline["harness_observability"]
+        assert mod.run_gate(_snapshot(), baseline) == []
 
     def test_cli_exit_codes(self, tmp_path, capsys):
         import json

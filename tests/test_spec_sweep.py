@@ -322,8 +322,19 @@ class TestExportDispatch:
         assert lines[0] == {"type": "sweep", "name": GRID.name}
         cells = [l for l in lines if l["type"] == "cell"]
         assert len(cells) == len(GRID)
-        merged = {l["name"] for l in lines if l["type"] == "merged_counter"}
-        assert "hits" in merged and "misses" in merged
+        merged = [l for l in lines if l["type"] == "merged_counter"]
+        names = {l["name"] for l in merged}
+        assert "hits" in names and "misses" in names
+        # merged counters carry their provenance: the schema stamp and
+        # the worker pids whose sessions were folded together
+        for line in merged:
+            assert line["schema"] == telemetry.TELEMETRY_SCHEMA
+            assert line["worker_ids"]
+        session_ids = {
+            l["worker_id"] for l in lines
+            if l["type"] == "meta" and "worker_id" in l
+        }
+        assert set(merged[0]["worker_ids"]) == session_ids
 
 
 class TestDiscoveryAPI:

@@ -202,6 +202,13 @@ class TestExportAndCli:
         records = [json.loads(line) for line in lines]
         assert records[0]["type"] == "meta"
         assert records[0]["platform"] == "giraph"
+        # satellite contract: schema version + recording-process
+        # provenance, co-parseable with the obs events JSONL
+        assert records[0]["schema"] == telemetry.TELEMETRY_SCHEMA
+        assert records[0]["worker_id"] == on.telemetry.worker_id
+        for r in records:
+            if r["type"] == "counter" and r["name"] != "extra.counter":
+                assert r["worker_id"] == on.telemetry.worker_id
         spans = [r for r in records if r["type"] == "span"]
         assert len(spans) == len(on.telemetry.spans)
         leaf_sum = sum(
