@@ -501,6 +501,80 @@ def _chaos_impl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    if args.selftest:
+        return _chaos_selftest()
+    with _harness_events(args.events):
+        return _chaos_sweep_impl(args)
+
+
+def _chaos_selftest() -> int:
+    """Run the known-truth recovery-semantics net and render it."""
+    from repro.des.known_truth import REL_TOL, verify_recovery_semantics
+
+    checks = verify_recovery_semantics()
+    rows = []
+    for c in checks:
+        rows.append([
+            c.scenario,
+            c.platform,
+            c.quantity,
+            f"{c.expected:.6f}",
+            f"{c.actual:.6f}",
+            f"{c.rel_error:.2e}",
+            "ok" if c.ok else "FAIL",
+        ])
+    print(render_table(
+        ["scenario", "platform", "quantity", "expected", "actual",
+         "rel error", "verdict"],
+        rows,
+        title="known-truth recovery semantics "
+        f"(analytic vs model, tol {REL_TOL:g})",
+    ))
+    failed = [c for c in checks if not c.ok]
+    print()
+    print(f"{len(checks) - len(failed)}/{len(checks)} checks passed")
+    return 1 if failed else 0
+
+
+def _chaos_sweep_impl(args: argparse.Namespace) -> int:
+    from repro.core.chaos import resolve_templates, run_chaos_sweep
+    from repro.core.export import export
+
+    try:
+        templates = resolve_templates(
+            args.plans,
+            at=args.at,
+            duration=args.duration,
+            severity=args.severity,
+            seed=args.seed,
+            num_faults=args.num_faults,
+        )
+    except KeyError as exc:
+        print(f"chaos-sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    runner = Runner(scale=args.scale)
+    report = run_chaos_sweep(
+        runner,
+        templates=templates,
+        platforms=tuple(args.platforms or PLATFORM_NAMES),
+        algorithms=tuple(args.algorithms),
+        datasets=tuple(args.datasets),
+        cluster=das4_cluster(args.workers_per_cell, args.cores),
+        workers=args.workers,
+        name=args.name,
+    )
+    print(report.render())
+    if args.json:
+        export(report, kind="chaos", path=args.json)
+        print()
+        print(f"wrote chaos-sweep report to {args.json}")
+    # Crashed faulted cells are the recovery models' *intended*
+    # behavior (budget exhaustion, checkpointing off), so they only
+    # fail the run under --strict.
+    return 1 if args.strict and report.failures() else 0
+
+
 def _cmd_benchmark(args: argparse.Namespace) -> int:
     with _harness_events(args.events):
         return _benchmark_impl(args)
@@ -765,6 +839,60 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stream harness observability events to a "
                     "JSONL file")
     ch.set_defaults(func=_cmd_chaos)
+
+    cs = sub.add_parser(
+        "chaos-sweep",
+        help="cross fault-plan templates with the experiment grid and "
+        "report the availability / recovery-cost frontier",
+    )
+    cs.add_argument("--plans", nargs="+", default=["all"],
+                    metavar="PLAN",
+                    help="plan templates: 'all' (one per fault class), "
+                    "'seeded', or any of "
+                    + ", ".join(NAMED_PLANS)
+                    + " (default: all)")
+    cs.add_argument("--platforms", nargs="+", type=_known("platform"),
+                    metavar="PLATFORM",
+                    help="platforms (default: the six paper platforms)")
+    cs.add_argument("--algorithms", nargs="+", type=_known("algorithm"),
+                    metavar="ALGORITHM", default=["bfs"],
+                    help="algorithms (default: bfs)")
+    cs.add_argument("--datasets", nargs="+", type=_known("dataset"),
+                    metavar="DATASET", default=["amazon"],
+                    help="datasets (default: amazon)")
+    cs.add_argument("--at", type=float, default=0.5,
+                    help="fault time as a fraction of each cell's "
+                    "baseline makespan (named --plans)")
+    cs.add_argument("--duration", type=float, default=0.2,
+                    help="fault window as a fraction of each cell's "
+                    "baseline makespan (windowed --plans)")
+    cs.add_argument("--severity", type=float, default=None,
+                    help="slowdown factor / remaining-memory fraction "
+                    "(plan-specific default)")
+    cs.add_argument("--seed", type=int, default=202,
+                    help="seed for --plans seeded")
+    cs.add_argument("--num-faults", type=int, default=3,
+                    help="fault count for --plans seeded")
+    cs.add_argument("--workers", type=int, default=1,
+                    help="worker processes for the sweep executor "
+                    "(default 1 = serial)")
+    cs.add_argument("--workers-per-cell", type=int, default=20,
+                    help="modeled cluster size per cell")
+    cs.add_argument("--cores", type=int, default=1,
+                    help="modeled cores per cluster worker")
+    cs.add_argument("--name", default="chaos-sweep",
+                    help="report name for rendering and export")
+    cs.add_argument("--json", metavar="PATH",
+                    help="also export the report as JSON")
+    cs.add_argument("--strict", action="store_true",
+                    help="fail (exit 1) when any faulted cell crashed")
+    cs.add_argument("--events", metavar="PATH",
+                    help="stream harness observability events to a "
+                    "JSONL file")
+    cs.add_argument("--selftest", action="store_true",
+                    help="run the known-truth recovery-semantics net "
+                    "instead of a sweep")
+    cs.set_defaults(func=_cmd_chaos_sweep)
 
     li = sub.add_parser(
         "list",

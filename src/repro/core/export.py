@@ -10,6 +10,8 @@ concrete reporting format behind one front door:
   hand-rolling writers;
 * :func:`export_records_json` — experiment cells as a JSON document
   (full disclosure: cluster configuration, repetitions, failures);
+* :func:`export_chaos_json` — a chaos-sweep report (baselines,
+  per-plan degradation cells, the availability frontier);
 * :func:`export_trace_csv` — a resource trace as tidy CSV
   (node, metric, normalized_time, value);
 * :func:`export_telemetry_jsonl` — one telemetry session as JSON Lines;
@@ -31,7 +33,7 @@ import typing as _t
 
 from repro.cluster.monitoring import ResourceTrace
 from repro.core import telemetry
-from repro.core.report import BenchmarkReport
+from repro.core.report import BenchmarkReport, ChaosReport
 from repro.core.results import ExperimentResult, RunRecord
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "record_to_dict",
     "export_records_json",
     "export_benchmark_json",
+    "export_chaos_json",
     "export_trace_csv",
     "export_series_dat",
     "export_telemetry_jsonl",
@@ -93,6 +96,18 @@ def export_benchmark_json(
     """Write a benchmark report (cells, verdicts, targets, counters)
     as a JSON document — the ``graphbench benchmark --json`` payload
     and the CI ``benchmark-smoke`` artifact."""
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
+        fh.write("\n")
+
+
+def export_chaos_json(
+    report: ChaosReport, path: str | os.PathLike
+) -> None:
+    """Write a chaos-sweep report (baselines, per-plan cells,
+    degradation curves, the availability frontier) as a JSON document
+    — the ``graphbench chaos-sweep --json`` payload and the CI
+    ``chaos-sweep-smoke`` artifact."""
     with open(path, "w") as fh:
         json.dump(report.to_dict(), fh, indent=2)
         fh.write("\n")
@@ -260,6 +275,7 @@ def export_series_dat(
 EXPORT_KINDS: dict[str, tuple[type, _t.Callable[..., _t.Any]]] = {
     "records": (ExperimentResult, export_records_json),
     "benchmark": (BenchmarkReport, export_benchmark_json),
+    "chaos": (ChaosReport, export_chaos_json),
     "telemetry": (telemetry.Telemetry, export_telemetry_jsonl),
     "sweep-telemetry": (ExperimentResult, export_sweep_telemetry_jsonl),
     "faults": (ExperimentResult, export_fault_accounting_jsonl),
@@ -273,10 +289,11 @@ def export(
     """Write ``obj`` to ``path`` in the named format.
 
     ``kind`` is one of :data:`EXPORT_KINDS`: ``"records"`` (experiment
-    JSON), ``"benchmark"`` (benchmark report JSON), ``"telemetry"``
-    (one session as JSONL), ``"sweep-telemetry"`` (all sessions of an
-    experiment as JSONL), ``"faults"`` (fault-accounting JSONL), or
-    ``"trace"`` (resource-trace CSV).
+    JSON), ``"benchmark"`` (benchmark report JSON), ``"chaos"``
+    (chaos-sweep report JSON), ``"telemetry"`` (one session as JSONL),
+    ``"sweep-telemetry"`` (all sessions of an experiment as JSONL),
+    ``"faults"`` (fault-accounting JSONL), or ``"trace"``
+    (resource-trace CSV).
     Extra keyword ``options`` pass through to the underlying writer
     (e.g. ``extra_counters=...`` for the telemetry kinds,
     ``num_points=...`` for traces).  Returns whatever the writer

@@ -25,6 +25,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "BenchmarkCell",
     "BenchmarkReport",
+    "ChaosCell",
+    "ChaosReport",
     "render_table",
     "render_series",
     "render_comparison",
@@ -408,4 +410,326 @@ class BenchmarkReport:
             chunks.append(
                 render_cache_stats(self.cache_stats, title="Benchmark caches")
             )
+        return "\n".join(chunks)
+
+
+# -- chaos report ------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosCell:
+    """One (fault plan, platform, algorithm, dataset) chaos cell.
+
+    ``baseline_time`` is the same cell's fault-free makespan — the
+    denominator of every degradation number.  Cells whose baseline
+    already crashed carry status ``"no-baseline"``: there is nothing to
+    degrade, which is itself a finding (the paper's §4.1 crash cells).
+    """
+
+    plan: str
+    platform: str
+    algorithm: str
+    dataset: str
+    #: "ok" / "crashed" / "dnf" / "no-baseline"
+    status: str
+    baseline_time: float | None
+    execution_time: float | None = None
+    failure_reason: str = ""
+    # -- recovery accounting (from the cell's FaultInjector) ---------------
+    task_retries: int = 0
+    speculative_tasks: int = 0
+    job_restarts: int = 0
+    recovery_seconds: float = 0.0
+    faults_fired: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def slowdown(self) -> float | None:
+        """Faulted over fault-free makespan (None unless both ran)."""
+        if (
+            not self.ok
+            or self.execution_time is None
+            or not self.baseline_time
+        ):
+            return None
+        return self.execution_time / self.baseline_time
+
+    @property
+    def recovery_fraction(self) -> float | None:
+        """Share of the faulted makespan spent on recovery."""
+        if not self.ok or not self.execution_time:
+            return None
+        return self.recovery_seconds / self.execution_time
+
+    def describe(self) -> str:
+        """Cell text for the per-plan grid table."""
+        if self.status == "no-baseline":
+            return "-"
+        if not self.ok:
+            return self.status.upper().replace("CRASHED", "CRASH")
+        s = self.slowdown
+        return f"{s:.2f}x" if s is not None else format_seconds(self.execution_time)
+
+
+def _mean(values: _t.Sequence[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """The artifact of one ``graphbench chaos-sweep`` run.
+
+    The availability study the ROADMAP asks for, in one object: every
+    fault plan crossed with every baseline cell, per-cell slowdowns and
+    retry/restart accounting, per-platform graceful-degradation curves
+    (:meth:`degradation_curve`), and the crash-rate-vs-overhead
+    frontier (:meth:`frontier`).  Renders to text (:meth:`render`) and
+    serializes to JSON (:meth:`to_dict`, wired into
+    ``export(report, kind="chaos", ...)``).
+    """
+
+    name: str
+    scale: float
+    workers: int
+    plans: tuple[str, ...]
+    platforms: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    datasets: tuple[str, ...]
+    #: fault-free reference cells: ``{"platform", "algorithm",
+    #: "dataset", "status", "execution_time", "failure_reason"}``
+    baselines: list[dict] = dataclasses.field(default_factory=list)
+    cells: list[ChaosCell] = dataclasses.field(default_factory=list)
+    #: platform registry name -> display label (render-time cosmetics)
+    platform_labels: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    # -- queries -----------------------------------------------------------
+    def get(
+        self, plan: str, platform: str, algorithm: str, dataset: str
+    ) -> ChaosCell | None:
+        for c in self.cells:
+            if (
+                c.plan == plan
+                and c.platform == platform
+                and c.algorithm == algorithm
+                and c.dataset == dataset
+            ):
+                return c
+        return None
+
+    def survivors(self) -> list[ChaosCell]:
+        """Cells that completed under faults."""
+        return [c for c in self.cells if c.ok]
+
+    def failures(self) -> list[ChaosCell]:
+        """Cells that crashed or did not finish under faults (cells
+        without a fault-free baseline are excluded — they never ran)."""
+        return [
+            c for c in self.cells if not c.ok and c.status != "no-baseline"
+        ]
+
+    def degradation_curve(self, platform: str) -> list[tuple[str, float | None]]:
+        """The platform's graceful-degradation curve: for each fault
+        plan, the mean slowdown over its surviving cells (None when no
+        cell survived — the plan kills the platform outright)."""
+        curve: list[tuple[str, float | None]] = []
+        for plan in self.plans:
+            slowdowns = [
+                s
+                for c in self.cells
+                if c.plan == plan and c.platform == platform
+                and (s := c.slowdown) is not None
+            ]
+            curve.append((plan, _mean(slowdowns)))
+        return curve
+
+    def frontier(self) -> list[dict]:
+        """The crash-rate vs. recovery-overhead frontier, one row per
+        platform: how often the platform survives the plans, and at
+        what cost when it does."""
+        rows = []
+        for platform in self.platforms:
+            cells = [
+                c
+                for c in self.cells
+                if c.platform == platform and c.status != "no-baseline"
+            ]
+            survived = [c for c in cells if c.ok]
+            slowdowns = [s for c in survived if (s := c.slowdown) is not None]
+            fractions = [
+                f for c in survived if (f := c.recovery_fraction) is not None
+            ]
+            rows.append({
+                "platform": platform,
+                "cells": len(cells),
+                "survived": len(survived),
+                "survival_rate": (
+                    len(survived) / len(cells) if cells else None
+                ),
+                "mean_slowdown": _mean(slowdowns),
+                "max_slowdown": max(slowdowns) if slowdowns else None,
+                "mean_recovery_fraction": _mean(fractions),
+                "task_retries": sum(c.task_retries for c in cells),
+                "speculative_tasks": sum(c.speculative_tasks for c in cells),
+                "job_restarts": sum(c.job_restarts for c in cells),
+                "recovery_seconds": sum(c.recovery_seconds for c in cells),
+                "faults_fired": sum(c.faults_fired for c in cells),
+            })
+        return rows
+
+    def summary(self) -> dict[str, object]:
+        attempted = [c for c in self.cells if c.status != "no-baseline"]
+        survived = self.survivors()
+        return {
+            "plans": len(self.plans),
+            "cells": len(self.cells),
+            "attempted": len(attempted),
+            "survived": len(survived),
+            "crashed": len(self.failures()),
+            "no_baseline": len(self.cells) - len(attempted),
+            "survival_rate": (
+                len(survived) / len(attempted) if attempted else None
+            ),
+        }
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (the ``--json`` / export payload)."""
+        def cell(c: ChaosCell) -> dict:
+            return {
+                "plan": c.plan,
+                "platform": c.platform,
+                "algorithm": c.algorithm,
+                "dataset": c.dataset,
+                "status": c.status,
+                "baseline_time": c.baseline_time,
+                "execution_time": c.execution_time,
+                "slowdown": c.slowdown,
+                "recovery_fraction": c.recovery_fraction,
+                "failure_reason": c.failure_reason or None,
+                "task_retries": c.task_retries,
+                "speculative_tasks": c.speculative_tasks,
+                "job_restarts": c.job_restarts,
+                "recovery_seconds": c.recovery_seconds,
+                "faults_fired": c.faults_fired,
+            }
+
+        return {
+            "report": self.name,
+            "scale": self.scale,
+            "workers": self.workers,
+            "plans": list(self.plans),
+            "platforms": list(self.platforms),
+            "algorithms": list(self.algorithms),
+            "datasets": list(self.datasets),
+            "baselines": list(self.baselines),
+            "cells": [cell(c) for c in self.cells],
+            "degradation_curves": {
+                p: {plan: mean for plan, mean in self.degradation_curve(p)}
+                for p in self.platforms
+            },
+            "frontier": self.frontier(),
+            "summary": self.summary(),
+        }
+
+    # -- rendering ---------------------------------------------------------
+    def render(self) -> str:
+        """The full text report (what ``graphbench chaos-sweep``
+        prints)."""
+        chunks = [
+            f"Chaos-sweep report: {self.name}",
+            f"scale: x{self.scale:g}; workers: {self.workers}; "
+            f"plans: {', '.join(self.plans)}",
+            "",
+        ]
+
+        def label(p: str) -> str:
+            return self.platform_labels.get(p, p)
+
+        for plan in self.plans:
+            rows = []
+            for algo in self.algorithms:
+                for ds in self.datasets:
+                    row: list[object] = [f"{algo}/{ds}"]
+                    for plat in self.platforms:
+                        c = self.get(plan, plat, algo, ds)
+                        row.append(c.describe() if c else "-")
+                    rows.append(row)
+            chunks.append(render_table(
+                ["workload"] + [label(p) for p in self.platforms],
+                rows,
+                title=f"Plan '{plan}' (slowdown vs fault-free baseline)",
+            ))
+            chunks.append("")
+
+        chunks.append(render_table(
+            ["plan"] + [label(p) for p in self.platforms],
+            [
+                [plan] + [
+                    (f"{m:.2f}x" if m is not None else "DEAD")
+                    for m in (
+                        dict(self.degradation_curve(p)).get(plan)
+                        for p in self.platforms
+                    )
+                ]
+                for plan in self.plans
+            ],
+            title="Graceful degradation (mean slowdown per plan)",
+        ))
+        chunks.append("")
+
+        chunks.append(render_table(
+            [
+                "platform", "survived", "mean", "max",
+                "recovery", "retries", "restarts", "spec",
+            ],
+            [
+                [
+                    label(row["platform"]),
+                    (
+                        f"{row['survived']}/{row['cells']}"
+                        if row["cells"] else "-"
+                    ),
+                    (
+                        f"{row['mean_slowdown']:.2f}x"
+                        if row["mean_slowdown"] is not None else "-"
+                    ),
+                    (
+                        f"{row['max_slowdown']:.2f}x"
+                        if row["max_slowdown"] is not None else "-"
+                    ),
+                    (
+                        f"{row['mean_recovery_fraction'] * 100:.1f}%"
+                        if row["mean_recovery_fraction"] is not None else "-"
+                    ),
+                    row["task_retries"],
+                    row["job_restarts"],
+                    row["speculative_tasks"],
+                ]
+                for row in self.frontier()
+            ],
+            title="Availability / recovery-cost frontier",
+        ))
+
+        failed = self.failures()
+        if failed:
+            chunks.append("")
+            chunks.append("Killed cells:")
+            for c in failed:
+                chunks.append(
+                    f"  {c.plan}: {c.platform}/{c.algorithm}/{c.dataset}: "
+                    f"{c.status.upper()} — {c.failure_reason}"
+                )
+
+        s = self.summary()
+        chunks.append("")
+        chunks.append(
+            f"{s['survived']}/{s['attempted']} faulted cells survived"
+            + (
+                f" ({s['survival_rate'] * 100:.0f}%)"
+                if s["survival_rate"] is not None else ""
+            )
+        )
         return "\n".join(chunks)

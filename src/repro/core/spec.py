@@ -159,10 +159,17 @@ class SweepSpec:
     """A named cartesian grid of cells plus execution knobs.
 
     :meth:`cells` yields the grid in the canonical serial order —
-    algorithm-major, then dataset, then platform — which is also the
-    record order of the returned
+    fault-plan-major (when the ``fault_plans`` axis is populated), then
+    algorithm, then dataset, then platform — which is also the record
+    order of the returned
     :class:`~repro.core.results.ExperimentResult` regardless of how
     many worker processes executed the cells.
+
+    Fault plans enter in one of two mutually exclusive ways:
+    ``fault_plan`` applies one plan to every cell (the pre-chaos-sweep
+    behaviour), while the ``fault_plans`` *axis* crosses each listed
+    plan with the whole platform x algorithm x dataset grid — the
+    chaos-sweep scenario matrix.
 
     ``workers`` is the default process count used by
     ``Runner.run_grid(sweep)`` when no explicit ``workers=`` override
@@ -175,6 +182,7 @@ class SweepSpec:
     datasets: tuple[str, ...]
     cluster: ClusterSpec | None = None
     fault_plan: FaultPlan | None = None
+    fault_plans: tuple[FaultPlan, ...] = ()
     params: tuple[tuple[str, object], ...] = ()
     workers: int = 1
 
@@ -188,6 +196,12 @@ class SweepSpec:
         object.__setattr__(
             self, "datasets", tuple(d.lower() for d in self.datasets)
         )
+        object.__setattr__(self, "fault_plans", tuple(self.fault_plans))
+        if self.fault_plans and self.fault_plan is not None:
+            raise ValueError(
+                "pass either one fault_plan for every cell or a "
+                "fault_plans axis, not both"
+            )
         object.__setattr__(self, "params", _normalize_params(self.params))
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
@@ -202,6 +216,7 @@ class SweepSpec:
         datasets: _t.Sequence[str],
         cluster: ClusterSpec | None = None,
         fault_plan: FaultPlan | None = None,
+        fault_plans: _t.Sequence[FaultPlan] = (),
         workers: int = 1,
         **params: object,
     ) -> "SweepSpec":
@@ -213,26 +228,39 @@ class SweepSpec:
             datasets=tuple(datasets),
             cluster=cluster,
             fault_plan=fault_plan,
+            fault_plans=tuple(fault_plans),
             params=_normalize_params(params),
             workers=workers,
         )
 
     def __len__(self) -> int:
-        return len(self.platforms) * len(self.algorithms) * len(self.datasets)
+        return (
+            len(self.effective_plans())
+            * len(self.platforms)
+            * len(self.algorithms)
+            * len(self.datasets)
+        )
+
+    def effective_plans(self) -> tuple[FaultPlan | None, ...]:
+        """The fault-plan axis actually crossed with the grid: the
+        ``fault_plans`` axis when populated, else the single shared
+        ``fault_plan`` (``None`` for fault-free)."""
+        return self.fault_plans if self.fault_plans else (self.fault_plan,)
 
     def cells(self) -> _t.Iterator[RunSpec]:
         """The grid's cells in canonical serial order."""
-        for algo in self.algorithms:
-            for ds in self.datasets:
-                for plat in self.platforms:
-                    yield RunSpec(
-                        platform=plat,
-                        algorithm=algo,
-                        dataset=ds,
-                        cluster=self.cluster,
-                        fault_plan=self.fault_plan,
-                        params=self.params,
-                    )
+        for plan in self.effective_plans():
+            for algo in self.algorithms:
+                for ds in self.datasets:
+                    for plat in self.platforms:
+                        yield RunSpec(
+                            platform=plat,
+                            algorithm=algo,
+                            dataset=ds,
+                            cluster=self.cluster,
+                            fault_plan=plan,
+                            params=self.params,
+                        )
 
 
 def derive_cell_seed(base_seed: int, spec: RunSpec, *, scale: float = 1.0) -> int:

@@ -61,7 +61,7 @@ from repro.core.spec import RunSpec, SweepSpec
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runner import Runner
 
-__all__ = ["run_sweep"]
+__all__ = ["run_sweep", "run_specs"]
 
 #: counters returned per cell and folded back into the parent cache
 _COUNTER_KEYS = ("hits", "misses", "disk_hits", "disk_stores", "record_seconds")
@@ -193,14 +193,34 @@ def run_sweep(
     non-named cells (ad-hoc ``Graph``/``Platform`` objects cannot be
     dispatched across process boundaries).
     """
-    specs = list(sweep.cells())
+    return run_specs(runner, sweep.name, list(sweep.cells()), workers=workers)
+
+
+def run_specs(
+    runner: "Runner",
+    name: str,
+    specs: _t.Sequence[RunSpec],
+    *,
+    workers: int,
+) -> ExperimentResult:
+    """Execute an explicit list of cells on ``workers`` processes.
+
+    This is the executor behind :func:`run_sweep`, exposed for studies
+    whose grids are not cartesian — the chaos sweep
+    (:mod:`repro.core.chaos`) builds one cell per (fault plan x
+    baseline cell) with per-cell materialized plans, which no single
+    :class:`~repro.core.spec.SweepSpec` can express.  Records come back
+    in ``specs`` order, bit-identical to running the same list
+    serially.
+    """
+    specs = list(specs)
     for spec in specs:
         if not spec.is_named:
             raise ValueError(
                 f"cell {spec.describe()} is not fully named; parallel "
                 "sweeps need registry names for platform and dataset"
             )
-    exp = ExperimentResult(sweep.name)
+    exp = ExperimentResult(name)
     workers = max(1, min(int(workers), len(specs) or 1))
     if workers == 1 or len(specs) < 2:
         for spec in specs:
@@ -221,7 +241,7 @@ def run_sweep(
         # re-synthesizing them.
         from repro.datasets.registry import load_dataset
 
-        for ds in sweep.datasets:
+        for ds in dict.fromkeys(spec.dataset for spec in specs):
             load_dataset(ds, scale=runner.scale)
 
         methods = multiprocessing.get_all_start_methods()
@@ -245,7 +265,7 @@ def run_sweep(
         if session is not None:
             session.emit(
                 "sweep_started",
-                sweep=sweep.name, cells=len(specs),
+                sweep=name, cells=len(specs),
                 workers=pool_workers, tasks=len(tasks),
             )
             session.metrics.gauge_max(
@@ -297,7 +317,7 @@ def run_sweep(
             )
             session.emit(
                 "sweep_finished",
-                sweep=sweep.name, cells=len(specs), workers=pool_workers,
+                sweep=name, cells=len(specs), workers=pool_workers,
                 wall_seconds=round(pool_wall, 6),
                 utilization=round(utilization, 4),
             )
@@ -307,7 +327,7 @@ def run_sweep(
         # Promote the workers' recordings into the parent's in-memory
         # cache so follow-up serial cells are warm too.
         if runner.use_trace_cache:
-            _absorb_spilled(runner, sweep)
+            _absorb_spilled(runner, specs)
         return exp
     finally:
         if own_spill_dir is not None:
@@ -315,24 +335,32 @@ def run_sweep(
             shutil.rmtree(own_spill_dir, ignore_errors=True)
 
 
-def _absorb_spilled(runner: "Runner", sweep: SweepSpec) -> None:
+def _absorb_spilled(runner: "Runner", specs: _t.Sequence[RunSpec]) -> None:
     """Pull the sweep's spilled recordings into the parent's in-memory
-    cache without touching the hit/miss counters."""
+    cache without touching the hit/miss counters.
+
+    One preload per distinct workload: the trace key is derived from
+    each spec itself, so per-cell fault plans (the chaos sweep's
+    ``fault_plans`` axis) absorb their own entries."""
     from repro.algorithms.base import get_algorithm
     from repro.core.trace_cache import trace_key
     from repro.datasets.registry import load_dataset
 
     cache = runner.trace_cache
-    for algo in sweep.algorithms:
-        algorithm = get_algorithm(algo)
-        for ds in sweep.datasets:
-            graph = load_dataset(ds, scale=runner.scale)
-            key = trace_key(
-                algorithm.name,
-                graph,
-                dataset=ds,
-                scale=runner.scale,
-                params=dict(sweep.params),
-                fault_plan=sweep.fault_plan,
-            )
-            cache.preload(key, graph)
+    seen: set[tuple] = set()
+    for spec in specs:
+        workload = spec.cell_key()[1:5]  # algorithm, dataset, params, faults
+        if workload in seen:
+            continue
+        seen.add(workload)
+        algorithm = get_algorithm(spec.algorithm)
+        graph = load_dataset(spec.dataset, scale=runner.scale)
+        key = trace_key(
+            algorithm.name,
+            graph,
+            dataset=spec.dataset,
+            scale=runner.scale,
+            params=spec.params_dict(),
+            fault_plan=spec.fault_plan,
+        )
+        cache.preload(key, graph)

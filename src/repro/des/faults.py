@@ -51,6 +51,7 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "FaultInjector",
+    "PlanTemplate",
     "named_plan",
     "NAMED_PLANS",
     "schedule_plan",
@@ -288,6 +289,83 @@ def named_plan(
 NAMED_PLANS: tuple[str, ...] = (
     "crash", "partition", "straggler", "disk", "memory",
 )
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanTemplate:
+    """A horizon-relative fault-plan recipe.
+
+    Chaos scenarios place faults at *fractions* of a cell's fault-free
+    makespan ("crash at 50% of the job"), but a :class:`FaultPlan`
+    holds absolute simulated seconds — and every platform x algorithm x
+    dataset cell has a different makespan.  A template captures the
+    relative recipe once; :meth:`materialize` turns it into a concrete
+    plan for one cell's measured horizon.  Templates are frozen and
+    picklable so a chaos sweep can carry one recipe across worker
+    processes and cells.
+
+    ``plan`` is one of :data:`NAMED_PLANS`, or ``"seeded"`` for a
+    reproducible random plan (requires ``seed``).  ``at`` and
+    ``duration`` are fractions of the horizon; ``severity`` passes
+    through to :func:`named_plan` untouched.
+    """
+
+    plan: str
+    at: float = 0.5
+    duration: float = 0.2
+    severity: float | None = None
+    node: int = 0
+    seed: int | None = None
+    num_faults: int = 3
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "plan", self.plan.lower())
+        if self.plan != "seeded" and self.plan not in NAMED_PLANS:
+            raise KeyError(
+                f"unknown plan template {self.plan!r}; choose from "
+                f"{', '.join(NAMED_PLANS + ('seeded',))}"
+            )
+        if self.plan == "seeded" and self.seed is None:
+            raise ValueError("seeded plan templates need an explicit seed")
+        if not 0.0 <= self.at:
+            raise ValueError(f"fault-time fraction must be >= 0, got {self.at}")
+        if self.duration < 0.0:
+            raise ValueError(
+                f"duration fraction must be >= 0, got {self.duration}"
+            )
+        if self.num_faults < 1:
+            raise ValueError(f"num_faults must be >= 1, got {self.num_faults}")
+
+    @property
+    def name(self) -> str:
+        """The scenario name this template contributes to a report."""
+        if self.label is not None:
+            return self.label
+        if self.plan == "seeded":
+            return f"seeded-{self.seed}"
+        return self.plan
+
+    def materialize(self, horizon: float, *, num_nodes: int = 20) -> FaultPlan:
+        """The concrete plan for a cell whose fault-free makespan is
+        ``horizon`` simulated seconds."""
+        if horizon <= 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if self.plan == "seeded":
+            assert self.seed is not None  # enforced in __post_init__
+            plan = FaultPlan.seeded(
+                self.seed, horizon,
+                num_faults=self.num_faults, num_nodes=num_nodes,
+            )
+        else:
+            plan = named_plan(
+                self.plan,
+                at=self.at * horizon,
+                node=self.node,
+                duration=self.duration * horizon,
+                severity=self.severity,
+            )
+        return dataclasses.replace(plan, name=self.name)
 
 
 class FaultInjector:

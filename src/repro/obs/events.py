@@ -39,8 +39,9 @@ __all__ = [
     "EventStream",
 ]
 
-#: version stamped on every event record (bump on field-shape changes)
-EVENT_SCHEMA: int = 1
+#: version stamped on every event record (bump on field-shape changes;
+#: v2 added the chaos-sweep lifecycle kinds)
+EVENT_SCHEMA: int = 2
 
 #: the closed event vocabulary
 EVENT_KINDS: frozenset[str] = frozenset({
@@ -61,6 +62,10 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "retry",            # fault recovery fired (task retries/restarts)
     # benchmark mode
     "gate_verdict",     # a validated cell's PASS/FAIL (+ budget WARN)
+    # chaos-sweep mode
+    "chaos_sweep_started",   # a scenario matrix begins (plans x grid)
+    "chaos_cell",            # one faulted cell's verdict (slowdown)
+    "chaos_sweep_finished",  # the matrix ends (survival summary)
 })
 
 

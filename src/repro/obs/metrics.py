@@ -271,19 +271,27 @@ class MetricsRegistry:
         Counters and gauges render as single samples; histograms render
         as Prometheus *summaries* (quantile samples plus ``_sum`` and
         ``_count``) so a scraper gets p50/p90/p99 without re-bucketing.
+        Every metric carries ``# HELP`` and ``# TYPE`` comment lines in
+        that order, per the exposition-format specification.
         """
         lines: list[str] = []
         for name in sorted(self.counters):
             pname = prometheus_name(name, prefix)
+            lines.append(f"# HELP {pname} Harness counter {name!r}.")
             lines.append(f"# TYPE {pname} counter")
             lines.append(f"{pname} {self.counters[name]:g}")
         for name in sorted(self.gauges):
             pname = prometheus_name(name, prefix)
+            lines.append(f"# HELP {pname} Harness gauge {name!r}.")
             lines.append(f"# TYPE {pname} gauge")
             lines.append(f"{pname} {self.gauges[name]:g}")
         for name in sorted(self.histograms):
             h = self.histograms[name]
             pname = prometheus_name(name, prefix)
+            lines.append(
+                f"# HELP {pname} Harness distribution {name!r} "
+                f"(log-bucket quantile estimates)."
+            )
             lines.append(f"# TYPE {pname} summary")
             for q in _EXPOSED_QUANTILES:
                 value = h.quantile(q) if h.count else math.nan

@@ -133,6 +133,48 @@ class MapReduceEngine(Platform):
             return nominal, backup
         return stretched, 0.0
 
+    def _retry_crashed_tasks(
+        self,
+        faults: FaultInjector,
+        t: float,
+        job_time: float,
+        *,
+        startup: float,
+        nodes: int,
+        stage: str,
+    ) -> tuple[list, list[float], float]:
+        """Per-task retry recovery over the job window ``[t, t +
+        job_time)``: only the dead node's share of the job re-runs —
+        the JobTracker re-schedules its tasks on surviving slots — and
+        each retry extends the window a later crash can land in, within
+        the :attr:`max_task_retries` budget.
+
+        Returns ``(crashes, retry_costs, job_time)`` with ``job_time``
+        grown by every retry.  This is the recovery model the
+        known-truth scenarios (:mod:`repro.des.known_truth`) drive
+        directly against its closed form.
+        """
+        job_crashes: list = []
+        job_retry_costs: list[float] = []
+        while (crash := faults.next_crash(t, t + job_time)) is not None:
+            job_crashes.append(crash)
+            if len(job_crashes) > self.max_task_retries:
+                raise PlatformCrash(
+                    self.name,
+                    stage,
+                    f"task retry budget exhausted: "
+                    f"{len(job_crashes)} node failures > "
+                    f"{self.max_task_retries} attempts",
+                )
+            retry = (
+                (job_time - startup) / nodes
+                + self.retry_launch_seconds
+            )
+            faults.note_retry(retry)
+            job_retry_costs.append(retry)
+            job_time += retry
+        return job_crashes, job_retry_costs, job_time
+
     def _execute(
         self,
         algo: Algorithm,
@@ -261,27 +303,15 @@ class MapReduceEngine(Platform):
                 job_time = (startup + read + map_cpu + spill + copy + merge
                             + reduce_cpu + write + job_recovery)
                 if faults is not None:
-                    # Node crash: only the dead node's tasks re-run — the
-                    # JobTracker re-schedules them on surviving slots,
-                    # within the per-job retry budget.
-                    while (crash := faults.next_crash(t, t + job_time)) is not None:
-                        job_crashes.append(crash)
-                        if len(job_crashes) > self.max_task_retries:
-                            raise PlatformCrash(
-                                self.name,
-                                f"iteration {supersteps}",
-                                f"task retry budget exhausted: "
-                                f"{len(job_crashes)} node failures > "
-                                f"{self.max_task_retries} attempts",
-                            )
-                        retry = (
-                            (job_time - startup) / nodes
-                            + self.retry_launch_seconds
+                    job_crashes, job_retry_costs, job_time = (
+                        self._retry_crashed_tasks(
+                            faults, t, job_time,
+                            startup=startup, nodes=nodes,
+                            stage=f"iteration {supersteps}",
                         )
-                        faults.note_retry(retry)
-                        job_retry_costs.append(retry)
+                    )
+                    for retry in job_retry_costs:
                         job_recovery += retry
-                        job_time += retry
 
                 t0 = t
                 copy_span = None

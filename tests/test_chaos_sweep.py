@@ -1,0 +1,362 @@
+"""Chaos-sweep scenario matrix: fault plans x the experiment grid.
+
+The contract under test:
+
+* the matrix crosses plan templates with every baseline cell, reports
+  per-cell slowdown against each cell's *own* fault-free makespan, and
+  surfaces crashes as frontier survival data — not test failures;
+* the whole report is deterministic: ``workers=4`` produces the same
+  cells, curves and frontier as ``workers=1``;
+* the ``fault_plans`` SweepSpec axis enumerates plan-major and runs
+  through the parallel executor bit-identically;
+* the CLI front door (``graphbench chaos-sweep``) exports the report
+  through the unified ``export()`` dispatch and emits the chaos
+  lifecycle events.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.chaos import (
+    DEFAULT_TEMPLATES,
+    resolve_templates,
+    run_chaos_sweep,
+)
+from repro.core.report import ChaosCell, ChaosReport
+from repro.core.runner import Runner
+from repro.core.spec import SweepSpec
+from repro.des.faults import FaultPlan, PlanTemplate, named_plan
+from tests.test_spec_sweep import records_equal
+
+PLATFORMS = ("hadoop", "giraph", "graphlab")
+
+
+@pytest.fixture(scope="module")
+def report() -> ChaosReport:
+    return run_chaos_sweep(
+        Runner(),
+        templates=resolve_templates(["crash", "straggler"]),
+        platforms=PLATFORMS,
+        algorithms=("bfs",),
+        datasets=("amazon",),
+    )
+
+
+class TestChaosReport:
+    def test_matrix_shape(self, report):
+        assert report.plans == ("crash", "straggler")
+        assert len(report.cells) == 2 * len(PLATFORMS)
+        assert len(report.baselines) == len(PLATFORMS)
+        summary = report.summary()
+        assert summary["cells"] == 6
+        assert summary["attempted"] == 6  # every baseline survived
+        assert summary["survived"] + summary["crashed"] == 6
+
+    def test_giraph_crash_cell_dies_without_checkpointing(self, report):
+        cell = report.get("crash", "giraph", "bfs", "amazon")
+        assert cell is not None
+        assert cell.status == "crashed" and not cell.ok
+        assert "checkpointing is off" in cell.failure_reason
+        assert cell.slowdown is None
+
+    def test_hadoop_crash_cell_survives_with_task_retries(self, report):
+        cell = report.get("crash", "hadoop", "bfs", "amazon")
+        assert cell is not None and cell.ok
+        assert cell.task_retries >= 1
+        assert cell.job_restarts == 0
+        assert cell.slowdown is not None and cell.slowdown >= 1.0
+        assert cell.recovery_seconds > 0.0
+        assert cell.faults_fired >= 1
+
+    def test_graphlab_crash_cell_restarts_whole_job(self, report):
+        cell = report.get("crash", "graphlab", "bfs", "amazon")
+        assert cell is not None and cell.ok
+        assert cell.job_restarts == 1
+        assert cell.task_retries == 0
+        # re-paying ~half the job plus the restart latency: a visible
+        # slowdown and a large recovery fraction
+        assert cell.slowdown is not None and cell.slowdown > 1.3
+        assert 0.0 < cell.recovery_fraction < 1.0
+
+    def test_straggler_cells_all_survive(self, report):
+        for platform in PLATFORMS:
+            cell = report.get("straggler", platform, "bfs", "amazon")
+            assert cell is not None and cell.ok, platform
+
+    def test_degradation_curve_marks_dead_plans(self, report):
+        curve = dict(report.degradation_curve("giraph"))
+        assert curve["crash"] is None  # every crash cell died
+        assert curve["straggler"] is not None
+        assert dict(report.degradation_curve("hadoop"))["crash"] >= 1.0
+
+    def test_frontier_accounts_every_platform(self, report):
+        frontier = {row["platform"]: row for row in report.frontier()}
+        assert set(frontier) == set(PLATFORMS)
+        for row in frontier.values():
+            assert row["cells"] == 2
+            assert 0.0 <= row["survival_rate"] <= 1.0
+        assert frontier["giraph"]["survived"] == 1
+        assert frontier["hadoop"]["task_retries"] >= 1
+        assert frontier["graphlab"]["job_restarts"] >= 1
+
+    def test_survivors_and_failures_partition_attempted_cells(self, report):
+        attempted = [c for c in report.cells if c.status != "no-baseline"]
+        assert len(report.survivors()) + len(report.failures()) == len(
+            attempted
+        )
+
+    def test_render_has_all_sections(self, report):
+        text = report.render()
+        assert "Plan 'crash'" in text
+        assert "Graceful degradation" in text
+        assert "Availability / recovery-cost frontier" in text
+        assert "Killed cells:" in text
+        assert "faulted cells survived" in text
+
+    def test_to_dict_is_json_serializable(self, report):
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["report"] == "chaos-sweep"
+        assert doc["plans"] == ["crash", "straggler"]
+        assert len(doc["cells"]) == 6
+        assert doc["degradation_curves"].keys() == set(PLATFORMS)
+
+    def test_cell_describe(self):
+        ok = ChaosCell(
+            plan="crash", platform="hadoop", algorithm="bfs",
+            dataset="amazon", status="ok", baseline_time=10.0,
+            execution_time=12.4,
+        )
+        assert ok.describe() == "1.24x"
+        dead = ChaosCell(
+            plan="crash", platform="giraph", algorithm="bfs",
+            dataset="amazon", status="crashed", baseline_time=10.0,
+        )
+        assert dead.describe() == "CRASH"
+        assert dead.slowdown is None and dead.recovery_fraction is None
+
+
+class TestDeterminism:
+    def test_workers_4_bit_identical_to_workers_1(self):
+        def go(workers: int) -> dict:
+            r = run_chaos_sweep(
+                Runner(),
+                templates=resolve_templates(["crash", "seeded"], seed=7),
+                platforms=("hadoop", "graphlab"),
+                algorithms=("bfs",),
+                datasets=("amazon",),
+                workers=workers,
+            )
+            return r.to_dict()
+
+        serial, parallel = go(1), go(4)
+        assert serial.pop("workers") == 1
+        assert parallel.pop("workers") == 4
+        assert serial == parallel  # cells, curves, frontier: bit-identical
+
+
+class TestValidation:
+    def test_rejects_empty_templates(self):
+        with pytest.raises(ValueError, match="at least one plan"):
+            run_chaos_sweep(
+                Runner(), templates=(), platforms=("hadoop",),
+                algorithms=("bfs",), datasets=("amazon",),
+            )
+
+    def test_rejects_duplicate_template_names(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_chaos_sweep(
+                Runner(),
+                templates=(
+                    PlanTemplate("crash", at=0.3),
+                    PlanTemplate("crash", at=0.7),
+                ),
+                platforms=("hadoop",), algorithms=("bfs",),
+                datasets=("amazon",),
+            )
+
+
+class TestTemplates:
+    def test_all_expands_to_default_set(self):
+        assert resolve_templates(["all"]) == DEFAULT_TEMPLATES
+        # duplicates collapse while keeping order: the default crash
+        # placement is already in the canonical set
+        assert resolve_templates(["all", "crash"]) == DEFAULT_TEMPLATES
+        assert resolve_templates(["crash", "crash"]) == (
+            PlanTemplate("crash", at=0.5, duration=0.2),
+        )
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(KeyError, match="unknown plan"):
+            resolve_templates(["gremlins"])
+
+    def test_materialize_places_faults_at_fractions(self):
+        template = PlanTemplate("crash", at=0.25, node=3)
+        plan = template.materialize(400.0)
+        assert len(plan) == 1
+        assert plan.faults[0].at == 100.0
+        assert plan.faults[0].node == 3
+        assert plan.name == "crash"
+
+    def test_materialize_seeded_uses_horizon_and_nodes(self):
+        template = PlanTemplate("seeded", seed=9, num_faults=4)
+        plan = template.materialize(100.0, num_nodes=8)
+        assert len(plan) == 4
+        assert plan.name == "seeded-9"
+        assert plan == template.materialize(100.0, num_nodes=8)  # stable
+
+    def test_template_validation(self):
+        with pytest.raises(KeyError):
+            PlanTemplate("nonsense")
+        with pytest.raises(ValueError, match="seed"):
+            PlanTemplate("seeded")
+        with pytest.raises(ValueError):
+            PlanTemplate("crash", at=-0.1)
+        with pytest.raises(ValueError):
+            PlanTemplate("crash").materialize(0.0)
+
+    def test_label_overrides_name(self):
+        template = PlanTemplate("crash", at=0.9, label="late-crash")
+        assert template.name == "late-crash"
+        assert template.materialize(10.0).name == "late-crash"
+
+
+class TestFaultPlansAxis:
+    def test_cells_enumerate_plan_major(self):
+        plans = (
+            named_plan("crash", at=5.0),
+            named_plan("straggler", at=2.0, duration=3.0),
+        )
+        sweep = SweepSpec.make(
+            "test:plans-axis",
+            platforms=("giraph", "graphlab"),
+            algorithms=("bfs",),
+            datasets=("amazon",),
+            fault_plans=plans,
+        )
+        cells = list(sweep.cells())
+        assert len(cells) == len(sweep) == 4
+        assert [c.fault_plan.name for c in cells] == [
+            "crash", "crash", "straggler", "straggler"
+        ]
+
+    def test_rejects_both_plan_and_axis(self):
+        with pytest.raises(ValueError, match="not both"):
+            SweepSpec.make(
+                "test:bad",
+                platforms=("giraph",), algorithms=("bfs",),
+                datasets=("amazon",),
+                fault_plan=named_plan("crash", at=5.0),
+                fault_plans=(named_plan("crash", at=9.0),),
+            )
+
+    def test_no_axis_means_single_shared_plan(self):
+        sweep = SweepSpec.make(
+            "test:no-axis", platforms=("giraph",), algorithms=("bfs",),
+            datasets=("amazon",),
+        )
+        assert sweep.effective_plans() == (None,)
+        assert len(sweep) == 1
+
+    def test_axis_parallel_matches_serial(self):
+        sweep = SweepSpec.make(
+            "test:plans-parallel",
+            platforms=("hadoop", "graphlab"),
+            algorithms=("bfs",),
+            datasets=("amazon",),
+            fault_plans=(
+                named_plan("straggler", at=2.0, duration=3.0),
+                named_plan("disk", at=1.0, duration=4.0),
+            ),
+        )
+        serial = Runner().run_grid(sweep, workers=1)
+        parallel = Runner().run_grid(sweep, workers=2)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert records_equal(a, b)
+
+
+class TestObservability:
+    def test_chaos_lifecycle_events(self):
+        from repro import obs
+
+        with obs.observed() as session:
+            run_chaos_sweep(
+                Runner(),
+                templates=resolve_templates(["crash"]),
+                platforms=("hadoop",),
+                algorithms=("bfs",),
+                datasets=("amazon",),
+            )
+        kinds = session.events.by_kind()
+        assert kinds["chaos_sweep_started"] == 1
+        assert kinds["chaos_cell"] == 1
+        assert kinds["chaos_sweep_finished"] == 1
+        cell_events = [
+            e for e in session.events.events() if e.kind == "chaos_cell"
+        ]
+        assert cell_events[0].fields["cell"] == "hadoop/bfs/amazon"
+        assert cell_events[0].fields["status"] == "ok"
+        assert obs.active() is None
+
+
+class TestExportAndCLI:
+    def test_export_kind_chaos(self, report, tmp_path):
+        from repro.core.export import export
+
+        path = tmp_path / "chaos.json"
+        export(report, kind="chaos", path=path)
+        doc = json.loads(path.read_text())
+        assert doc["report"] == report.name
+        assert len(doc["frontier"]) == len(PLATFORMS)
+        with pytest.raises(TypeError, match="expects ChaosReport"):
+            export(object(), kind="chaos", path=tmp_path / "x.json")
+
+    def test_cli_smoke_with_json_and_events(self, capsys, tmp_path):
+        from repro.cli import main
+
+        json_path = tmp_path / "report.json"
+        events_path = tmp_path / "events.jsonl"
+        rc = main([
+            "chaos-sweep",
+            "--plans", "crash", "straggler",
+            "--platforms", "hadoop", "graphlab",
+            "--algorithms", "bfs",
+            "--datasets", "amazon",
+            "--workers", "2",
+            "--json", str(json_path),
+            "--events", str(events_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Availability / recovery-cost frontier" in out
+        assert "harness events" in out
+        doc = json.loads(json_path.read_text())
+        assert doc["workers"] == 2
+        assert doc["summary"]["cells"] == 4
+        kinds = {
+            json.loads(line)["kind"]
+            for line in events_path.read_text().splitlines()
+        }
+        assert {"chaos_sweep_started", "chaos_cell",
+                "chaos_sweep_finished"} <= kinds
+
+    def test_cli_strict_fails_on_killed_cells(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "chaos-sweep", "--plans", "crash",
+            "--platforms", "giraph", "--algorithms", "bfs",
+            "--datasets", "amazon", "--strict",
+        ])
+        assert rc == 1
+        assert "Killed cells:" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_plan(self, capsys):
+        from repro.cli import main
+
+        rc = main(["chaos-sweep", "--plans", "gremlins"])
+        assert rc == 2
+        assert "unknown plan" in capsys.readouterr().err

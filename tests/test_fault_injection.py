@@ -436,6 +436,148 @@ class TestFaultInjector:
         assert inj.recovery_seconds == 14.0
 
 
+class TestPlanSerializationProperties:
+    """Property net over FaultPlan JSON serialization: round-trips are
+    lossless (bit-identical keys *and* bit-identical charged
+    durations), plan order is normalized, and malformed documents are
+    rejected — hypothesis-driven so the whole plan space is covered,
+    not just the presets."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @st.composite
+    def _faults(draw):  # noqa: N805 - hypothesis composite convention
+        from hypothesis import strategies as st
+
+        kind = draw(st.sampled_from(list(FaultKind)))
+        at = draw(st.floats(min_value=0.0, max_value=1e6,
+                            allow_nan=False, allow_infinity=False))
+        node = draw(st.integers(0, 63))
+        duration = draw(st.floats(min_value=0.0, max_value=1e5,
+                                  allow_nan=False, allow_infinity=False))
+        if kind in (FaultKind.STRAGGLER, FaultKind.DISK_DEGRADE):
+            severity = draw(st.floats(min_value=1.0, max_value=16.0,
+                                      allow_nan=False))
+        elif kind is FaultKind.MEMORY_CEILING:
+            severity = draw(st.floats(min_value=0.01, max_value=1.0,
+                                      allow_nan=False))
+        else:
+            severity = 1.0
+        return Fault(kind=kind, at=at, node=node, duration=duration,
+                     severity=severity)
+
+    _plans = st.builds(
+        lambda faults, seed: FaultPlan(
+            faults=tuple(faults), name="prop", seed=seed
+        ),
+        st.lists(_faults(), min_size=0, max_size=8),
+        st.none() | st.integers(0, 2**31),
+    )
+
+    @given(plan=_plans)
+    @settings(max_examples=80, deadline=None)
+    def test_json_round_trip_is_lossless(self, plan):
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.key() == plan.key()
+        assert clone.seed == plan.seed
+        assert clone.to_json() == plan.to_json()
+
+    @given(
+        plan=_plans,
+        windows=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                          allow_infinity=False),
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                          allow_infinity=False),
+                st.sampled_from(["cpu", "disk", "net"]),
+            ),
+            min_size=1, max_size=12,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_charged_durations(self, plan, windows):
+        """The acceptance bar: serialize -> deserialize -> every
+        injector query returns the bit-identical float."""
+        if plan.is_empty:
+            return
+        clone = FaultPlan.from_json(plan.to_json())
+        a = FaultInjector(plan, num_workers=8)
+        b = FaultInjector(clone, num_workers=8)
+        assert a.memory_limit(1e9) == b.memory_limit(1e9)
+        for t0, seconds, resource in windows:
+            assert a.stretch(t0, seconds, resource) == b.stretch(
+                t0, seconds, resource
+            )
+        while True:
+            ca, cb = a.next_crash(0.0, 2e6), b.next_crash(0.0, 2e6)
+            assert ca == cb
+            if ca is None:
+                break
+        assert a.faults_fired == b.faults_fired
+
+    @given(order_seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_out_of_order_documents_normalize(self, order_seed):
+        """A plan document with shuffled fault order deserializes to
+        the same time-sorted plan and the same cache key."""
+        import random
+
+        plan = FaultPlan.seeded(3, 500.0, num_faults=5)
+        doc = plan.to_dict()
+        random.Random(order_seed).shuffle(doc["faults"])
+        clone = FaultPlan.from_dict(doc)
+        assert clone == plan
+        assert clone.key() == plan.key()
+        assert [f.at for f in clone] == sorted(f.at for f in clone)
+
+    @pytest.mark.parametrize("doc", [
+        '{"faults": [{"kind": "gremlins", "at": 1.0}]}',   # unknown kind
+        '{"faults": [{"kind": "node_crash", "at": -1.0}]}',  # negative time
+        '{"faults": [{"kind": "straggler", "at": 0.0, "severity": 0.5}]}',
+        '{"faults": [{"kind": "memory_ceiling", "at": 0.0, "severity": 2.0}]}',
+        '{"faults": [{"kind": "node_crash"}]}',            # missing time
+        "not json at all",
+    ])
+    def test_malformed_documents_rejected(self, doc):
+        import json as _json
+
+        with pytest.raises((ValueError, KeyError, _json.JSONDecodeError)):
+            FaultPlan.from_json(doc)
+
+
+@pytest.mark.parametrize("pname", PLATFORM_NAMES)
+@pytest.mark.parametrize("preset", NAMED_PLANS + ("seeded",))
+class TestPresetRoundTripBitIdentity:
+    """Every named preset x every platform: a JSON-round-tripped plan
+    produces the bit-identical run outcome (charged durations, crash
+    messages, accounting) as the original."""
+
+    def test_round_tripped_preset_runs_bit_identical(
+        self, baselines, graph, cluster, pname, preset
+    ):
+        plat = get_platform(pname)
+        base = baselines[(pname, "bfs")]
+        if preset == "seeded":
+            plan = FaultPlan.seeded(
+                31, base.execution_time, num_faults=3,
+                num_nodes=cluster.num_workers,
+            )
+        else:
+            plan = named_plan(
+                preset,
+                at=0.4 * base.execution_time,
+                duration=0.2 * base.execution_time,
+            )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.key() == plan.key()
+        assert _outcome(plat, "bfs", graph, cluster, plan) == _outcome(
+            plat, "bfs", graph, cluster, clone
+        )
+
+
 class TestSchedulePlan:
     def test_plan_materializes_as_des_events(self):
         from repro.des import Simulator

@@ -1,0 +1,440 @@
+"""Known-truth recovery-semantics regression net.
+
+The chaos-sweep frontier numbers (``repro.core.chaos``) are only
+trustworthy if the per-platform recovery models provably implement the
+semantics they claim.  This suite drives the **real** recovery code
+(:meth:`Platform._recover_whole_job`,
+:meth:`MapReduceEngine._retry_crashed_tasks`,
+:meth:`Giraph._recover_crashes`) against synthetic scenarios whose
+outcomes are derivable in closed form, hypothesis-sweeping the crash
+fraction ``f``, crash count ``k``, checkpoint interval ``c``, and plan
+seeds.  Every analytic comparison must hold to ``REL_TOL`` (1e-9)
+relative error; most hold exactly because the twins mirror the float
+operation order.
+
+Closed forms under test (``s`` = step seconds, ``R`` = restart
+latency, ``T`` = fault-free makespan):
+
+* whole-job restart, one crash at ``a``: detected at ``k*s`` with
+  ``k = floor(a/s) + 1``; ``extra = R + k*s``;
+* whole-job restart, ``k`` crashes in the first step: windows compound
+  as ``t_k = 2^k * s + (2^k - 1) * R`` (the doubling law);
+* per-task retry, ``k`` early crashes:
+  ``E_k = a^k * E_0 - (S - L*w) * (a^k - 1)`` with ``a = 1 + 1/w``;
+* checkpoint-restart, crash detected at step ``k`` with interval
+  ``c``: ``lost = (k mod c) * s <= c*s``, ``extra = R + lost``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.faults import FaultPlan
+from repro.des.known_truth import (
+    REL_TOL,
+    ScenarioCheck,
+    UniformJob,
+    closed_form_task_retry,
+    crash_plan,
+    expected_checkpoint_restart,
+    expected_task_retry,
+    expected_whole_job_restart,
+    run_checkpoint_restart,
+    run_task_retry,
+    run_whole_job_restart,
+    verify_recovery_semantics,
+)
+from repro.platforms.giraph import Giraph
+from repro.platforms.graphlab import GraphLab
+from repro.platforms.hadoop import Hadoop
+from repro.platforms.neo4j import Neo4j
+from repro.platforms.stratosphere import Stratosphere
+from repro.platforms.yarn import Yarn
+
+#: the synthetic uniform workload: 8 steps of 25 simulated seconds
+JOB = UniformJob(steps=8, step_seconds=25.0)
+
+WHOLE_JOB_PLATFORMS = [GraphLab, Stratosphere, Neo4j]
+RETRY_ENGINES = [Hadoop, Yarn]
+
+
+def _assert_outcomes_match(actual, expected):
+    """Field-by-field comparison at the net's relative tolerance.
+
+    A crashed job has no makespan (the driver observes the clock at
+    the last completed step, not mid-recovery), so crashed outcomes
+    compare recovery charges and counters only.
+    """
+    assert actual.crashed == expected.crashed
+    quantities = (
+        ("recovery_seconds",)
+        if actual.crashed
+        else ("makespan", "recovery_seconds")
+    )
+    for quantity in quantities:
+        check = ScenarioCheck(
+            "test", "test", quantity,
+            getattr(expected, quantity), getattr(actual, quantity),
+        )
+        assert check.ok, (
+            f"{quantity}: expected {check.expected!r}, got "
+            f"{check.actual!r} (rel error {check.rel_error:.2e})"
+        )
+    assert actual.job_restarts == expected.job_restarts
+    assert actual.task_retries == expected.task_retries
+
+
+# -- whole-job restart (GraphLab / Stratosphere / Neo4j) ---------------------
+
+crash_fractions = st.floats(
+    min_value=0.01, max_value=0.95, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.mark.parametrize("cls", WHOLE_JOB_PLATFORMS)
+class TestWholeJobRestart:
+    @given(f=crash_fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_single_crash_matches_analytic_twin(self, cls, f):
+        platform = cls()
+        plan = crash_plan([f * JOB.total])
+        actual = run_whole_job_restart(platform, plan, JOB)
+        expected = expected_whole_job_restart(
+            plan, JOB,
+            restart_seconds=platform.restart_seconds,
+            max_restarts=platform.max_job_restarts,
+        )
+        assert not actual.crashed
+        _assert_outcomes_match(actual, expected)
+
+    def test_single_crash_closed_form(self, cls):
+        """extra = R + k*s with k = floor(a/s) + 1 (detection at the
+        end of the step in flight)."""
+        platform = cls()
+        s = JOB.step_seconds
+        a = 2.5 * s  # mid-step crash, detected at k = 3
+        actual = run_whole_job_restart(platform, crash_plan([a]), JOB)
+        extra = platform.restart_seconds + 3 * s
+        assert actual.makespan == JOB.total + extra
+        assert actual.recovery_seconds == extra
+        assert actual.job_restarts == 1
+
+    @given(f=crash_fractions, extra=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_budget_exhaustion_crashes_both_sides(self, cls, f, extra):
+        """One crash more than the restart budget kills the job — in
+        the real model and the analytic twin alike."""
+        platform = cls()
+        budget = platform.max_job_restarts
+        times = [f * JOB.step_seconds + i * 1e-4 for i in range(budget + extra)]
+        plan = crash_plan(times)
+        actual = run_whole_job_restart(platform, plan, JOB)
+        expected = expected_whole_job_restart(
+            plan, JOB,
+            restart_seconds=platform.restart_seconds,
+            max_restarts=budget,
+        )
+        assert actual.crashed and expected.crashed
+        assert "restart budget exhausted" in actual.failure
+        assert actual.job_restarts == expected.job_restarts == budget
+        _assert_outcomes_match(actual, expected)
+
+
+class _DurableGraphLab(GraphLab):
+    """GraphLab with a deep restart budget — isolates the doubling law
+    from budget exhaustion."""
+
+    max_job_restarts = 64
+
+
+class TestDoublingLaw:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=24.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_first_window_crashes_compound_geometrically(self, times):
+        """k crashes landing in the first step window cost
+        t_k = 2^k * s + (2^k - 1) * R: each restart re-pays all
+        simulated work so far, so the elapsed clock doubles per crash.
+        """
+        job = UniformJob(steps=1, step_seconds=25.0)
+        platform = _DurableGraphLab()
+        actual = run_whole_job_restart(platform, crash_plan(times), job)
+        assert not actual.crashed
+        k = len(times)
+        s, R = job.step_seconds, platform.restart_seconds
+        want = 2.0**k * s + (2.0**k - 1.0) * R
+        assert math.isclose(actual.makespan, want, rel_tol=REL_TOL)
+        assert actual.job_restarts == k
+        # and the iterated analytic twin agrees exactly
+        expected = expected_whole_job_restart(
+            crash_plan(times), job,
+            restart_seconds=R, max_restarts=platform.max_job_restarts,
+        )
+        _assert_outcomes_match(actual, expected)
+
+
+# -- per-task retry (Hadoop / YARN) ------------------------------------------
+
+
+@pytest.mark.parametrize("cls", RETRY_ENGINES)
+class TestTaskRetry:
+    @given(
+        fractions=st.lists(
+            st.floats(min_value=0.01, max_value=0.95,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=4,
+        ),
+        nodes=st.sampled_from([5, 20, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_retry_recurrence_matches_analytic_twin(
+        self, cls, fractions, nodes
+    ):
+        engine = cls()
+        wall = engine.job_startup_seconds + JOB.total
+        plan = crash_plan([f * wall for f in fractions])
+        actual = run_task_retry(engine, plan, JOB, nodes=nodes)
+        expected = expected_task_retry(
+            plan, JOB,
+            startup=engine.job_startup_seconds,
+            nodes=nodes,
+            retry_launch_seconds=engine.retry_launch_seconds,
+            max_task_retries=engine.max_task_retries,
+        )
+        assert not actual.crashed
+        _assert_outcomes_match(actual, expected)
+
+    @given(k=st.integers(1, 4), nodes=st.sampled_from([5, 20, 64]))
+    @settings(max_examples=30, deadline=None)
+    def test_early_crashes_match_closed_form(self, cls, k, nodes):
+        """k crashes all landing before the nominal job completes obey
+        E_k = a^k * E_0 - (S - L*w)(a^k - 1) with a = 1 + 1/w."""
+        engine = cls()
+        base = engine.job_startup_seconds + JOB.total
+        plan = crash_plan([(i + 1.0) for i in range(k)])  # all early
+        actual = run_task_retry(engine, plan, JOB, nodes=nodes)
+        want = closed_form_task_retry(
+            k,
+            base=base,
+            startup=engine.job_startup_seconds,
+            nodes=nodes,
+            retry_launch_seconds=engine.retry_launch_seconds,
+        )
+        assert actual.task_retries == k
+        assert math.isclose(actual.makespan, want, rel_tol=REL_TOL)
+        assert math.isclose(
+            actual.recovery_seconds, want - base,
+            rel_tol=REL_TOL, abs_tol=1e-12,
+        )
+
+    def test_budget_exhaustion_crashes_both_sides(self, cls):
+        engine = cls()
+        budget = engine.max_task_retries
+        plan = crash_plan([1.0 + i for i in range(budget + 1)])
+        actual = run_task_retry(engine, plan, JOB, nodes=20)
+        expected = expected_task_retry(
+            plan, JOB,
+            startup=engine.job_startup_seconds,
+            nodes=20,
+            retry_launch_seconds=engine.retry_launch_seconds,
+            max_task_retries=budget,
+        )
+        assert actual.crashed and expected.crashed
+        assert "retry budget exhausted" in actual.failure
+        assert actual.task_retries == expected.task_retries == budget
+        _assert_outcomes_match(actual, expected)
+
+    def test_late_crash_outside_window_is_ignored(self, cls):
+        engine = cls()
+        wall = engine.job_startup_seconds + JOB.total
+        plan = crash_plan([wall * 10.0])
+        actual = run_task_retry(engine, plan, JOB, nodes=20)
+        assert actual.task_retries == 0
+        assert actual.makespan == wall
+        assert actual.recovery_seconds == 0.0
+
+
+# -- checkpoint-restart (Giraph) ---------------------------------------------
+
+
+class TestCheckpointRestart:
+    @given(
+        c=st.integers(1, 8),
+        k=st.integers(1, JOB.steps),
+        offset=st.floats(min_value=0.05, max_value=0.95,
+                         allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lost_work_is_k_mod_c_steps(self, c, k, offset):
+        """A crash inside step k re-pays R plus exactly the work since
+        the last checkpoint barrier: (k mod c) * s."""
+        giraph = Giraph(checkpoint_interval=c)
+        s = JOB.step_seconds
+        plan = crash_plan([(k - 1 + offset) * s])
+        actual = run_checkpoint_restart(giraph, plan, JOB)
+        expected = expected_checkpoint_restart(
+            plan, JOB, interval=c, restart_seconds=giraph.restart_seconds
+        )
+        assert not actual.crashed
+        _assert_outcomes_match(actual, expected)
+        lost = (k % c) * s
+        extra = giraph.restart_seconds + lost
+        assert math.isclose(actual.recovery_seconds, extra, rel_tol=REL_TOL)
+        assert actual.makespan == pytest.approx(
+            JOB.total + extra, rel=REL_TOL
+        )
+
+    @given(c=st.integers(1, 8), f=crash_fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_lost_work_bounded_by_interval(self, c, f):
+        """The checkpoint contract: lost work never exceeds c * s."""
+        giraph = Giraph(checkpoint_interval=c)
+        actual = run_checkpoint_restart(
+            giraph, crash_plan([f * JOB.total]), JOB
+        )
+        assert not actual.crashed
+        bound = giraph.restart_seconds + c * JOB.step_seconds
+        assert actual.recovery_seconds <= bound + 1e-9
+
+    @given(f=crash_fractions)
+    @settings(max_examples=20, deadline=None)
+    def test_checkpointing_off_aborts_both_sides(self, f):
+        """interval = 0 (the Giraph 0.2 default): the first detected
+        crash kills the job in model and twin alike."""
+        giraph = Giraph(checkpoint_interval=0)
+        plan = crash_plan([f * JOB.total])
+        actual = run_checkpoint_restart(giraph, plan, JOB)
+        expected = expected_checkpoint_restart(
+            plan, JOB, interval=0, restart_seconds=giraph.restart_seconds
+        )
+        assert actual.crashed and expected.crashed
+        assert "checkpointing is off" in actual.failure
+        assert actual.recovery_seconds == expected.recovery_seconds == 0.0
+
+
+# -- seeded plans: the net holds for arbitrary crash schedules ----------------
+
+
+class TestSeededPlans:
+    @given(seed=st.integers(0, 2**31), num=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_seeded_crash_schedules_match_twins(self, seed, num):
+        """Drive seeded (reproducible-random) crash schedules through
+        all three recovery families; the analytic twins must track the
+        real models across the whole seed space."""
+        from repro.des.faults import FaultKind
+
+        plan = FaultPlan.seeded(
+            seed, JOB.total, num_faults=num,
+            kinds=[FaultKind.NODE_CRASH], num_nodes=4,
+        )
+        durable = _DurableGraphLab()
+        _assert_outcomes_match(
+            run_whole_job_restart(durable, plan, JOB),
+            expected_whole_job_restart(
+                plan, JOB,
+                restart_seconds=durable.restart_seconds,
+                max_restarts=durable.max_job_restarts,
+            ),
+        )
+        giraph = Giraph(checkpoint_interval=2)
+        _assert_outcomes_match(
+            run_checkpoint_restart(giraph, plan, JOB),
+            expected_checkpoint_restart(
+                plan, JOB, interval=2,
+                restart_seconds=giraph.restart_seconds,
+            ),
+        )
+        hadoop = Hadoop()
+        _assert_outcomes_match(
+            run_task_retry(hadoop, plan, JOB, nodes=20),
+            expected_task_retry(
+                plan, JOB,
+                startup=hadoop.job_startup_seconds,
+                nodes=20,
+                retry_launch_seconds=hadoop.retry_launch_seconds,
+                max_task_retries=hadoop.max_task_retries,
+            ),
+        )
+
+
+# -- the packaged self-test and its plumbing ----------------------------------
+
+
+class TestVerifyRecoverySemantics:
+    def test_every_scenario_holds_at_tolerance(self):
+        checks = verify_recovery_semantics()
+        assert len(checks) == 12  # 6 platforms x {makespan, recovery}
+        for check in checks:
+            assert check.ok, (
+                f"{check.scenario}/{check.platform}/{check.quantity}: "
+                f"rel error {check.rel_error:.2e} > {REL_TOL:g}"
+            )
+        platforms = {c.platform for c in checks}
+        assert platforms == {
+            "graphlab", "stratosphere", "neo4j", "hadoop", "yarn", "giraph"
+        }
+
+    def test_scenario_check_rel_error(self):
+        exact = ScenarioCheck("s", "p", "makespan", 100.0, 100.0)
+        assert exact.rel_error == 0.0 and exact.ok
+        off = ScenarioCheck("s", "p", "makespan", 100.0, 101.0)
+        assert off.rel_error == pytest.approx(1.0 / 101.0)
+        assert not off.ok
+        both_zero = ScenarioCheck("s", "p", "recovery_seconds", 0.0, 0.0)
+        assert both_zero.ok
+
+    def test_selftest_cli_surface(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos-sweep", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "known-truth recovery semantics" in out
+        assert "12/12 checks passed" in out
+        assert "FAIL" not in out
+
+    def test_uniform_job_validation(self):
+        assert UniformJob(4, 2.5).total == 10.0
+        with pytest.raises(ValueError):
+            UniformJob(0, 1.0)
+        with pytest.raises(ValueError):
+            UniformJob(1, 0.0)
+
+    def test_crash_plan_builder(self):
+        plan = crash_plan([9.0, 1.0], node=3)
+        assert [f.at for f in plan] == [1.0, 9.0]  # time-sorted
+        assert all(f.node == 3 for f in plan)
+
+
+# -- acceptance: the empty plan stays the identity per platform ---------------
+
+
+class TestEmptyPlanIdentity:
+    @pytest.mark.parametrize(
+        "platform",
+        ["hadoop", "yarn", "giraph", "graphlab", "stratosphere", "neo4j"],
+    )
+    def test_empty_plan_record_bit_identical_to_no_plan(self, platform):
+        """Runner-level: fault_plan=empty must produce the same record
+        (and reuse the same trace-cache entry) as fault_plan=None."""
+        from repro.core.runner import Runner
+        from repro.core.spec import RunSpec
+        from tests.test_spec_sweep import records_equal
+
+        runner = Runner(jitter=0.02, repetitions=2)
+        plain = runner.run(RunSpec(platform, "bfs", "amazon"))
+        misses = runner.trace_cache.misses
+        empty = runner.run(
+            RunSpec(platform, "bfs", "amazon", fault_plan=FaultPlan.empty())
+        )
+        assert records_equal(plain, empty)
+        assert runner.trace_cache.misses == misses  # shared cache entry

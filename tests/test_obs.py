@@ -202,6 +202,226 @@ def test_prometheus_exposition():
     assert MetricsRegistry().to_prometheus() == ""
 
 
+# -- Prometheus text-format grammar -------------------------------------------
+
+import re as _re
+
+#: metric names: [a-zA-Z_:][a-zA-Z0-9_:]* (exposition-format spec)
+_PROM_METRIC_NAME = _re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: label names: [a-zA-Z_][a-zA-Z0-9_]* (no colons)
+_PROM_LABEL_NAME = _re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_PROM_SAMPLE = _re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+#: summary/histogram child-sample suffixes attached to a family name
+_PROM_SUFFIXES = ("_sum", "_count", "_bucket")
+_PROM_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_prometheus_exposition(text: str) -> dict[str, dict]:
+    """Parse (and structurally validate) a Prometheus text exposition.
+
+    Enforces the exposition-format grammar, not substrings: metric-name
+    and label-name regexes, ``# HELP`` before ``# TYPE`` before the
+    samples of each family, valid TYPE values, float-parseable sample
+    values, and samples only under a declared family.  Returns
+    ``{family: {"type", "help", "samples": [(labels_dict, value)]}}``.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        assert line == line.rstrip(), f"line {lineno}: trailing whitespace"
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert _PROM_METRIC_NAME.match(name), f"bad HELP name {name!r}"
+            assert name not in families, f"duplicate HELP for {name}"
+            assert help_text.strip(), f"empty HELP text for {name}"
+            families[name] = {"type": None, "help": help_text, "samples": []}
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_text = rest.partition(" ")
+            assert _PROM_METRIC_NAME.match(name), f"bad TYPE name {name!r}"
+            assert name in families, f"TYPE before HELP for {name}"
+            assert families[name]["type"] is None, f"duplicate TYPE {name}"
+            assert not families[name]["samples"], f"TYPE after samples {name}"
+            assert type_text in _PROM_TYPES, f"bad TYPE value {type_text!r}"
+            families[name]["type"] = type_text
+            current = name
+            continue
+        assert not line.startswith("#"), f"line {lineno}: stray comment"
+        m = _PROM_SAMPLE.match(line)
+        assert m, f"line {lineno}: unparseable sample {line!r}"
+        sample_name = m.group("name")
+        family = sample_name
+        for suffix in _PROM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families:
+                    family = base
+                break
+        assert family in families, f"sample {sample_name} has no family"
+        assert family == current, (
+            f"line {lineno}: sample for {family} interleaved into "
+            f"{current}'s block"
+        )
+        assert families[family]["type"] is not None, (
+            f"sample before TYPE for {family}"
+        )
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                lname, _, lvalue = pair.partition("=")
+                assert _PROM_LABEL_NAME.match(lname), (
+                    f"bad label name {lname!r}"
+                )
+                assert lvalue.startswith('"') and lvalue.endswith('"'), (
+                    f"unquoted label value {lvalue!r}"
+                )
+                labels[lname] = lvalue[1:-1]
+        value = float(m.group("value"))  # "nan"/"+Inf" parse fine
+        families[family]["samples"].append((sample_name, labels, value))
+    return families
+
+
+def _validate_prometheus(text: str) -> dict[str, dict]:
+    """Grammar-parse plus per-family semantic checks (quantile
+    monotonicity, summary completeness, finite counters/gauges)."""
+    families = parse_prometheus_exposition(text)
+    for name, family in families.items():
+        assert family["type"] is not None, f"{name} has HELP but no TYPE"
+        assert family["samples"], f"{name} declared but has no samples"
+        if family["type"] in ("counter", "gauge"):
+            assert len(family["samples"]) == 1
+            _, labels, value = family["samples"][0]
+            assert labels == {}
+            assert math.isfinite(value)
+            if family["type"] == "counter":
+                assert value >= 0.0
+        elif family["type"] == "summary":
+            quantiles = [
+                (float(labels["quantile"]), value)
+                for sname, labels, value in family["samples"]
+                if "quantile" in labels
+            ]
+            assert quantiles, f"summary {name} has no quantile samples"
+            qs = [q for q, _ in quantiles]
+            assert qs == sorted(qs), f"{name} quantiles out of order"
+            finite = [(q, v) for q, v in quantiles if not math.isnan(v)]
+            values = [v for _, v in finite]
+            assert values == sorted(values), (
+                f"{name} quantile values not monotone: {finite}"
+            )
+            names = {sname for sname, _, _ in family["samples"]}
+            assert f"{name}_sum" in names, f"{name} missing _sum"
+            assert f"{name}_count" in names, f"{name} missing _count"
+            count = next(
+                v for sname, _, v in family["samples"]
+                if sname == f"{name}_count"
+            )
+            assert count >= 0 and count == int(count)
+    return families
+
+
+class TestPrometheusGrammar:
+    def test_populated_registry_passes_grammar(self):
+        reg = MetricsRegistry()
+        reg.count("runner.cells_total", 7)
+        reg.count("kernels.numpy.gather/neighbors-calls", 3)  # dirty name
+        reg.gauge("sweep.worker_utilization", 0.94)
+        reg.gauge_max("runner.peak_rss_bytes", 4.8e7)
+        for v in (0.01, 0.2, 0.7, 3.0, 12.0):
+            reg.observe("runner.cell_wall_seconds", v)
+        families = _validate_prometheus(reg.to_prometheus())
+        assert families["graphbench_runner_cells_total"]["type"] == "counter"
+        assert (
+            families["graphbench_sweep_worker_utilization"]["type"] == "gauge"
+        )
+        wall = families["graphbench_runner_cell_wall_seconds"]
+        assert wall["type"] == "summary"
+        quantiles = {
+            labels["quantile"]: v
+            for _, labels, v in wall["samples"]
+            if "quantile" in labels
+        }
+        assert set(quantiles) == {"0.5", "0.9", "0.99"}
+        assert quantiles["0.5"] <= quantiles["0.9"] <= quantiles["0.99"]
+
+    def test_help_precedes_type_precedes_samples(self):
+        reg = MetricsRegistry()
+        reg.count("a", 1)
+        reg.observe("b", 2.0)
+        lines = reg.to_prometheus().splitlines()
+        for family in ("graphbench_a", "graphbench_b"):
+            help_i = lines.index(
+                next(l for l in lines
+                     if l.startswith(f"# HELP {family} "))
+            )
+            type_i = lines.index(
+                next(l for l in lines
+                     if l.startswith(f"# TYPE {family} "))
+            )
+            sample_i = min(
+                i for i, l in enumerate(lines)
+                if l.startswith(family) and not l.startswith("#")
+            )
+            assert help_i < type_i < sample_i
+
+    def test_empty_summary_quantiles_are_nan_not_invalid(self):
+        reg = MetricsRegistry()
+        reg.histogram("never.observed")  # declared, zero observations
+        families = _validate_prometheus(reg.to_prometheus())
+        fam = families["graphbench_never_observed"]
+        for sname, labels, value in fam["samples"]:
+            if "quantile" in labels:
+                assert math.isnan(value)
+            elif sname.endswith("_count"):
+                assert value == 0
+
+    def test_validator_catches_bad_documents(self):
+        with pytest.raises(AssertionError, match="TYPE before HELP"):
+            _validate_prometheus("# TYPE orphan counter\norphan 1")
+        with pytest.raises(AssertionError, match="no family"):
+            _validate_prometheus(
+                "# HELP a h\n# TYPE a counter\na 1\nstray 2"
+            )
+        with pytest.raises(AssertionError, match="bad TYPE value"):
+            _validate_prometheus("# HELP a h\n# TYPE a enum\na 1")
+        with pytest.raises(ValueError):
+            _validate_prometheus(
+                "# HELP a h\n# TYPE a counter\na one"
+            )
+
+    def test_stats_cli_prometheus_output_is_grammatical(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        with obs.observed(events_path=path):
+            Runner(repetitions=2).run_grid(
+                SweepSpec.make(
+                    "test:prom-grammar",
+                    platforms=("giraph", "graphlab"),
+                    algorithms=("bfs",),
+                    datasets=("amazon",),
+                ),
+                workers=2,
+            )
+        assert main(["stats", "--events", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        families = _validate_prometheus(out)
+        assert "graphbench_runner_cells_total" in families
+        assert (
+            families["graphbench_runner_cell_wall_seconds"]["type"]
+            == "summary"
+        )
+
+
 # -- event stream -------------------------------------------------------------
 
 def test_event_stream_rejects_unknown_kind_and_tiny_ring():

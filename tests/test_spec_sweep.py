@@ -337,6 +337,64 @@ class TestExportDispatch:
         assert set(merged[0]["worker_ids"]) == session_ids
 
 
+class TestFaultPlanCellIsolation:
+    """Regression net: two cells differing only in ``fault_plan`` are
+    *different experiments* — they must never share a trace-cache entry
+    or a derived jitter seed (a shared entry would replay a faulted
+    trace into a fault-free cell, or vice versa)."""
+
+    def test_fault_plans_never_share_derived_seed(self):
+        from repro.core.spec import derive_cell_seed
+
+        plain = RunSpec("giraph", "bfs", "amazon")
+        crashed = RunSpec(
+            "giraph", "bfs", "amazon",
+            fault_plan=named_plan("crash", at=5.0),
+        )
+        slowed = RunSpec(
+            "giraph", "bfs", "amazon",
+            fault_plan=named_plan("straggler", at=2.0, duration=3.0),
+        )
+        seeds = {
+            derive_cell_seed(202, spec) for spec in (plain, crashed, slowed)
+        }
+        assert len(seeds) == 3
+
+    def test_fault_plans_never_share_trace_keys(self):
+        from repro.core.trace_cache import trace_key
+        from repro.datasets.registry import load_dataset
+        from repro.des.faults import FaultPlan
+
+        graph = load_dataset("amazon", scale=1.0)
+
+        def key(plan):
+            return trace_key(
+                "bfs", graph, dataset="amazon", scale=1.0, params={},
+                fault_plan=plan,
+            )
+
+        plain = key(None)
+        crashed = key(named_plan("crash", at=5.0))
+        slowed = key(named_plan("straggler", at=2.0, duration=3.0))
+        assert len({plain, crashed, slowed}) == 3
+        # the empty plan is behaviourally identical to no plan: shared
+        assert key(FaultPlan.empty()) == plain
+
+    def test_runner_records_distinct_cache_entries_per_plan(self):
+        runner = Runner()
+        runner.run(RunSpec("hadoop", "bfs", "amazon"))
+        assert runner.trace_cache.misses == 1
+        runner.run(RunSpec(
+            "hadoop", "bfs", "amazon",
+            fault_plan=named_plan("straggler", at=2.0, duration=3.0),
+        ))
+        assert runner.trace_cache.misses == 2  # no entry sharing
+        # replaying either cell hits its own entry
+        runner.run(RunSpec("hadoop", "bfs", "amazon"))
+        assert runner.trace_cache.misses == 2
+        assert runner.trace_cache.hits >= 1
+
+
 class TestDiscoveryAPI:
     def test_listings_are_sorted_and_described(self):
         from repro.algorithms.base import list_algorithms
