@@ -21,6 +21,7 @@ from repro.core.runner import Runner
 from repro.core.spec import SweepSpec
 from repro.core.suite import ALL_PLATFORMS
 from repro.datasets import DATASET_NAMES, load_dataset
+from repro.platforms import registry
 
 
 def _sweep(runner: Runner) -> float:
@@ -38,11 +39,17 @@ def _sweep(runner: Runner) -> float:
 
 def measure_cold_vs_warm() -> tuple[dict, str]:
     """Cold-vs-warm Figure-1 sweep data (shared with bench_snapshot)."""
+    # Self-isolating: reset the process-wide memos and the runner's
+    # trace cache so the cold pass is cold no matter what ran earlier
+    # in this process (bench_snapshot runs every measure_* back to
+    # back; the serve layer keeps state warm on purpose).
+    registry.reset_for_isolation()
     # Pre-build datasets so synthesis cost does not pollute the
     # cold measurement — the bench targets the trace layer.
     for name in DATASET_NAMES:
         load_dataset(name)
     runner = Runner()
+    runner.trace_cache.reset_for_isolation()
     cold = _sweep(runner)
     stats_cold = runner.trace_cache.stats()
     warm = _sweep(runner)
@@ -69,7 +76,9 @@ def measure_cold_vs_warm() -> tuple[dict, str]:
     return data, text
 
 
-def test_trace_cache_cold_vs_warm(benchmark, fresh_context_memo):
+def test_trace_cache_cold_vs_warm(benchmark):
+    # No isolation fixture needed: measure_cold_vs_warm() resets the
+    # process-wide memos itself via reset_for_isolation().
     data, _ = run_once(benchmark, measure_cold_vs_warm)
 
     # One recording per dataset, shared by all six platforms.

@@ -27,15 +27,18 @@ def fresh_context_memo():
 
     Benchmarks that assert a cold-vs-warm speedup flake when the whole
     ``benchmarks/`` directory runs in one process: earlier benchmarks
-    pre-warm the memos, so the "cold" sweep was never cold.  Clearing
+    pre-warm the memos, so the "cold" sweep was never cold.  Resetting
     before *and* after keeps both this measurement honest and later
-    benchmarks independent of test ordering.
+    benchmarks independent of test ordering.  Measurement functions
+    that bench_snapshot also calls directly (outside pytest) should
+    instead call :func:`repro.platforms.registry.reset_for_isolation`
+    themselves, like ``measure_cold_vs_warm`` does.
     """
-    from repro.platforms.registry import clear_context_caches
+    from repro.platforms.registry import reset_for_isolation
 
-    clear_context_caches()
+    reset_for_isolation()
     yield
-    clear_context_caches()
+    reset_for_isolation()
 
 
 def run_once(benchmark, fn):

@@ -6,8 +6,10 @@ sweep, the sparse-vs-dense report sweep, the serial-vs-parallel
 grid sweep, the superstep-kernel tier (per-kernel micro walls plus
 the amazon active-set sweep, numpy vs the active dispatch backend),
 validated benchmark-mode smokes at the two smallest scale factors,
-and the harness-observability off-vs-on sweep (overhead, worker
-utilization, per-cell wall quantiles) — and writes their wall times,
+the harness-observability off-vs-on sweep (overhead, worker
+utilization, per-cell wall quantiles), and the serving-layer
+open-loop load profile (latency quantiles, cache hit rate,
+coalescing ratio, served-vs-direct byte identity) — and writes their wall times,
 trace-memory numbers, and validation summary as one JSON document.  CI uploads the file as a
 build artifact and ``scripts/perf_gate.py`` compares it against the
 committed reference, so every PR leaves a gated perf data point; the
@@ -83,6 +85,7 @@ def collect_snapshot() -> dict:
         render_sparse_vs_dense,
     )
     from benchmarks.bench_parallel_sweep import measure_parallel_sweep
+    from benchmarks.bench_serve_load import measure_serve_load
     from benchmarks.bench_trace_cache import measure_cold_vs_warm
 
     trace_data, trace_text = measure_cold_vs_warm()
@@ -92,11 +95,13 @@ def collect_snapshot() -> dict:
     obs_data, obs_text = measure_harness_observability()
     benchmark_data = measure_benchmark_mode("tiny")
     benchmark_xs_data = measure_benchmark_mode("xs")
+    serve_data, serve_text = measure_serve_load()
     print(trace_text)
     print(render_sparse_vs_dense(sparse_data))
     print(parallel_text)
     print(render_kernels(kernels_data))
     print(obs_text)
+    print(serve_text)
     for label, section in (("tiny", benchmark_data), ("xs", benchmark_xs_data)):
         print(
             f"benchmark mode ({label}): "
@@ -105,7 +110,7 @@ def collect_snapshot() -> dict:
             f"{section['wall_seconds']:.2f}s"
         )
     return {
-        "schema": 4,
+        "schema": 5,
         "python": _platform.python_version(),
         "machine": _platform.machine(),
         "cores": _available_cores(),
@@ -116,6 +121,7 @@ def collect_snapshot() -> dict:
         "harness_observability": obs_data,
         "benchmark_mode": benchmark_data,
         "benchmark_mode_xs": benchmark_xs_data,
+        "serve": serve_data,
     }
 
 

@@ -19,17 +19,19 @@ kinds of budget:
   The compiled-kernel sweep ratio is additionally skipped unless
   *both* snapshots ran on the numba backend: numpy-fallback ratios
   hover at ~1x by construction and carry no signal.
-* **overhead budget** — the harness-observability layer may not cost
-  more than ``OVERHEAD_CEILING`` of serial sweep wall when enabled.
-  An absolute ceiling (not baseline-relative): the contract is "near
-  free", not "no slower than before".  Skipped below
+* **overhead budget** — absolute ceilings (not baseline-relative):
+  the harness-observability layer may not cost more than
+  ``OVERHEAD_CEILING`` of serial sweep wall when enabled, and the
+  serving layer's warm-path (answer-cache hit) p99 may not exceed
+  ``SERVE_WARM_P99_CEILING`` seconds.  Skipped below
   ``MIN_CORES_FOR_RATIOS`` cores — a loaded small container cannot
-  resolve a 3 % delta above its own scheduling noise — and skipped
+  resolve these deltas above its own scheduling noise — and skipped
   when the baseline predates the metric (older schema).
 * **correctness flags** — never skipped: the parallel sweep must stay
   bit-identical to the serial one, the observed sweep bit-identical to
-  the unobserved one, and every benchmark-mode cell must validate, on
-  any machine.
+  the unobserved one, every benchmark-mode cell must validate, and a
+  served predict answer must stay byte-identical to a direct
+  ``Runner.run(spec)``, on any machine.
 
 A metric present in the budget table but missing from the *baseline*
 snapshot is reported as a skip, not a failure, so the gate tolerates
@@ -56,6 +58,10 @@ MIN_CORES_FOR_RATIOS = 4
 #: enabled harness observability may cost at most this fraction of
 #: serial sweep wall (absolute, not baseline-relative)
 OVERHEAD_CEILING = 0.03
+#: a warm-path (answer-cache hit) predict may take at most this many
+#: seconds at p99 — absolute: the warm path is a dict lookup plus a
+#: socket round-trip and must stay orders of magnitude under a sweep
+SERVE_WARM_P99_CEILING = 0.25
 
 #: dotted paths of wall metrics (seconds / milliseconds, lower=better)
 WALL_BUDGETS = (
@@ -88,6 +94,7 @@ RATIO_BUDGETS = {
 #: dotted paths of overhead fractions (lower=better) -> absolute ceiling
 OVERHEAD_BUDGETS = {
     "harness_observability.overhead_fraction": OVERHEAD_CEILING,
+    "serve.warm_p99_seconds": SERVE_WARM_P99_CEILING,
 }
 
 #: dotted paths that must be truthy in the current snapshot
@@ -96,6 +103,7 @@ CORRECTNESS_FLAGS = (
     "harness_observability.identical",
     "benchmark_mode.summary.all_validated",
     "benchmark_mode_xs.summary.all_validated",
+    "serve.identical",
 )
 
 

@@ -17,6 +17,13 @@ Subcommands::
     graphbench sweep --dataset friendster --mode horizontal
     graphbench sweep --mode grid --algorithms bfs conn \\
         --datasets amazon --workers 4 --json sweep_telemetry.jsonl
+    graphbench serve --port 8040   # the what-if prediction service
+
+Flag vocabulary is uniform across subcommands: ``--workers`` is always
+the sweep executor's *process* count, ``--workers-per-cell`` is always
+the *modeled* cluster size, and ``--json``/``--events``/``--strict``/
+``--seed`` mean the same thing everywhere (one shared argparse parent
+defines them).
 """
 
 from __future__ import annotations
@@ -123,6 +130,57 @@ def _scale_arg(value: str) -> str | float:
     return v
 
 
+# -- the unified flag vocabulary ---------------------------------------------
+#
+# Every experiment-running subcommand shares two argparse parents, so
+# help text, defaults and validators exist in exactly one place:
+#
+# * ``--workers``          worker *processes* for the sweep executor
+# * ``--json PATH``        export the subcommand's primary payload
+# * ``--events PATH``      stream harness observability to JSONL
+# * ``--strict``           promote modeled failures to exit code 1
+# * ``--seed``             base seed for derived per-cell streams
+# * ``--workers-per-cell`` the *modeled* cluster size (paper: 20 DAS4
+#   nodes); ``--cores`` the modeled cores per cluster worker
+#
+# ``--workers`` always means processes and ``--workers-per-cell``
+# always means the simulated cluster — no subcommand may redefine
+# either.
+
+def _unified_parent() -> argparse.ArgumentParser:
+    """The shared ``--workers/--json/--events/--strict/--seed`` flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep executor "
+                        "(default 1 = serial)")
+    parent.add_argument("--json", metavar="PATH",
+                        help="export the subcommand's primary payload "
+                        "(report JSON / accounting or telemetry JSONL / "
+                        "serve metrics snapshot)")
+    parent.add_argument("--events", metavar="PATH",
+                        help="stream harness observability events to a "
+                        "JSONL file (render with `graphbench stats`)")
+    parent.add_argument("--strict", action="store_true",
+                        help="fail (exit 1) on modeled failures that are "
+                        "otherwise reported as findings (crashed/DNF "
+                        "cells; serve: any 5xx answered)")
+    parent.add_argument("--seed", type=int, default=202,
+                        help="base seed for derived per-cell streams")
+    return parent
+
+
+def _cluster_parent() -> argparse.ArgumentParser:
+    """The shared modeled-cluster flags (``--workers-per-cell`` and
+    ``--cores``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers-per-cell", type=int, default=20,
+                        help="modeled cluster size per cell (paper "
+                        "default: 20 DAS4 nodes)")
+    parent.add_argument("--cores", type=int, default=1,
+                        help="modeled cores per cluster worker")
+    return parent
+
+
 @contextlib.contextmanager
 def _harness_events(path: str | None):
     """Record harness observability (events + metrics) to ``path`` for
@@ -145,11 +203,23 @@ def _harness_events(path: str | None):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    cluster = das4_cluster(args.workers, args.cores)
-    runner = Runner(scale=args.scale, repetitions=args.repetitions)
-    record = runner.run(
-        RunSpec(args.platform, args.algorithm, args.dataset, cluster)
+    from repro.api import PredictRequest
+
+    # a thin client of the public API facade: the spec comes from the
+    # same PredictRequest the serve endpoints parse off the wire
+    request = PredictRequest(
+        platform=args.platform,
+        algorithm=args.algorithm,
+        dataset=args.dataset,
+        scale=args.scale,
+        num_workers=args.workers_per_cell,
+        cores_per_worker=args.cores,
+        repetitions=args.repetitions,
     )
+    spec = request.to_run_spec()
+    cluster = spec.cluster
+    runner = Runner(scale=args.scale, repetitions=args.repetitions)
+    record = runner.run(spec)
     print(
         f"{args.platform} / {args.algorithm} / {args.dataset} "
         f"({cluster.num_workers} workers x {cluster.cores_per_worker} cores)"
@@ -351,7 +421,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core import telemetry
     from repro.core.export import export
 
-    cluster = das4_cluster(args.workers, args.cores)
+    cluster = das4_cluster(args.workers_per_cell, args.cores)
     runner = Runner(scale=args.scale)
     with telemetry.enabled():
         record = runner.run(
@@ -408,7 +478,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     if args.json:
         n = export(
-            tele, kind="telemetry", path=args.json,
+            tele, path=args.json,
             extra_counters=runner.cache_stats(),
         )
         print()
@@ -426,7 +496,7 @@ def _chaos_impl(args: argparse.Namespace) -> int:
     from repro.core.results import ExperimentResult
     from repro.des.faults import FaultPlan, named_plan
 
-    cluster = das4_cluster(args.workers, args.cores)
+    cluster = das4_cluster(args.workers_per_cell, args.cores)
     runner = Runner(scale=args.scale)
 
     baseline = runner.run(
@@ -498,7 +568,10 @@ def _chaos_impl(args: argparse.Namespace) -> int:
         n = export(exp, kind="faults", path=args.json)
         print()
         print(f"wrote {n} JSONL records to {args.json}")
-    return 0
+    # A crashed faulted cell is the recovery models' intended finding
+    # (budget exhaustion, checkpointing off) — it fails the run only
+    # under --strict, matching chaos-sweep/benchmark semantics.
+    return 1 if args.strict and not faulted.ok else 0
 
 
 def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
@@ -590,6 +663,7 @@ def _benchmark_impl(args: argparse.Namespace) -> int:
         datasets=tuple(args.datasets) if args.datasets else None,
         scale=args.scale,
         workers=args.workers,
+        seed=args.seed,
         name=args.name,
     )
     print(report.render())
@@ -671,7 +745,8 @@ def _sweep_impl(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     runner = Runner(
-        scale=args.scale, repetitions=args.repetitions, jitter=args.jitter
+        scale=args.scale, repetitions=args.repetitions, jitter=args.jitter,
+        seed=args.seed,
     )
     with telemetry.enabled(bool(args.json)):
         exp = runner.run_grid(sweep)
@@ -700,7 +775,9 @@ def _sweep_impl(args: argparse.Namespace) -> int:
         )
         print()
         print(f"wrote {n} JSONL records to {args.json}")
-    return 0
+    # Crashed/DNF cells are capacity findings; they fail the sweep
+    # only under --strict (same policy as benchmark/chaos).
+    return 1 if args.strict and any(not r.ok for r in exp) else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -738,6 +815,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.core.trace_cache import TraceCache
+    from repro.serve.app import GraphbenchServer
+
+    trace_cache = (
+        TraceCache(spill_dir=args.spill_dir) if args.spill_dir
+        else TraceCache()
+    )
+    runner = Runner(scale=args.scale, seed=args.seed,
+                    trace_cache=trace_cache)
+    server = GraphbenchServer(
+        runner=runner,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        window_seconds=args.window,
+        max_pending=args.max_pending,
+        deadline_seconds=args.deadline,
+        events_path=args.events,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"graphbench serve listening on "
+              f"http://{server.host}:{server.port}")
+        print("routes: POST /v1/predict, POST /v1/sweep, "
+              "GET /v1/jobs/{id}, GET /healthz, GET /metrics")
+        try:
+            if args.duration is not None:
+                await asyncio.wait_for(
+                    server.serve_forever(), timeout=args.duration
+                )
+            else:
+                await server.serve_forever()
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            pass
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print(f"served {server.requests_served} requests "
+          f"({server.errors_total} errors)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(server._health_payload(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote serve stats snapshot to {args.json}")
+    return 1 if args.strict and server.errors_total else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -749,20 +882,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset scale factor (default 1.0 = mini scale)")
     sub = p.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one experiment cell")
+    # the shared flag vocabulary (defined once, see module comment)
+    unified = _unified_parent()
+    cluster = _cluster_parent()
+
+    run = sub.add_parser("run", parents=[cluster],
+                         help="run one experiment cell")
     run.add_argument("--platform", required=True, type=_known("platform"),
                      metavar="PLATFORM")
     run.add_argument("--algorithm", required=True, type=_known("algorithm"),
                      metavar="ALGORITHM")
     run.add_argument("--dataset", required=True, type=_known("dataset"),
                      metavar="DATASET")
-    run.add_argument("--workers", type=int, default=20)
-    run.add_argument("--cores", type=int, default=1)
     run.add_argument("--repetitions", type=int, default=1)
     run.set_defaults(func=_cmd_run)
 
     tr = sub.add_parser(
         "trace",
+        parents=[cluster],
         help="run one cell with cost-provenance telemetry and show "
         "the span tree",
     )
@@ -772,8 +909,6 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="ALGORITHM")
     tr.add_argument("--dataset", required=True, type=_known("dataset"),
                     metavar="DATASET")
-    tr.add_argument("--workers", type=int, default=20)
-    tr.add_argument("--cores", type=int, default=1)
     tr.add_argument("--top", type=int, default=8,
                     help="number of cost rules to list")
     tr.add_argument("--max-steps", type=int, default=6,
@@ -802,6 +937,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ch = sub.add_parser(
         "chaos",
+        parents=[unified, cluster],
         help="inject a deterministic fault plan and compare against "
         "the fault-free baseline",
     )
@@ -811,8 +947,6 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="ALGORITHM")
     ch.add_argument("--dataset", required=True, type=_known("dataset"),
                     metavar="DATASET")
-    ch.add_argument("--workers", type=int, default=20)
-    ch.add_argument("--cores", type=int, default=1)
     ch.add_argument("--plan", choices=NAMED_PLANS + ("seeded",),
                     default="crash",
                     help="named single-fault plan, or 'seeded' for a "
@@ -828,20 +962,15 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--severity", type=float, default=None,
                     help="slowdown factor / remaining-memory fraction "
                     "(plan-specific default)")
-    ch.add_argument("--seed", type=int, default=42,
-                    help="seed for --plan seeded")
     ch.add_argument("--num-faults", type=int, default=3,
                     help="fault count for --plan seeded")
-    ch.add_argument("--json", metavar="PATH",
-                    help="export baseline+faulted accounting as JSON "
-                    "Lines")
-    ch.add_argument("--events", metavar="PATH",
-                    help="stream harness observability events to a "
-                    "JSONL file")
-    ch.set_defaults(func=_cmd_chaos)
+    # historical default kept: chaos seeded plans were introduced with
+    # seed 42 and published artifacts reference it
+    ch.set_defaults(func=_cmd_chaos, seed=42)
 
     cs = sub.add_parser(
         "chaos-sweep",
+        parents=[unified, cluster],
         help="cross fault-plan templates with the experiment grid and "
         "report the availability / recovery-cost frontier",
     )
@@ -869,26 +998,10 @@ def build_parser() -> argparse.ArgumentParser:
     cs.add_argument("--severity", type=float, default=None,
                     help="slowdown factor / remaining-memory fraction "
                     "(plan-specific default)")
-    cs.add_argument("--seed", type=int, default=202,
-                    help="seed for --plans seeded")
     cs.add_argument("--num-faults", type=int, default=3,
                     help="fault count for --plans seeded")
-    cs.add_argument("--workers", type=int, default=1,
-                    help="worker processes for the sweep executor "
-                    "(default 1 = serial)")
-    cs.add_argument("--workers-per-cell", type=int, default=20,
-                    help="modeled cluster size per cell")
-    cs.add_argument("--cores", type=int, default=1,
-                    help="modeled cores per cluster worker")
     cs.add_argument("--name", default="chaos-sweep",
                     help="report name for rendering and export")
-    cs.add_argument("--json", metavar="PATH",
-                    help="also export the report as JSON")
-    cs.add_argument("--strict", action="store_true",
-                    help="fail (exit 1) when any faulted cell crashed")
-    cs.add_argument("--events", metavar="PATH",
-                    help="stream harness observability events to a "
-                    "JSONL file")
     cs.add_argument("--selftest", action="store_true",
                     help="run the known-truth recovery-semantics net "
                     "instead of a sweep")
@@ -906,6 +1019,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     be = sub.add_parser(
         "benchmark",
+        parents=[unified],
         help="run validated workloads over platforms x datasets and "
         "render a benchmark report",
     )
@@ -923,23 +1037,13 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SCALE",
                     help="named scale factor (tiny/xs/s/m/l/xl) or a "
                     "numeric multiplier (default: tiny)")
-    be.add_argument("--workers", type=int, default=1,
-                    help="worker processes for the sweep executor "
-                    "(default 1 = serial)")
     be.add_argument("--name", default="graphbench",
                     help="report name for rendering and export")
-    be.add_argument("--json", metavar="PATH",
-                    help="also export the report as JSON")
-    be.add_argument("--strict", action="store_true",
-                    help="also fail (exit 1) on crashed/DNF cells, not "
-                    "just on validation failures")
-    be.add_argument("--events", metavar="PATH",
-                    help="stream harness observability events to a "
-                    "JSONL file")
     be.set_defaults(func=_cmd_benchmark)
 
     sw = sub.add_parser(
         "sweep",
+        parents=[unified, cluster],
         help="scalability sweep, or a (possibly parallel) grid sweep",
     )
     sw.add_argument("--mode", choices=("horizontal", "vertical", "grid"),
@@ -957,23 +1061,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="grid algorithms (default: bfs)")
     sw.add_argument("--datasets", nargs="+", type=_known("dataset"),
                     metavar="DATASET", help="grid datasets")
-    sw.add_argument("--workers", type=int, default=1,
-                    help="worker processes for grid mode (default 1 = "
-                    "serial)")
-    sw.add_argument("--workers-per-cell", type=int, default=20,
-                    help="modeled cluster size per cell (grid mode)")
-    sw.add_argument("--cores", type=int, default=1,
-                    help="modeled cores per cluster worker (grid mode)")
     sw.add_argument("--repetitions", type=int, default=1)
     sw.add_argument("--jitter", type=float, default=0.0,
                     help="repetition jitter fraction (grid mode)")
-    sw.add_argument("--json", metavar="PATH",
-                    help="export merged sweep telemetry as JSON Lines "
-                    "(grid mode)")
-    sw.add_argument("--events", metavar="PATH",
-                    help="stream harness observability events to a "
-                    "JSONL file")
     sw.set_defaults(func=_cmd_sweep)
+
+    sv = sub.add_parser(
+        "serve",
+        parents=[unified],
+        help="long-running what-if prediction service (POST "
+        "/v1/predict, POST /v1/sweep, GET /v1/jobs/{id}, /healthz, "
+        "/metrics)",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=8040,
+                    help="bind port; 0 picks a free one (default 8040)")
+    sv.add_argument("--window", type=float, default=0.01,
+                    help="micro-batching window in seconds: distinct "
+                    "cells arriving within it dispatch as one batch "
+                    "(default 0.01)")
+    sv.add_argument("--max-pending", type=int, default=64,
+                    help="admission bound: requests beyond it are "
+                    "refused with 429 + Retry-After (default 64)")
+    sv.add_argument("--deadline", type=float, default=30.0,
+                    help="per-request deadline in seconds; expiry "
+                    "answers 504 while the computation still warms "
+                    "the cache (default 30)")
+    sv.add_argument("--spill-dir", metavar="DIR",
+                    help="TraceCache spill directory, shared with "
+                    "sweep worker processes")
+    sv.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                    help="serve for a fixed time then exit cleanly "
+                    "(smoke tests; default: run until interrupted)")
+    sv.set_defaults(func=_cmd_serve)
 
     st = sub.add_parser(
         "stats",

@@ -177,6 +177,7 @@ def run_benchmark(
     datasets: _t.Sequence[str] | None = None,
     scale: str | float = "tiny",
     workers: int = 1,
+    seed: int = 202,
     runner: Runner | None = None,
     grid: BenchmarkGrid | None = None,
     name: str = "graphbench",
@@ -205,7 +206,7 @@ def run_benchmark(
     multiplier, scale_name, scale_hash = _scale_identity(scale)
 
     if runner is None:
-        runner = Runner(scale=multiplier)
+        runner = Runner(scale=multiplier, seed=seed)
     elif runner.scale != multiplier:
         raise ValueError(
             f"runner.scale={runner.scale:g} does not match the requested "

@@ -5,23 +5,30 @@ its method ("another non-trivial practical aspect is reporting ...
 which our method does not precisely specify").  This module pins a
 concrete reporting format behind one front door:
 
-* :func:`export` — ``export(obj, kind=..., path=...)`` dispatches to
-  the format writers below, so CLI subcommands and scripts stop
-  hand-rolling writers;
+* :func:`export` — ``export(obj, path=...)`` is **the** front door:
+  the format is auto-detected from the object's type (an
+  :class:`~repro.core.results.ExperimentResult` becomes the records
+  JSON document, a report becomes its JSON payload, a telemetry
+  session becomes JSONL, a resource trace becomes CSV); pass
+  ``kind=`` explicitly only where one type has several formats
+  (``"sweep-telemetry"`` and ``"faults"`` are alternative views of an
+  experiment);
 * :func:`export_records_json` — experiment cells as a JSON document
   (full disclosure: cluster configuration, repetitions, failures);
 * :func:`export_chaos_json` — a chaos-sweep report (baselines,
   per-plan degradation cells, the availability frontier);
 * :func:`export_trace_csv` — a resource trace as tidy CSV
   (node, metric, normalized_time, value);
-* :func:`export_telemetry_jsonl` — one telemetry session as JSON Lines;
-* :func:`export_sweep_telemetry_jsonl` — every session of a sweep's
-  records, with per-cell identity lines and merged counters;
-* :func:`export_fault_accounting_jsonl` — per-cell retry/restart
-  accounting;
 * :func:`export_series_dat` — figure series as whitespace ``.dat``
   files directly plottable with gnuplot, matching the paper's figure
   style.
+
+The pre-consolidation JSONL entry points —
+``export_telemetry_jsonl``, ``export_sweep_telemetry_jsonl``,
+``export_fault_accounting_jsonl`` — survive as thin delegating
+aliases that emit :class:`DeprecationWarning`; tier-1 promotes those
+warnings to errors (pyproject ``filterwarnings``), so in-tree callers
+cannot regress onto them.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import typing as _t
+import warnings
 
 
 from repro.cluster.monitoring import ResourceTrace
@@ -131,7 +139,7 @@ def export_trace_csv(
                     fh.write(f"{node},{metric},{t:.4f},{v:.6g}\n")
 
 
-def export_telemetry_jsonl(
+def _telemetry_jsonl(
     session: "telemetry.Telemetry",
     path: str | os.PathLike,
     *,
@@ -162,7 +170,7 @@ def export_telemetry_jsonl(
     return n
 
 
-def export_sweep_telemetry_jsonl(
+def _sweep_telemetry_jsonl(
     experiment: ExperimentResult,
     path: str | os.PathLike,
     *,
@@ -227,7 +235,7 @@ def export_sweep_telemetry_jsonl(
     return n
 
 
-def export_fault_accounting_jsonl(
+def _fault_accounting_jsonl(
     experiment: ExperimentResult, path: str | os.PathLike
 ) -> int:
     """Write per-cell retry/restart/failure accounting as JSON Lines.
@@ -276,29 +284,64 @@ EXPORT_KINDS: dict[str, tuple[type, _t.Callable[..., _t.Any]]] = {
     "records": (ExperimentResult, export_records_json),
     "benchmark": (BenchmarkReport, export_benchmark_json),
     "chaos": (ChaosReport, export_chaos_json),
-    "telemetry": (telemetry.Telemetry, export_telemetry_jsonl),
-    "sweep-telemetry": (ExperimentResult, export_sweep_telemetry_jsonl),
-    "faults": (ExperimentResult, export_fault_accounting_jsonl),
+    "telemetry": (telemetry.Telemetry, _telemetry_jsonl),
+    "sweep-telemetry": (ExperimentResult, _sweep_telemetry_jsonl),
+    "faults": (ExperimentResult, _fault_accounting_jsonl),
     "trace": (ResourceTrace, export_trace_csv),
 }
 
+#: object type -> default ``kind`` when the caller omits it; every
+#: type has exactly one default (``sweep-telemetry`` and ``faults``
+#: are *alternative* views of an experiment and stay opt-in)
+_DEFAULT_KIND: tuple[tuple[type, str], ...] = (
+    (ExperimentResult, "records"),
+    (BenchmarkReport, "benchmark"),
+    (ChaosReport, "chaos"),
+    (telemetry.Telemetry, "telemetry"),
+    (ResourceTrace, "trace"),
+)
+
+
+def detect_kind(obj: _t.Any) -> str:
+    """The default export kind for ``obj``'s type.
+
+    Raises :class:`TypeError` for objects no writer understands.
+    """
+    for expected, kind in _DEFAULT_KIND:
+        if isinstance(obj, expected):
+            return kind
+    raise TypeError(
+        f"no export format is registered for {type(obj).__name__}; "
+        f"exportable types are "
+        f"{', '.join(t.__name__ for t, _ in _DEFAULT_KIND)}"
+    )
+
 
 def export(
-    obj: _t.Any, *, kind: str, path: str | os.PathLike, **options: _t.Any
+    obj: _t.Any,
+    *,
+    path: str | os.PathLike,
+    kind: str | None = None,
+    **options: _t.Any,
 ) -> _t.Any:
-    """Write ``obj`` to ``path`` in the named format.
+    """Write ``obj`` to ``path`` — the single export front door.
 
-    ``kind`` is one of :data:`EXPORT_KINDS`: ``"records"`` (experiment
-    JSON), ``"benchmark"`` (benchmark report JSON), ``"chaos"``
-    (chaos-sweep report JSON), ``"telemetry"`` (one session as JSONL),
-    ``"sweep-telemetry"`` (all sessions of an experiment as JSONL),
-    ``"faults"`` (fault-accounting JSONL), or ``"trace"``
-    (resource-trace CSV).
+    With ``kind`` omitted the format is detected from the object's
+    type (:func:`detect_kind`): an experiment becomes the records JSON
+    document, benchmark/chaos reports become their JSON payloads, a
+    telemetry session becomes JSONL, a resource trace becomes CSV.
+    Pass ``kind`` explicitly to select an alternative view of the same
+    type — ``"sweep-telemetry"`` (all sessions of an experiment as
+    JSONL) or ``"faults"`` (fault-accounting JSONL); the full menu is
+    :data:`EXPORT_KINDS`.
+
     Extra keyword ``options`` pass through to the underlying writer
     (e.g. ``extra_counters=...`` for the telemetry kinds,
     ``num_points=...`` for traces).  Returns whatever the writer
     returns (line counts for the JSONL kinds).
     """
+    if kind is None:
+        kind = detect_kind(obj)
     try:
         expected, writer = EXPORT_KINDS[kind]
     except KeyError:
@@ -312,3 +355,36 @@ def export(
             f"got {type(obj).__name__}"
         )
     return writer(obj, path, **options)
+
+
+# -- deprecated pre-consolidation entry points -------------------------------
+
+
+def _deprecated_alias(old_name: str, kind: str) -> _t.Callable[..., _t.Any]:
+    def shim(obj: _t.Any, path: str | os.PathLike, **options: _t.Any):
+        warnings.warn(
+            f"{old_name} is deprecated; use "
+            f"export(obj, path=..., kind={kind!r}) "
+            f"(or omit kind for auto-detection)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return export(obj, path=path, kind=kind, **options)
+
+    shim.__name__ = old_name
+    shim.__qualname__ = old_name
+    shim.__doc__ = (
+        f"Deprecated alias for ``export(obj, path=..., kind={kind!r})``."
+    )
+    return shim
+
+
+export_telemetry_jsonl = _deprecated_alias(
+    "export_telemetry_jsonl", "telemetry"
+)
+export_sweep_telemetry_jsonl = _deprecated_alias(
+    "export_sweep_telemetry_jsonl", "sweep-telemetry"
+)
+export_fault_accounting_jsonl = _deprecated_alias(
+    "export_fault_accounting_jsonl", "faults"
+)

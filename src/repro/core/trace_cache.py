@@ -335,3 +335,23 @@ class TraceCache:
         self.disk_hits = 0
         self.disk_stores = 0
         self.record_seconds = 0.0
+
+    def reset_for_isolation(self) -> None:
+        """Return the cache to a provably cold state for a measurement.
+
+        Long-lived processes (the serve layer, a benchmark session) keep
+        this cache warm by design; a cold-path measurement taken in the
+        same process silently measures the warm path instead.  Callers
+        that need a genuine cold start — ``benchmarks/bench_trace_cache``
+        and friends — ask for it explicitly here rather than relying on
+        fixture ordering.  Unlike :meth:`clear`, this also detaches the
+        spill directory's influence by removing any spilled recordings,
+        so a disk hit cannot masquerade as a cold recording.
+        """
+        if self.spill_dir is not None and self.spill_dir.is_dir():
+            for path in self.spill_dir.glob("*.trace.pkl"):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+        self.clear()

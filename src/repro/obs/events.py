@@ -40,8 +40,8 @@ __all__ = [
 ]
 
 #: version stamped on every event record (bump on field-shape changes;
-#: v2 added the chaos-sweep lifecycle kinds)
-EVENT_SCHEMA: int = 2
+#: v2 added the chaos-sweep lifecycle kinds, v3 the serve lifecycle)
+EVENT_SCHEMA: int = 3
 
 #: the closed event vocabulary
 EVENT_KINDS: frozenset[str] = frozenset({
@@ -66,6 +66,12 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "chaos_sweep_started",   # a scenario matrix begins (plans x grid)
     "chaos_cell",            # one faulted cell's verdict (slowdown)
     "chaos_sweep_finished",  # the matrix ends (survival summary)
+    # serve mode (the prediction service)
+    "serve_started",         # the server begins listening (host, port)
+    "serve_request",         # one HTTP request answered (route, status)
+    "serve_batch",           # a micro-batch dispatched (cells, coalesced)
+    "serve_rejected",        # admission control refused a request (429)
+    "serve_stopped",         # the server shut down (requests served)
 })
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "cached_context",
     "context_memo_stats",
     "clear_context_caches",
+    "reset_for_isolation",
 ]
 
 #: paper Table 4 order, plus the GraphLab(mp) tuning variant
@@ -132,6 +133,19 @@ def clear_context_caches() -> None:
     """
     _partition_cache.clear()
     _context_cache.clear()
+
+
+def reset_for_isolation() -> None:
+    """Reset every process-wide memo this module owns to a cold state.
+
+    The serve layer made warm process-wide state the normal condition,
+    so isolation is an explicit benchmark-side request, not something a
+    test fixture should have to reconstruct from internals.  Pairs with
+    :meth:`repro.core.trace_cache.TraceCache.reset_for_isolation`: call
+    both before a cold-path measurement and it is cold regardless of
+    what ran earlier in the process.
+    """
+    clear_context_caches()
 
 
 def context_memo_stats() -> dict[str, int]:

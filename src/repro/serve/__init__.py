@@ -1,0 +1,24 @@
+"""``repro.serve`` — the long-running what-if prediction service.
+
+The production framing of the paper's decision-support deliverable
+("which platform, which cluster, at what cost, for this workload?" —
+§V–VI): an asyncio HTTP server speaking the frozen :mod:`repro.api`
+contract, with request coalescing and micro-batching
+(:mod:`~repro.serve.batching`), queue-depth admission control
+(:mod:`~repro.serve.admission`), and a warm answer cache
+(:mod:`~repro.serve.cache`) in front of the shared runner + trace
+cache.  ``graphbench serve`` is the CLI entry point;
+``benchmarks/bench_serve_load.py`` is the load harness.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.app import GraphbenchServer
+from repro.serve.batching import RequestBatcher
+from repro.serve.cache import AnswerCache
+
+__all__ = [
+    "AdmissionController",
+    "AnswerCache",
+    "GraphbenchServer",
+    "RequestBatcher",
+]

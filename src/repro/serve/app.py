@@ -1,0 +1,414 @@
+"""The ``graphbench serve`` HTTP application.
+
+A deliberately small HTTP/1.1 server on raw :mod:`asyncio` streams —
+the container ships no web framework, and five routes do not justify
+one:
+
+====================  ======================================================
+``POST /v1/predict``  one cell: admission → answer cache → coalesce →
+                      micro-batch → sweep executor → response
+``POST /v1/sweep``    a named grid as a background job (``202`` + job id)
+``GET /v1/jobs/{id}`` the :class:`~repro.api.JobStatus` of a submission
+``GET /healthz``      liveness + admission/batcher/cache stats
+``GET /metrics``      the ambient :mod:`repro.obs` Prometheus exposition
+====================  ======================================================
+
+Every response body is a v1 payload from :mod:`repro.api`; the predict
+envelope is ``{"api_version", "job_id", "cached", "result"}`` where
+``result`` is exactly the :class:`~repro.api.PredictResponse` dict a
+direct ``Runner.run(spec)`` would produce — byte-identity between the
+served and direct answer is an acceptance test, not an aspiration.
+
+Connections are one-shot (``Connection: close``): the load profile is
+many short independent queries, and forgoing keep-alive keeps the
+parser a dozen lines with no pipelining states to get wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import concurrent.futures
+import itertools
+import json
+import time
+import typing as _t
+
+from repro import obs
+from repro.api import (
+    API_VERSION,
+    ApiError,
+    JobStatus,
+    PredictRequest,
+    SweepRequest,
+    sweep_result_dict,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.batching import RequestBatcher
+from repro.serve.cache import AnswerCache
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runner import Runner
+
+__all__ = ["GraphbenchServer"]
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 504: "Gateway Timeout",
+}
+
+#: request bodies past this size are refused outright
+_MAX_BODY = 1 << 20
+
+
+class _HttpError(Exception):
+    """An error that maps straight to a response status."""
+
+    def __init__(self, status: int, message: str,
+                 headers: tuple[tuple[str, str], ...] = ()) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers
+
+
+class GraphbenchServer:
+    """The prediction service: one shared runner + trace cache, an
+    answer cache, a coalescing batcher, and an admission gate.
+
+    ``start()`` binds (``port=0`` picks a free port — the tests and
+    the load benchmark rely on that) and ``serve_forever()`` blocks;
+    ``aclose()`` tears down.  The server installs an ambient
+    :mod:`repro.obs` session at start when none is active, so
+    ``/metrics`` always has a registry to expose.
+    """
+
+    def __init__(
+        self,
+        *,
+        runner: "Runner | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        window_seconds: float = 0.01,
+        max_pending: int = 64,
+        deadline_seconds: float = 30.0,
+        answer_cache_size: int = 4096,
+        events_path: str | None = None,
+    ) -> None:
+        from repro.core.runner import Runner
+
+        self.runner = runner if runner is not None else Runner()
+        self.host = host
+        self.port = port
+        self.answer_cache = AnswerCache(maxsize=answer_cache_size)
+        # one thread for micro-batches, one for background sweep jobs —
+        # never the loop's default pool, which other code may exhaust
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="serve"
+        )
+        self.batcher = RequestBatcher(
+            self.runner,
+            workers=workers,
+            window_seconds=window_seconds,
+            answer_cache=self.answer_cache,
+            executor=self._executor,
+        )
+        self.admission = AdmissionController(
+            max_pending=max_pending, deadline_seconds=deadline_seconds
+        )
+        self.events_path = events_path
+        self._jobs: collections.OrderedDict[str, JobStatus] = (
+            collections.OrderedDict()
+        )
+        self._job_ids = itertools.count(1)
+        self._job_tasks: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._owns_obs = False
+        self.requests_served = 0
+        self.errors_total = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and begin accepting; resolves ``self.port`` when 0."""
+        if obs.active() is None:
+            obs.start(events_path=self.events_path, role="main")
+            self._owns_obs = True
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        session = obs.active()
+        if session is not None:
+            session.emit("serve_started", host=self.host, port=self.port)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        for task in list(self._job_tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        session = obs.active()
+        if session is not None:
+            session.emit("serve_stopped", requests=self.requests_served)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._owns_obs:
+            obs.stop()
+            self._owns_obs = False
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.monotonic()
+        status = 500
+        route = "?"
+        try:
+            method, target, body = await self._read_request(reader)
+            route = f"{method} {target.split('?', 1)[0]}"
+            status, payload, headers = await self._route(
+                method, target, body
+            )
+            self._write_response(writer, status, payload, headers)
+        except _HttpError as exc:
+            status = exc.status
+            self._write_response(
+                writer, exc.status,
+                {"api_version": API_VERSION, "error": exc.message},
+                exc.headers,
+            )
+        except (asyncio.IncompleteReadError, ConnectionError):
+            status = 0  # client went away mid-request; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - the 500 of last resort
+            self._write_response(
+                writer, 500,
+                {"api_version": API_VERSION, "error": str(exc)},
+            )
+        finally:
+            self.requests_served += 1
+            if status >= 500:
+                self.errors_total += 1
+            session = obs.active()
+            if session is not None and status:
+                session.metrics.observe(
+                    "serve.request_latency_seconds",
+                    time.monotonic() - started,
+                )
+                session.emit(
+                    "serve_request", route=route, status=status,
+                )
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise _HttpError(400, f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | str,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode()
+            content_type = "application/json"
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+        head.append(f"Content-Type: {content_type}")
+        head.append(f"Content-Length: {len(body)}")
+        for name, value in headers:
+            head.append(f"{name}: {value}")
+        head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+
+    # -- routing -----------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict | str, tuple[tuple[str, str], ...]]:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, self._health_payload(), ()
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics_text(), ()
+        if path == "/v1/predict":
+            if method != "POST":
+                raise _HttpError(405, "POST only")
+            return await self._predict(body)
+        if path == "/v1/sweep":
+            if method != "POST":
+                raise _HttpError(405, "POST only")
+            return await self._sweep(body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            job_id = path.rsplit("/", 1)[1]
+            status = self._jobs.get(job_id)
+            if status is None:
+                raise _HttpError(404, f"unknown job {job_id!r}")
+            return 200, status.to_dict(), ()
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    # -- handlers ----------------------------------------------------------
+    async def _predict(
+        self, body: bytes
+    ) -> tuple[int, dict, tuple[tuple[str, str], ...]]:
+        try:
+            request = PredictRequest.from_json(body)
+        except ApiError as exc:
+            raise _HttpError(400, str(exc)) from None
+        if not self.admission.try_admit():
+            raise _HttpError(
+                429, "server at capacity",
+                (("Retry-After", str(self.admission.retry_after())),),
+            )
+        started = time.monotonic()
+        try:
+            # shield: a client deadline must not cancel the shared
+            # computation — it finishes and warms the cache anyway.
+            result, cached = await asyncio.wait_for(
+                asyncio.shield(self.batcher.predict(request)),
+                timeout=self.admission.deadline_seconds,
+            )
+        except asyncio.TimeoutError:
+            self.admission.note_timeout()
+            self.admission.release(time.monotonic() - started)
+            raise _HttpError(
+                504,
+                f"deadline of {self.admission.deadline_seconds:g}s "
+                f"exceeded; retry for the cached answer",
+            ) from None
+        except ApiError as exc:
+            self.admission.release(time.monotonic() - started)
+            raise _HttpError(400, str(exc)) from None
+        except (KeyError, ValueError) as exc:
+            self.admission.release(time.monotonic() - started)
+            raise _HttpError(400, str(exc)) from None
+        self.admission.release(time.monotonic() - started)
+        job_id = self._store_job("predict", result)
+        return 200, {
+            "api_version": API_VERSION,
+            "job_id": job_id,
+            "cached": cached,
+            "result": result,
+        }, ()
+
+    async def _sweep(
+        self, body: bytes
+    ) -> tuple[int, dict, tuple[tuple[str, str], ...]]:
+        try:
+            request = SweepRequest.from_json(body)
+        except ApiError as exc:
+            raise _HttpError(400, str(exc)) from None
+        if not self.admission.try_admit():
+            raise _HttpError(
+                429, "server at capacity",
+                (("Retry-After", str(self.admission.retry_after())),),
+            )
+        job_id = f"job-{next(self._job_ids)}"
+        self._set_job(JobStatus(job_id=job_id, kind="sweep", state="queued"))
+        task = asyncio.get_running_loop().create_task(
+            self._run_sweep_job(job_id, request)
+        )
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        return 202, self._jobs[job_id].to_dict(), ()
+
+    async def _run_sweep_job(
+        self, job_id: str, request: SweepRequest
+    ) -> None:
+        started = time.monotonic()
+        self._set_job(
+            JobStatus(job_id=job_id, kind="sweep", state="running")
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            runner = self.batcher._runner_for(request.scale, 1)
+            experiment = await loop.run_in_executor(
+                self._executor,
+                lambda: runner.run_grid(
+                    request.to_sweep_spec(), workers=request.workers
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - contract: failed state
+            self._set_job(JobStatus(
+                job_id=job_id, kind="sweep", state="failed", error=str(exc)
+            ))
+        else:
+            self._set_job(JobStatus(
+                job_id=job_id, kind="sweep", state="done",
+                result=sweep_result_dict(experiment),
+            ))
+        finally:
+            self.admission.release(time.monotonic() - started)
+
+    # -- helpers -----------------------------------------------------------
+    def _store_job(self, kind: str, result: dict) -> str:
+        job_id = f"job-{next(self._job_ids)}"
+        self._set_job(JobStatus(
+            job_id=job_id, kind=kind, state="done", result=result
+        ))
+        return job_id
+
+    def _set_job(self, status: JobStatus) -> None:
+        self._jobs[status.job_id] = status
+        self._jobs.move_to_end(status.job_id)
+        while len(self._jobs) > 1024:
+            self._jobs.popitem(last=False)
+
+    def _health_payload(self) -> dict:
+        return {
+            "api_version": API_VERSION,
+            "status": "ok",
+            "requests_served": self.requests_served,
+            "admission": self.admission.stats(),
+            "batching": self.batcher.stats(),
+            "trace_cache": dict(self.runner.trace_cache.stats()),
+        }
+
+    def _metrics_text(self) -> str:
+        session = obs.active()
+        if session is None:  # pragma: no cover - start() installs one
+            return "# no active observability session\n"
+        # surface the batcher/admission counters that live outside the
+        # registry so one scrape shows the whole serving picture
+        m = session.metrics
+        m.gauge("serve.coalescing_ratio", self.batcher.coalescing_ratio())
+        m.gauge("serve.answer_cache_hit_rate", self.answer_cache.hit_rate())
+        m.gauge("serve.pending", self.admission.pending)
+        return m.to_prometheus()

@@ -65,6 +65,7 @@ class TestBenchSnapshot:
             measure_sparse_vs_dense,
             render_sparse_vs_dense,
         )
+        from benchmarks.bench_serve_load import measure_serve_load
         from benchmarks.bench_trace_cache import measure_cold_vs_warm
 
         assert callable(measure_sparse_vs_dense)
@@ -72,6 +73,7 @@ class TestBenchSnapshot:
         assert callable(measure_cold_vs_warm)
         assert callable(measure_kernels)
         assert callable(render_kernels)
+        assert callable(measure_serve_load)
 
     def test_cores_recorded(self):
         mod = _load("bench_snapshot")
@@ -80,8 +82,9 @@ class TestBenchSnapshot:
 
 def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
               identical=True, validated=True, obs_identical=True,
-              overhead=0.01, utilization=0.9):
-    """A minimal schema-4 document exercising every gate budget."""
+              overhead=0.01, utilization=0.9, warm_p99=0.01,
+              serve_identical=True):
+    """A minimal schema-5 document exercising every gate budget."""
     micro = {
         name: {"numpy_ms": wall, "active_ms": wall, "ratio": 1.0}
         for name in (
@@ -91,7 +94,7 @@ def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
         )
     }
     return {
-        "schema": 4,
+        "schema": 5,
         "cores": cores,
         "trace_cache": {
             "cold_seconds": wall, "warm_seconds": wall, "speedup": ratio,
@@ -127,6 +130,11 @@ def _snapshot(*, cores=8, backend="numba", wall=1.0, ratio=4.0,
             "cell_wall_p99_seconds": wall,
             "events": 100,
             "cores": cores,
+        },
+        "serve": {
+            "cells": 6,
+            "warm_p99_seconds": warm_p99,
+            "identical": serve_identical,
         },
     }
 
@@ -234,6 +242,34 @@ class TestPerfGate:
         mod = _load("perf_gate")
         baseline = _snapshot()
         del baseline["harness_observability"]
+        assert mod.run_gate(_snapshot(), baseline) == []
+
+    def test_serve_warm_p99_ceiling_fails(self):
+        # Absolute ceiling: a slow warm path fails regardless of what
+        # the baseline measured.
+        mod = _load("perf_gate")
+        failures = mod.run_gate(_snapshot(warm_p99=1.5), _snapshot())
+        assert any("serve.warm_p99_seconds" in f for f in failures)
+
+    def test_serve_warm_p99_skipped_below_four_cores(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(warm_p99=1.5, cores=1), _snapshot()
+        )
+        assert not any("warm_p99" in f for f in failures)
+
+    def test_serve_identity_flag_never_skipped(self):
+        mod = _load("perf_gate")
+        failures = mod.run_gate(
+            _snapshot(cores=1, serve_identical=False), _snapshot(cores=1)
+        )
+        assert any("serve.identical" in f for f in failures)
+
+    def test_serve_missing_from_baseline_skips(self):
+        # a schema-4 baseline predates the serving layer
+        mod = _load("perf_gate")
+        baseline = _snapshot()
+        del baseline["serve"]
         assert mod.run_gate(_snapshot(), baseline) == []
 
     def test_cli_exit_codes(self, tmp_path, capsys):

@@ -191,11 +191,11 @@ class TestSessionLifecycle:
 class TestExportAndCli:
     def test_jsonl_export_round_trip(self, runs, tmp_path):
         on, _ = runs[("giraph", "bfs")]
-        from repro.core.export import export_telemetry_jsonl
+        from repro.core.export import export
 
         path = tmp_path / "tele.jsonl"
-        n = export_telemetry_jsonl(
-            on.telemetry, path, extra_counters={"extra.counter": 3}
+        n = export(
+            on.telemetry, path=path, extra_counters={"extra.counter": 3}
         )
         lines = path.read_text().splitlines()
         assert len(lines) == n
