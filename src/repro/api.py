@@ -193,16 +193,23 @@ class PredictRequest:
         params = payload.get("params") or {}
         if not isinstance(params, dict):
             raise ApiError("params must be an object of scalar values")
-        return cls(
-            platform=str(_require(payload, "platform", "PredictRequest")),
-            algorithm=str(_require(payload, "algorithm", "PredictRequest")),
-            dataset=str(_require(payload, "dataset", "PredictRequest")),
-            scale=payload.get("scale", 1.0),
-            num_workers=int(payload.get("num_workers", 20)),
-            cores_per_worker=int(payload.get("cores_per_worker", 1)),
-            repetitions=int(payload.get("repetitions", 1)),
-            params=params,
-        )
+        try:
+            return cls(
+                platform=str(_require(payload, "platform", "PredictRequest")),
+                algorithm=str(
+                    _require(payload, "algorithm", "PredictRequest")
+                ),
+                dataset=str(_require(payload, "dataset", "PredictRequest")),
+                scale=float(payload.get("scale", 1.0)),
+                num_workers=int(payload.get("num_workers", 20)),
+                cores_per_worker=int(payload.get("cores_per_worker", 1)),
+                repetitions=int(payload.get("repetitions", 1)),
+                params=params,
+            )
+        except ApiError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ApiError(f"bad PredictRequest field: {exc}") from None
 
     @classmethod
     def from_json(cls, text: str | bytes) -> "PredictRequest":
@@ -340,17 +347,28 @@ class SweepRequest:
         params = payload.get("params") or {}
         if not isinstance(params, dict):
             raise ApiError("params must be an object of scalar values")
-        return cls(
-            platforms=tuple(_require(payload, "platforms", "SweepRequest")),
-            algorithms=tuple(_require(payload, "algorithms", "SweepRequest")),
-            datasets=tuple(_require(payload, "datasets", "SweepRequest")),
-            name=str(payload.get("name", "api-sweep")),
-            scale=payload.get("scale", 1.0),
-            num_workers=int(payload.get("num_workers", 20)),
-            cores_per_worker=int(payload.get("cores_per_worker", 1)),
-            workers=int(payload.get("workers", 1)),
-            params=params,
-        )
+        try:
+            return cls(
+                platforms=tuple(
+                    _require(payload, "platforms", "SweepRequest")
+                ),
+                algorithms=tuple(
+                    _require(payload, "algorithms", "SweepRequest")
+                ),
+                datasets=tuple(
+                    _require(payload, "datasets", "SweepRequest")
+                ),
+                name=str(payload.get("name", "api-sweep")),
+                scale=float(payload.get("scale", 1.0)),
+                num_workers=int(payload.get("num_workers", 20)),
+                cores_per_worker=int(payload.get("cores_per_worker", 1)),
+                workers=int(payload.get("workers", 1)),
+                params=params,
+            )
+        except ApiError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ApiError(f"bad SweepRequest field: {exc}") from None
 
     @classmethod
     def from_json(cls, text: str | bytes) -> "SweepRequest":
@@ -683,9 +701,8 @@ class ApiService:
     def predict(self, request: PredictRequest) -> PredictResponse:
         """Answer one cell now (scale mismatches rebuild the runner's
         dataset view through a per-request runner)."""
-        return PredictResponse.from_record(
-            self._runner_for(request.scale).run(request.to_run_spec())
-        )
+        runner = self._runner_for(request.scale, request.repetitions)
+        return PredictResponse.from_record(runner.run(request.to_run_spec()))
 
     def sweep(self, request: SweepRequest) -> "ExperimentResult":
         """Run one grid now, honouring the request's worker count."""
@@ -693,13 +710,26 @@ class ApiService:
             request.to_sweep_spec()
         )
 
-    def _runner_for(self, scale: float) -> "Runner":
-        if float(scale) == float(self.runner.scale):
+    def _runner_for(
+        self, scale: float, repetitions: int | None = None
+    ) -> "Runner":
+        """A runner view for one request — same seed, jitter and shared
+        trace cache, mirroring ``RequestBatcher._runner_for`` so the
+        reference answer and the served answer stay byte-identical."""
+        reps = (
+            int(self.runner.repetitions)
+            if repetitions is None
+            else int(repetitions)
+        )
+        if (
+            float(scale) == float(self.runner.scale)
+            and reps == int(self.runner.repetitions)
+        ):
             return self.runner
         from repro.core.runner import Runner
 
         return Runner(
-            repetitions=self.runner.repetitions,
+            repetitions=reps,
             jitter=self.runner.jitter,
             seed=self.runner.seed,
             scale=float(scale),

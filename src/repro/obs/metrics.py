@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 import typing as _t
 
 __all__ = [
@@ -181,41 +182,53 @@ class MetricsRegistry:
     :meth:`count` / :meth:`gauge` / :meth:`observe` directly — metrics
     spring into existence on first touch, so hot paths never pay a
     registration step.
+
+    Emission is guarded by a re-entrant lock: within one process a
+    registry is written both from the owning (event-loop) thread and
+    from executor threads (``graphbench serve`` dispatches batches to
+    worker threads whose kernel/cache instrumentation lands here), and
+    unlocked read-modify-write would drop increments.
     """
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     # -- emission ----------------------------------------------------------
     def count(self, name: str, delta: float = 1.0) -> None:
         """Increment counter ``name`` by ``delta``."""
-        self.counters[name] = self.counters.get(name, 0.0) + delta
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + delta
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` (last write wins within a process)."""
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def gauge_max(self, name: str, value: float) -> None:
         """Raise gauge ``name`` to ``value`` if it is higher (peaks)."""
         v = float(value)
-        if v > self.gauges.get(name, -math.inf):
-            self.gauges[name] = v
+        with self._lock:
+            if v > self.gauges.get(name, -math.inf):
+                self.gauges[name] = v
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into histogram ``name``."""
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def histogram(self, name: str) -> Histogram:
         """The named histogram (created empty on first access)."""
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        return hist
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            return hist
 
     # -- merging -----------------------------------------------------------
     def merge(self, other: "MetricsRegistry | dict") -> None:
@@ -228,23 +241,25 @@ class MetricsRegistry:
         """
         if isinstance(other, MetricsRegistry):
             other = other.to_dict()
-        for name, value in other.get("counters", {}).items():
-            self.count(name, float(value))
-        for name, value in other.get("gauges", {}).items():
-            self.gauge_max(name, float(value))
-        for name, data in other.get("histograms", {}).items():
-            self.histogram(name).merge(data)
+        with self._lock:
+            for name, value in other.get("counters", {}).items():
+                self.count(name, float(value))
+            for name, value in other.get("gauges", {}).items():
+                self.gauge_max(name, float(value))
+            for name, data in other.get("histograms", {}).items():
+                self.histogram(name).merge(data)
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict[str, _t.Any]:
         """A picklable/JSON-serializable snapshot of everything."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {
-                name: h.to_dict() for name, h in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self.histograms.items()
+                },
+            }
 
     @classmethod
     def from_dict(cls, data: dict[str, _t.Any]) -> "MetricsRegistry":
@@ -275,27 +290,28 @@ class MetricsRegistry:
         that order, per the exposition-format specification.
         """
         lines: list[str] = []
-        for name in sorted(self.counters):
-            pname = prometheus_name(name, prefix)
-            lines.append(f"# HELP {pname} Harness counter {name!r}.")
-            lines.append(f"# TYPE {pname} counter")
-            lines.append(f"{pname} {self.counters[name]:g}")
-        for name in sorted(self.gauges):
-            pname = prometheus_name(name, prefix)
-            lines.append(f"# HELP {pname} Harness gauge {name!r}.")
-            lines.append(f"# TYPE {pname} gauge")
-            lines.append(f"{pname} {self.gauges[name]:g}")
-        for name in sorted(self.histograms):
-            h = self.histograms[name]
-            pname = prometheus_name(name, prefix)
-            lines.append(
-                f"# HELP {pname} Harness distribution {name!r} "
-                f"(log-bucket quantile estimates)."
-            )
-            lines.append(f"# TYPE {pname} summary")
-            for q in _EXPOSED_QUANTILES:
-                value = h.quantile(q) if h.count else math.nan
-                lines.append(f'{pname}{{quantile="{q:g}"}} {value:g}')
-            lines.append(f"{pname}_sum {h.total:g}")
-            lines.append(f"{pname}_count {h.count}")
+        with self._lock:
+            for name in sorted(self.counters):
+                pname = prometheus_name(name, prefix)
+                lines.append(f"# HELP {pname} Harness counter {name!r}.")
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {self.counters[name]:g}")
+            for name in sorted(self.gauges):
+                pname = prometheus_name(name, prefix)
+                lines.append(f"# HELP {pname} Harness gauge {name!r}.")
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {self.gauges[name]:g}")
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                pname = prometheus_name(name, prefix)
+                lines.append(
+                    f"# HELP {pname} Harness distribution {name!r} "
+                    f"(log-bucket quantile estimates)."
+                )
+                lines.append(f"# TYPE {pname} summary")
+                for q in _EXPOSED_QUANTILES:
+                    value = h.quantile(q) if h.count else math.nan
+                    lines.append(f'{pname}{{quantile="{q:g}"}} {value:g}')
+                lines.append(f"{pname}_sum {h.total:g}")
+                lines.append(f"{pname}_count {h.count}")
         return "\n".join(lines) + "\n" if lines else ""

@@ -103,17 +103,24 @@ class GraphbenchServer:
         self.host = host
         self.port = port
         self.answer_cache = AnswerCache(maxsize=answer_cache_size)
-        # one thread for micro-batches, one for background sweep jobs —
-        # never the loop's default pool, which other code may exhaust
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=2, thread_name_prefix="serve"
+        # Micro-batches and background sweep jobs each get their own
+        # single-thread executor: a shared pool would let concurrent
+        # sweep jobs occupy every thread and starve predict dispatches
+        # into 504s.  One sweep thread also caps sweep concurrency at
+        # one — extra jobs queue.  Never the loop's default pool, which
+        # other code may exhaust.
+        self._batch_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-batch"
+        )
+        self._sweep_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-sweep"
         )
         self.batcher = RequestBatcher(
             self.runner,
             workers=workers,
             window_seconds=window_seconds,
             answer_cache=self.answer_cache,
-            executor=self._executor,
+            executor=self._batch_executor,
         )
         self.admission = AdmissionController(
             max_pending=max_pending, deadline_seconds=deadline_seconds
@@ -158,7 +165,8 @@ class GraphbenchServer:
         session = obs.active()
         if session is not None:
             session.emit("serve_stopped", requests=self.requests_served)
-        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._batch_executor.shutdown(wait=False, cancel_futures=True)
+        self._sweep_executor.shutdown(wait=False, cancel_futures=True)
         if self._owns_obs:
             obs.stop()
             self._owns_obs = False
@@ -231,6 +239,8 @@ class GraphbenchServer:
             length = int(headers.get("content-length", "0"))
         except ValueError:
             raise _HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "bad Content-Length") from None
         if length > _MAX_BODY:
             raise _HttpError(400, f"body exceeds {_MAX_BODY} bytes")
         body = await reader.readexactly(length) if length else b""
@@ -299,27 +309,29 @@ class GraphbenchServer:
             )
         started = time.monotonic()
         try:
-            # shield: a client deadline must not cancel the shared
-            # computation — it finishes and warms the cache anyway.
-            result, cached = await asyncio.wait_for(
-                asyncio.shield(self.batcher.predict(request)),
-                timeout=self.admission.deadline_seconds,
-            )
-        except asyncio.TimeoutError:
-            self.admission.note_timeout()
+            try:
+                # shield: a client deadline must not cancel the shared
+                # computation — it finishes and warms the cache anyway.
+                result, cached = await asyncio.wait_for(
+                    asyncio.shield(self.batcher.predict(request)),
+                    timeout=self.admission.deadline_seconds,
+                )
+            except asyncio.TimeoutError:
+                self.admission.note_timeout()
+                raise _HttpError(
+                    504,
+                    f"deadline of {self.admission.deadline_seconds:g}s "
+                    f"exceeded; retry for the cached answer",
+                ) from None
+            except ApiError as exc:
+                raise _HttpError(400, str(exc)) from None
+            except (KeyError, ValueError) as exc:
+                raise _HttpError(400, str(exc)) from None
+        finally:
+            # any exception from the batcher future — not just the ones
+            # mapped to statuses above — must return the slot, or the
+            # gate leaks capacity until restart
             self.admission.release(time.monotonic() - started)
-            raise _HttpError(
-                504,
-                f"deadline of {self.admission.deadline_seconds:g}s "
-                f"exceeded; retry for the cached answer",
-            ) from None
-        except ApiError as exc:
-            self.admission.release(time.monotonic() - started)
-            raise _HttpError(400, str(exc)) from None
-        except (KeyError, ValueError) as exc:
-            self.admission.release(time.monotonic() - started)
-            raise _HttpError(400, str(exc)) from None
-        self.admission.release(time.monotonic() - started)
         job_id = self._store_job("predict", result)
         return 200, {
             "api_version": API_VERSION,
@@ -358,9 +370,11 @@ class GraphbenchServer:
         )
         loop = asyncio.get_running_loop()
         try:
-            runner = self.batcher._runner_for(request.scale, 1)
+            runner = self.batcher._runner_for(
+                request.scale, self.runner.repetitions
+            )
             experiment = await loop.run_in_executor(
-                self._executor,
+                self._sweep_executor,
                 lambda: runner.run_grid(
                     request.to_sweep_spec(), workers=request.workers
                 ),

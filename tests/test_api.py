@@ -251,6 +251,21 @@ class TestValidation:
         with pytest.raises(ApiError, match="unknown job state"):
             JobStatus(job_id="j", kind="predict", state="paused")
 
+    def test_uncoercible_field_types_are_api_errors(self):
+        """Client payloads with wrong field types must surface as the
+        contract's 400-mapped error, never a bare TypeError/ValueError
+        (which the server would answer with a 500)."""
+        base = {"platform": "giraph", "algorithm": "bfs", "dataset": "amazon"}
+        with pytest.raises(ApiError, match="bad PredictRequest field"):
+            PredictRequest.from_dict(dict(base, scale="fast"))
+        with pytest.raises(ApiError, match="bad PredictRequest field"):
+            PredictRequest.from_dict(dict(base, num_workers={}))
+        with pytest.raises(ApiError, match="bad SweepRequest field"):
+            SweepRequest.from_dict({
+                "platforms": ["giraph"], "algorithms": ["bfs"],
+                "datasets": ["amazon"], "workers": "many",
+            })
+
 
 # -- equivalence with the spec layer ---------------------------------------
 
@@ -363,6 +378,20 @@ class TestApiService:
     def test_submit_rejects_foreign_types(self, service):
         with pytest.raises(ApiError, match="submit\\(\\) takes"):
             service.submit({"platform": "giraph"})
+
+    def test_repetitions_mismatch_uses_request_repetitions(self, service):
+        req = PredictRequest(
+            platform="neo4j", algorithm="bfs", dataset="amazon",
+            repetitions=3,
+        )
+        resp = service.predict(req)
+        assert len(resp.repetition_times) == 3
+        direct = PredictResponse.from_record(
+            Runner(
+                repetitions=3, trace_cache=service.runner.trace_cache
+            ).run(req.to_run_spec())
+        )
+        assert resp.to_json() == direct.to_json()
 
     def test_scale_mismatch_uses_request_scale(self, service):
         req = PredictRequest(

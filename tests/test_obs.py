@@ -187,6 +187,31 @@ def test_registry_histogram_merge_and_round_trip():
     assert not a.is_empty() and MetricsRegistry().is_empty()
 
 
+def test_registry_concurrent_emission_loses_nothing():
+    """The serve path writes one registry from the event loop and the
+    batch executor threads at once; increments must not be lost to
+    unlocked read-modify-write."""
+    import threading
+
+    reg = MetricsRegistry()
+    workers, per_worker = 8, 2000
+
+    def emit():
+        for _ in range(per_worker):
+            reg.count("hits")
+            reg.observe("wall", 0.001)
+            reg.gauge_max("peak", 1.0)
+
+    threads = [threading.Thread(target=emit) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counters["hits"] == workers * per_worker
+    assert reg.histogram("wall").count == workers * per_worker
+    assert reg.gauges["peak"] == 1.0
+
+
 def test_prometheus_exposition():
     reg = MetricsRegistry()
     reg.count("runner.cells_total", 3)

@@ -252,6 +252,60 @@ class TestProtocolErrors:
         assert status == 400
         assert "not valid JSON" in json.loads(body)["error"]
 
+    def test_uncoercible_field_type_is_400(self):
+        async def scenario(server):
+            return await _request(
+                server.port, "POST", "/v1/predict",
+                dict(CELL, scale="fast"),
+            )
+
+        status, _, body = _with_server(scenario)
+        assert status == 400
+        assert "bad PredictRequest field" in json.loads(body)["error"]
+
+    def test_negative_content_length_is_400(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                b"POST /v1/predict HTTP/1.1\r\n"
+                b"Host: test\r\nContent-Length: -5\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        raw = _with_server(scenario)
+        assert int(raw.split()[1]) == 400
+
+    def test_unexpected_batcher_failure_releases_the_slot(self):
+        """An exception class _predict does not map to a status (e.g. a
+        broken executor) must still return the admission slot; with
+        max_pending=1 a leak would shed every later request as 429."""
+
+        async def scenario(server):
+            def boom(requests):
+                raise RuntimeError("executor blew up")
+
+            server.batcher._run_batch = boom
+            failed = await _request(server.port, "POST", "/v1/predict", CELL)
+            del server.batcher._run_batch  # back to the bound method
+            recovered = await _request(
+                server.port, "POST", "/v1/predict", CELL
+            )
+            return failed, recovered, server.admission.pending
+
+        (s1, _, b1), (s2, _, _), pending = _with_server(
+            scenario, max_pending=1
+        )
+        assert s1 == 500
+        assert "executor blew up" in json.loads(b1)["error"]
+        assert pending == 0
+        assert s2 == 200
+
     def test_unknown_platform_is_400(self):
         async def scenario(server):
             return await _request(
